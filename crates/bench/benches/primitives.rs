@@ -1,0 +1,77 @@
+//! Criterion microbenches for the cryptographic substrate: the per-input
+//! costs every figure is built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ebv_chain::merkle::{merkle_root, MerkleBranch};
+use ebv_core::sighash::{sign_input, DigestChecker};
+use ebv_primitives::ec::PrivateKey;
+use ebv_primitives::hash::{sha256, sha256d, Hash256};
+use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
+use ebv_script::{verify_spend, Builder, RejectAllChecker};
+
+fn bench_hashing(c: &mut Criterion) {
+    let data_1k = vec![0xabu8; 1024];
+    c.bench_function("sha256/1KiB", |b| b.iter(|| sha256(black_box(&data_1k))));
+    c.bench_function("sha256d/80B_header", |b| {
+        let header = [0x77u8; 80];
+        b.iter(|| sha256d(black_box(&header)))
+    });
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let sk = PrivateKey::from_seed(1);
+    let pk = sk.public_key();
+    let digest = sha256(b"bench digest");
+    let sig = sk.sign(&digest);
+    c.bench_function("ecdsa/sign", |b| b.iter(|| sk.sign(black_box(&digest))));
+    c.bench_function("ecdsa/verify", |b| {
+        b.iter(|| assert!(pk.verify(black_box(&digest), black_box(&sig))))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Hash256> = (0..1024u64).map(|i| sha256d(&i.to_le_bytes())).collect();
+    c.bench_function("merkle/root_1024", |b| b.iter(|| merkle_root(black_box(&leaves))));
+    c.bench_function("merkle/extract_branch_1024", |b| {
+        b.iter(|| MerkleBranch::extract(black_box(&leaves), 700))
+    });
+    let branch = MerkleBranch::extract(&leaves, 700);
+    let root = merkle_root(&leaves);
+    // The EV hot path: fold a 10-sibling branch.
+    c.bench_function("merkle/fold_branch_1024", |b| {
+        b.iter(|| assert!(branch.verify(black_box(&leaves[700]), black_box(&root))))
+    });
+}
+
+fn bench_script(c: &mut Criterion) {
+    // The SV hot path: a full P2PKH spend (hashing + one ECDSA verify).
+    let sk = PrivateKey::from_seed(9);
+    let pk = sk.public_key();
+    let digest = sha256d(b"spend digest");
+    let lock = p2pkh_lock(&pk.address_hash());
+    let unlock = p2pkh_unlock(&sign_input(&sk, &digest), &pk.to_compressed());
+    let checker = DigestChecker::new(digest);
+    c.bench_function("script/p2pkh_verify_spend", |b| {
+        b.iter(|| verify_spend(black_box(&unlock), black_box(&lock), &checker).expect("valid"))
+    });
+
+    // Pure stack work, no crypto: 50 arithmetic ops.
+    let mut builder = Builder::new().push_int(0);
+    for i in 0..50 {
+        builder = builder.push_int(i).push_op(ebv_script::opcodes::OP_ADD);
+    }
+    let arith = builder.into_script();
+    c.bench_function("script/arith_50_ops", |b| {
+        b.iter(|| {
+            let mut e = ebv_script::Engine::new(&RejectAllChecker);
+            e.execute(black_box(&arith)).expect("valid")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hashing, bench_ecdsa, bench_merkle, bench_script
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Status-only chain application.
+//!
+//! For the growth figures (Figs. 1 and 14) the quantity of interest is the
+//! *size* of the status data over time, not validation speed, so this
+//! module applies blocks to the status representations without signatures
+//! or proofs: the UTXO set (baseline) and the bit-vector set (EBV) are
+//! updated directly from the chain's own contents.
+
+use ebv_chain::{Block, OutPoint};
+use ebv_core::bitvec::BitVectorSet;
+use ebv_store::{UtxoEntry, UtxoSet};
+use std::collections::HashMap;
+
+/// Tracks both status representations in lockstep over a baseline chain.
+pub struct StatusTracker {
+    pub utxos: UtxoSet,
+    pub bitvecs: BitVectorSet,
+    /// outpoint → (height, absolute position), retired when spent.
+    coords: HashMap<OutPoint, (u32, u32)>,
+    next_height: u32,
+}
+
+impl StatusTracker {
+    pub fn new(utxos: UtxoSet) -> StatusTracker {
+        StatusTracker { utxos, bitvecs: BitVectorSet::new(), coords: HashMap::new(), next_height: 0 }
+    }
+
+    /// Apply the next block (heights must be presented in order).
+    pub fn apply(&mut self, block: &Block) {
+        let height = self.next_height;
+        self.next_height += 1;
+
+        // Spends first (a block never spends its own outputs here).
+        for tx in block.transactions.iter().skip(1) {
+            for input in &tx.inputs {
+                let (h, pos) = self
+                    .coords
+                    .remove(&input.prevout)
+                    .expect("generated chains never double-spend");
+                self.bitvecs.spend(h, pos).expect("tracked coordinate is unspent");
+                // The UTXO delete needs the entry for exact size tracking.
+                let entry = self
+                    .utxos
+                    .fetch(&input.prevout)
+                    .expect("store io")
+                    .expect("tracked outpoint present");
+                self.utxos.delete(&input.prevout, &entry).expect("store io");
+            }
+        }
+
+        // Then inserts.
+        self.bitvecs.insert_block(height, block.output_count() as u32);
+        let mut position = 0u32;
+        for tx in &block.transactions {
+            let txid = tx.txid();
+            let coinbase = tx.is_coinbase();
+            for (vout, output) in tx.outputs.iter().enumerate() {
+                let outpoint = OutPoint::new(txid, vout as u32);
+                self.coords.insert(outpoint, (height, position));
+                self.utxos
+                    .insert(
+                        &outpoint,
+                        &UtxoEntry {
+                            value: output.value,
+                            locking_script: output.locking_script.clone(),
+                            height,
+                            position,
+                            coinbase,
+                        },
+                    )
+                    .expect("store io");
+                position += 1;
+            }
+        }
+    }
+
+    /// Heights applied so far.
+    pub fn height(&self) -> u32 {
+        self.next_height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebv_store::{KvStore, StoreConfig};
+    use ebv_workload::{ChainGenerator, GeneratorParams};
+
+    #[test]
+    fn both_representations_agree_on_unspent_count() {
+        let blocks = ChainGenerator::new(GeneratorParams::tiny(12, 3)).generate();
+        let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(8 << 20)).unwrap());
+        let mut tracker = StatusTracker::new(utxos);
+        for block in &blocks {
+            tracker.apply(block);
+        }
+        assert_eq!(tracker.height(), 13);
+        assert_eq!(tracker.utxos.size().count, tracker.bitvecs.total_unspent());
+        assert!(tracker.bitvecs.total_unspent() > 0);
+        // The optimized representation never exceeds the dense one.
+        let m = tracker.bitvecs.memory();
+        assert!(m.optimized <= m.unoptimized);
+        // And the bit-vector set is far smaller than the UTXO set.
+        assert!(m.unoptimized < tracker.utxos.size().bytes);
+    }
+}

@@ -1,0 +1,91 @@
+//! Minimal CLI parsing shared by the figure binaries (no external deps).
+
+/// Common knobs; each binary overrides the defaults that matter to it.
+#[derive(Clone, Copy, Debug)]
+pub struct CommonArgs {
+    pub blocks: u32,
+    pub seed: u64,
+    /// Cache budget in bytes for the baseline status database.
+    pub budget: usize,
+    /// Injected disk latency per random access, microseconds.
+    pub latency_us: u64,
+    /// Repetitions for multi-run figures.
+    pub runs: usize,
+}
+
+impl CommonArgs {
+    /// Parse `std::env::args`, starting from figure-specific defaults.
+    ///
+    /// Exits with a usage message on `--help` or a malformed flag.
+    pub fn parse(defaults: CommonArgs) -> CommonArgs {
+        let mut out = defaults;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = |i: usize| -> &str {
+                args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+            };
+            match flag {
+                "--blocks" => {
+                    out.blocks = parse_num(value(i), flag);
+                    i += 2;
+                }
+                "--seed" => {
+                    out.seed = parse_num(value(i), flag);
+                    i += 2;
+                }
+                "--budget" => {
+                    out.budget = parse_num::<u64>(value(i), flag) as usize;
+                    i += 2;
+                }
+                "--latency-us" => {
+                    out.latency_us = parse_num(value(i), flag);
+                    i += 2;
+                }
+                "--runs" => {
+                    out.runs = parse_num::<u64>(value(i), flag) as usize;
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R\n\
+                         defaults: {defaults:?}"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other} (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad numeric value {s:?} for {flag}");
+        std::process::exit(2);
+    })
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        // Scaled to the paper's regime: the cache budget is ~15 % of the
+        // final UTXO-set size (paper: 500 MB limit vs 4.3 GB set) and the
+        // injected latency is a ~5×-scaled-down HDD random access (paper:
+        // LevelDB on a 2 TB HDD).
+        CommonArgs {
+            blocks: 1040, // 26 quarters × 40, 13 periods × 80
+            seed: 1,
+            budget: 24 << 10,
+            latency_us: 1000,
+            runs: 5,
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 16 — block-validation time: Bitcoin vs EBV, and EBV's EV/UV/SV
+//! breakdown.
+//!
+//! The paper: under the same memory limit, EBV cuts per-block validation
+//! by up to 93.5 % (block 590004); inside EBV, EV and UV are negligible
+//! and SV dominates.
+
+use ebv_bench::{table, CommonArgs, Scenario};
+use ebv_core::{baseline_ibd, ebv_ibd};
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs::default());
+    println!(
+        "# Fig. 16 — validation time comparison over the last 10 blocks \
+         ({} blocks, budget {} KiB, latency {} µs, seed {})",
+        args.blocks,
+        args.budget / 1024,
+        args.latency_us,
+        args.seed
+    );
+
+    let scenario = Scenario::mainnet_like(&args);
+    let tail = 10usize.min(scenario.blocks.len() - 1);
+    let split = scenario.blocks.len() - tail;
+
+    // Baseline node, warmed to the split point.
+    let mut baseline = scenario.baseline_node(&args);
+    baseline_ibd(&mut baseline, &scenario.blocks[1..split], 1 << 20).expect("warmup");
+    // EBV node, warmed identically.
+    let mut ebv = scenario.ebv_node();
+    ebv_ibd(&mut ebv, &scenario.ebv_blocks[1..split], 1 << 20).expect("warmup");
+
+    println!("\n## Fig. 16a — per-block totals");
+    let cols =
+        [("height", 8), ("inputs", 8), ("bitcoin_ms", 11), ("ebv_ms", 9), ("reduction", 10)];
+    table::header(&cols);
+    let mut worst = (0.0f64, 0.0f64, 0.0f64); // (reduction, bitcoin, ebv)
+    let mut ebv_breakdowns = Vec::new();
+    for (base_block, ebv_block) in scenario.blocks[split..].iter().zip(&scenario.ebv_blocks[split..]) {
+        let bb = baseline.process_block(base_block).expect("baseline validates");
+        let eb = ebv.process_block(ebv_block).expect("ebv validates");
+        ebv_breakdowns.push((ebv.tip_height(), ebv_block.input_count(), eb));
+        let b_ms = bb.total().as_secs_f64() * 1000.0;
+        let e_ms = eb.total().as_secs_f64() * 1000.0;
+        let red = (1.0 - e_ms / b_ms) * 100.0;
+        if red > worst.0 {
+            worst = (red, b_ms, e_ms);
+        }
+        table::row(&[
+            (format!("{}", baseline.tip_height()), 8),
+            (format!("{}", base_block.input_count()), 8),
+            (format!("{b_ms:.1}"), 11),
+            (format!("{e_ms:.1}"), 9),
+            (format!("{red:.1}%"), 10),
+        ]);
+    }
+    println!(
+        "\nbest per-block reduction: {:.1}% ({:.1} ms → {:.1} ms); paper: 93.5% on its worst block",
+        worst.0, worst.1, worst.2
+    );
+
+    println!("\n## Fig. 16b — EBV validation-time breakdown");
+    let cols = [
+        ("height", 8),
+        ("inputs", 8),
+        ("ev_ms", 9),
+        ("uv_ms", 9),
+        ("sv_ms", 9),
+        ("others_ms", 10),
+    ];
+    table::header(&cols);
+    for (height, inputs, b) in &ebv_breakdowns {
+        table::row(&[
+            (format!("{height}"), 8),
+            (format!("{inputs}"), 8),
+            (table::ms(b.ev), 9),
+            (table::ms(b.uv), 9),
+            (table::ms(b.sv), 9),
+            (table::ms(b.others), 10),
+        ]);
+    }
+    println!("\npaper shape: EV and UV take little time; SV dominates EBV validation");
+}

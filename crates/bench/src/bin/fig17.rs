@@ -1,0 +1,109 @@
+//! Fig. 17 — IBD time: Bitcoin vs EBV, cumulative by period, over
+//! multiple runs; plus EBV's per-period EV/UV/SV breakdown.
+//!
+//! The paper: EBV cuts total IBD time by 38.5 % at block 650k, the gap
+//! widening with chain length; run-to-run variation is small; inside EBV,
+//! EV+UV are a tiny fraction and SV dominates.
+
+use ebv_bench::{table, CommonArgs, Scenario};
+use ebv_core::{baseline_ibd, ebv_ibd, EbvBreakdown};
+use std::time::Duration;
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs::default());
+    let n_periods = 13usize;
+    let period_len = (args.blocks as usize / n_periods).max(1);
+    println!(
+        "# Fig. 17 — IBD comparison ({} blocks, {} per period, budget {} KiB, latency {} µs, {} runs)",
+        args.blocks,
+        period_len,
+        args.budget / 1024,
+        args.latency_us,
+        args.runs
+    );
+
+    // Per run: cumulative wall time at each period boundary for both
+    // systems. The chain differs per seed (like separate experiment runs).
+    let mut base_cum: Vec<Vec<f64>> = Vec::new();
+    let mut ebv_cum: Vec<Vec<f64>> = Vec::new();
+    let mut ebv_break = EbvBreakdown::default();
+    let mut ebv_periods_acc: Vec<EbvBreakdown> = vec![EbvBreakdown::default(); 0];
+
+    for run in 0..args.runs {
+        let run_args = CommonArgs { seed: args.seed + run as u64, ..args };
+        let scenario = Scenario::mainnet_like(&run_args);
+
+        let mut baseline = scenario.baseline_node(&run_args);
+        let periods =
+            baseline_ibd(&mut baseline, &scenario.blocks[1..], period_len).expect("ibd");
+        base_cum.push(cumulative(periods.iter().map(|p| p.wall)));
+
+        let mut ebv = scenario.ebv_node();
+        let periods = ebv_ibd(&mut ebv, &scenario.ebv_blocks[1..], period_len).expect("ibd");
+        ebv_cum.push(cumulative(periods.iter().map(|p| p.wall)));
+        if ebv_periods_acc.is_empty() {
+            ebv_periods_acc = vec![EbvBreakdown::default(); periods.len()];
+        }
+        for (acc, p) in ebv_periods_acc.iter_mut().zip(&periods) {
+            *acc += p.breakdown;
+        }
+        ebv_break += ebv.cumulative_breakdown();
+    }
+
+    println!("\n## Fig. 17a — cumulative IBD seconds at each period boundary (mean [min–max] over runs)");
+    let cols = [("period", 8), ("bitcoin_s", 24), ("ebv_s", 24), ("reduction", 10)];
+    table::header(&cols);
+    let n_rows = base_cum[0].len();
+    let mut final_red = 0.0;
+    for i in 0..n_rows {
+        let b = stats(base_cum.iter().map(|r| r[i]));
+        let e = stats(ebv_cum.iter().map(|r| r[i]));
+        final_red = (1.0 - e.0 / b.0) * 100.0;
+        table::row(&[
+            (format!("{}", i + 1), 8),
+            (format!("{:.2} [{:.2}-{:.2}]", b.0, b.1, b.2), 24),
+            (format!("{:.2} [{:.2}-{:.2}]", e.0, e.1, e.2), 24),
+            (format!("{final_red:.1}%"), 10),
+        ]);
+    }
+    println!("\nfinal IBD reduction: {final_red:.1}%  (paper: 38.5% at block 650k)");
+
+    println!("\n## Fig. 17b — EBV IBD breakdown per period (summed over runs)");
+    let cols = [("period", 8), ("ev_s", 9), ("uv_s", 9), ("sv_s", 9), ("others_s", 10)];
+    table::header(&cols);
+    for (i, b) in ebv_periods_acc.iter().enumerate() {
+        table::row(&[
+            (format!("{}", i + 1), 8),
+            (table::secs(b.ev), 9),
+            (table::secs(b.uv), 9),
+            (table::secs(b.sv), 9),
+            (table::secs(b.others), 10),
+        ]);
+    }
+    let total = ebv_break.total().as_secs_f64();
+    if total > 0.0 {
+        println!(
+            "\nEV+UV share of EBV IBD: {:.1}%  (paper shape: a very small fraction; SV dominates)",
+            (ebv_break.ev + ebv_break.uv).as_secs_f64() / total * 100.0
+        );
+    }
+}
+
+fn cumulative(walls: impl Iterator<Item = Duration>) -> Vec<f64> {
+    let mut acc = 0.0;
+    walls
+        .map(|w| {
+            acc += w.as_secs_f64();
+            acc
+        })
+        .collect()
+}
+
+/// (mean, min, max)
+fn stats(values: impl Iterator<Item = f64>) -> (f64, f64, f64) {
+    let v: Vec<f64> = values.collect();
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (mean, min, max)
+}

@@ -1,0 +1,89 @@
+//! Proof overhead — the cost side of EBV that §VII contrasts with
+//! Utreexo/Edrax: every input carries `MBr + ELs + height + position`.
+//! This table reports serialized block sizes in both formats, the per-input
+//! proof size, and how branch length scales with block size (logarithmic,
+//! unlike Utreexo's UTXO-count-dependent proofs).
+
+use ebv_bench::{table, CommonArgs, Scenario};
+use ebv_primitives::encode::Encodable;
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs { blocks: 400, ..Default::default() });
+    println!(
+        "# Proof overhead — baseline vs EBV serialized sizes ({} blocks, seed {})",
+        args.blocks, args.seed
+    );
+    let scenario = Scenario::mainnet_like(&args);
+
+    let cols = [
+        ("span", 12),
+        ("base_kib", 10),
+        ("ebv_kib", 10),
+        ("overhead", 10),
+        ("proof_b/input", 14),
+        ("avg_siblings", 13),
+    ];
+    table::header(&cols);
+
+    let span = (scenario.blocks.len() / 8).max(1);
+    let mut grand = (0u64, 0u64, 0u64, 0u64, 0u64); // base, ebv, proof bytes, inputs, siblings
+    for (chunk_base, chunk_ebv) in scenario
+        .blocks
+        .chunks(span)
+        .zip(scenario.ebv_blocks.chunks(span))
+    {
+        let base_bytes: u64 = chunk_base.iter().map(|b| b.encoded_len() as u64).sum();
+        let ebv_bytes: u64 = chunk_ebv.iter().map(|b| b.encoded_len() as u64).sum();
+        let mut proof_bytes = 0u64;
+        let mut inputs = 0u64;
+        let mut siblings = 0u64;
+        for block in chunk_ebv {
+            for tx in block.transactions.iter().skip(1) {
+                for body in &tx.bodies {
+                    let proof = body.proof.as_ref().expect("spend proof");
+                    proof_bytes += proof.proof_size() as u64;
+                    siblings += proof.mbr.siblings.len() as u64;
+                    inputs += 1;
+                }
+            }
+        }
+        grand.0 += base_bytes;
+        grand.1 += ebv_bytes;
+        grand.2 += proof_bytes;
+        grand.3 += inputs;
+        grand.4 += siblings;
+        let first = chunk_base[0].header.time;
+        let last = first + chunk_base.len() as u32 - 1;
+        table::row(&[
+            (format!("{first}-{last}"), 12),
+            (format!("{:.1}", base_bytes as f64 / 1024.0), 10),
+            (format!("{:.1}", ebv_bytes as f64 / 1024.0), 10),
+            (format!("{:.2}x", ebv_bytes as f64 / base_bytes as f64), 10),
+            (
+                if inputs > 0 { format!("{}", proof_bytes / inputs) } else { "-".into() },
+                14,
+            ),
+            (
+                if inputs > 0 {
+                    format!("{:.1}", siblings as f64 / inputs as f64)
+                } else {
+                    "-".into()
+                },
+                13,
+            ),
+        ]);
+    }
+
+    println!(
+        "\ntotals: baseline {:.1} KiB, EBV {:.1} KiB ({:.2}×); {} inputs, {} proof bytes/input",
+        grand.0 as f64 / 1024.0,
+        grand.1 as f64 / 1024.0,
+        grand.1 as f64 / grand.0 as f64,
+        grand.3,
+        if grand.3 > 0 { grand.2 / grand.3 } else { 0 },
+    );
+    println!(
+        "EBV trades block size for validation locality; branch length grows with log2(txs/block), \
+         not with the UTXO count (contrast Utreexo, §VII-B)"
+    );
+}

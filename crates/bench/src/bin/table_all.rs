@@ -1,0 +1,32 @@
+//! Run every figure binary's logic at smoke scale — a one-shot check that
+//! the whole harness works end to end. For full-scale runs use the
+//! individual `figNN` binaries (see DESIGN.md §3 for the index).
+
+use std::process::Command;
+
+fn main() {
+    let figs = [
+        "fig01", "fig04", "fig05", "fig14", "fig15", "fig16", "fig17", "fig18", "ablation",
+        "overhead",
+    ];
+    // Smoke-scale knobs keep the whole suite to a few minutes on a laptop
+    // core: short chain, small budget, light latency, 2 runs.
+    let flags: &[&str] = &[
+        "--blocks", "130", "--budget", "16384", "--latency-us", "200", "--runs", "2",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a directory")
+        .to_path_buf();
+
+    for fig in figs {
+        println!("\n=============================== {fig} ===============================");
+        let status = Command::new(exe_dir.join(fig))
+            .args(flags)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        assert!(status.success(), "{fig} exited with {status}");
+    }
+    println!("\nall figures regenerated at smoke scale");
+}

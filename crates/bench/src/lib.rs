@@ -1,0 +1,26 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary regenerates one table/figure of the paper (see DESIGN.md
+//! §3 for the index) and accepts the same CLI knobs:
+//!
+//! ```text
+//! --blocks N        chain length (default per figure)
+//! --seed S          generator seed (default 1)
+//! --budget BYTES    status-database cache budget (baseline node)
+//! --latency-us US   injected disk latency per random access
+//! --runs R          repetitions for boxplot-style figures
+//! ```
+//!
+//! Scale note: the paper runs Bitcoin mainnet (650k blocks, 4.3 GB UTXO
+//! set, HDD). This harness runs generated chains scaled down ~250×, with
+//! the cache budget scaled to a similar fraction of the final set size
+//! and the latency knob standing in for HDD seeks. Shapes, not absolute
+//! numbers, are the reproduction target (EXPERIMENTS.md).
+
+pub mod apply;
+pub mod args;
+pub mod scenario;
+pub mod table;
+
+pub use args::CommonArgs;
+pub use scenario::Scenario;

@@ -1,0 +1,58 @@
+//! Fixed-width table printing for figure output.
+
+/// Print a header row followed by a rule.
+pub fn header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, width) in cols {
+        line.push_str(&format!("{name:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+    println!("{}", "-".repeat(line.trim_end().len()));
+}
+
+/// Print one row of already formatted cells with the same widths.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, width) in cells {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Format a byte count as MB with two decimals.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Format a duration as milliseconds with one decimal.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1000.0)
+}
+
+/// Format a duration as seconds with two decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Percentage reduction from `from` to `to` (positive = improvement).
+pub fn reduction_pct(from: f64, to: f64) -> String {
+    if from <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:.1}%", (1.0 - to / from) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(mb(1024 * 1024), "1.00");
+        assert_eq!(mb(1536 * 1024), "1.50");
+        assert_eq!(ms(std::time::Duration::from_micros(12_345)), "12.3");
+        assert_eq!(secs(std::time::Duration::from_millis(2500)), "2.50");
+        assert_eq!(reduction_pct(100.0, 6.5), "93.5%");
+        assert_eq!(reduction_pct(0.0, 5.0), "n/a");
+    }
+}

@@ -1,0 +1,283 @@
+//! Block headers, blocks and proof-of-work.
+//!
+//! Headers are the only chain data an EBV validator needs on hand for
+//! Existence Validation, so they are deliberately small (80 bytes, as in
+//! Bitcoin). Proof-of-work uses a leading-zero-bits target; the workload
+//! generator mines at trivial difficulty, but validation checks the
+//! committed difficulty for real.
+
+use crate::merkle::merkle_root;
+use crate::transaction::Transaction;
+use ebv_primitives::encode::{Decodable, DecodeError, Encodable, Reader};
+use ebv_primitives::hash::{sha256d, Hash256};
+
+/// A block header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockHeader {
+    pub version: u32,
+    pub prev_block_hash: Hash256,
+    pub merkle_root: Hash256,
+    /// Seconds since epoch (synthetic time in generated chains).
+    pub time: u32,
+    /// Required number of leading zero bits in the block hash.
+    pub bits: u32,
+    pub nonce: u32,
+}
+
+impl BlockHeader {
+    /// The block hash: double-SHA256 of the 80-byte header serialization.
+    pub fn hash(&self) -> Hash256 {
+        sha256d(&self.to_bytes())
+    }
+
+    /// Check the proof-of-work claim: the hash must have at least `bits`
+    /// leading zero bits.
+    pub fn meets_target(&self) -> bool {
+        leading_zero_bits(&self.hash()) >= self.bits
+    }
+}
+
+/// Count leading zero bits of a hash (big-endian byte order).
+pub fn leading_zero_bits(h: &Hash256) -> u32 {
+    let mut count = 0u32;
+    for &b in h.as_bytes() {
+        if b == 0 {
+            count += 8;
+        } else {
+            count += b.leading_zeros();
+            break;
+        }
+    }
+    count
+}
+
+impl Encodable for BlockHeader {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.version.encode(out);
+        self.prev_block_hash.encode(out);
+        self.merkle_root.encode(out);
+        self.time.encode(out);
+        self.bits.encode(out);
+        self.nonce.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        80
+    }
+}
+
+impl Decodable for BlockHeader {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(BlockHeader {
+            version: u32::decode(r)?,
+            prev_block_hash: Hash256::decode(r)?,
+            merkle_root: Hash256::decode(r)?,
+            time: u32::decode(r)?,
+            bits: u32::decode(r)?,
+            nonce: u32::decode(r)?,
+        })
+    }
+}
+
+/// A baseline-format block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    pub header: BlockHeader,
+    pub transactions: Vec<Transaction>,
+}
+
+impl Block {
+    /// The Merkle root implied by the transactions (leaves are txids).
+    pub fn compute_merkle_root(&self) -> Hash256 {
+        let leaves: Vec<Hash256> = self.transactions.iter().map(Transaction::txid).collect();
+        merkle_root(&leaves)
+    }
+
+    /// Structural checks that do not need any chain context: non-empty,
+    /// first (and only first) transaction is coinbase, Merkle root matches,
+    /// PoW target met.
+    pub fn check_structure(&self) -> Result<(), BlockStructureError> {
+        if self.transactions.is_empty() {
+            return Err(BlockStructureError::Empty);
+        }
+        if !self.transactions[0].is_coinbase() {
+            return Err(BlockStructureError::FirstNotCoinbase);
+        }
+        if self.transactions[1..].iter().any(Transaction::is_coinbase) {
+            return Err(BlockStructureError::ExtraCoinbase);
+        }
+        if self.compute_merkle_root() != self.header.merkle_root {
+            return Err(BlockStructureError::MerkleMismatch);
+        }
+        if !self.header.meets_target() {
+            return Err(BlockStructureError::InsufficientWork);
+        }
+        Ok(())
+    }
+
+    /// Total number of inputs, excluding the coinbase input — the quantity
+    /// the paper plots against validation time (Figs. 4b, 15).
+    pub fn input_count(&self) -> usize {
+        self.transactions.iter().skip(1).map(|tx| tx.inputs.len()).sum()
+    }
+
+    /// Total number of outputs across all transactions (bit-vector width).
+    pub fn output_count(&self) -> usize {
+        self.transactions.iter().map(|tx| tx.outputs.len()).sum()
+    }
+}
+
+impl Encodable for Block {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.header.encode(out);
+        self.transactions.encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        80 + self.transactions.encoded_len()
+    }
+}
+
+impl Decodable for Block {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Block { header: BlockHeader::decode(r)?, transactions: Vec::decode(r)? })
+    }
+}
+
+/// Context-free block validity failures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BlockStructureError {
+    Empty,
+    FirstNotCoinbase,
+    ExtraCoinbase,
+    MerkleMismatch,
+    InsufficientWork,
+}
+
+impl std::fmt::Display for BlockStructureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for BlockStructureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, TxIn, TxOut};
+    use ebv_script::{Builder, Script};
+
+    fn coinbase(height: u32) -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxIn::new(
+                OutPoint::NULL,
+                Builder::new().push_int(height as i64).into_script(),
+            )],
+            outputs: vec![TxOut::new(50_0000_0000, Script::new())],
+            lock_time: 0,
+        }
+    }
+
+    fn spend_tx() -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxIn::new(OutPoint::new(sha256d(b"prev"), 0), Script::new())],
+            outputs: vec![TxOut::new(1, Script::new()), TxOut::new(2, Script::new())],
+            lock_time: 0,
+        }
+    }
+
+    fn mined_block(txs: Vec<Transaction>, bits: u32) -> Block {
+        let leaves: Vec<Hash256> = txs.iter().map(Transaction::txid).collect();
+        let mut header = BlockHeader {
+            version: 1,
+            prev_block_hash: Hash256::ZERO,
+            merkle_root: merkle_root(&leaves),
+            time: 0,
+            bits,
+            nonce: 0,
+        };
+        while !header.meets_target() {
+            header.nonce += 1;
+        }
+        Block { header, transactions: txs }
+    }
+
+    #[test]
+    fn header_is_80_bytes() {
+        let b = mined_block(vec![coinbase(0)], 0);
+        assert_eq!(b.header.to_bytes().len(), 80);
+        assert_eq!(b.header.encoded_len(), 80);
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let b = mined_block(vec![coinbase(0)], 4);
+        let h2 = BlockHeader::from_bytes(&b.header.to_bytes()).unwrap();
+        assert_eq!(h2, b.header);
+        assert_eq!(h2.hash(), b.header.hash());
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let b = mined_block(vec![coinbase(1), spend_tx()], 4);
+        assert_eq!(Block::from_bytes(&b.to_bytes()).unwrap(), b);
+    }
+
+    #[test]
+    fn structure_ok() {
+        let b = mined_block(vec![coinbase(1), spend_tx()], 4);
+        assert!(b.check_structure().is_ok());
+        assert_eq!(b.input_count(), 1);
+        assert_eq!(b.output_count(), 3);
+    }
+
+    #[test]
+    fn structure_rejects_missing_coinbase() {
+        let b = mined_block(vec![spend_tx()], 0);
+        assert_eq!(b.check_structure(), Err(BlockStructureError::FirstNotCoinbase));
+    }
+
+    #[test]
+    fn structure_rejects_extra_coinbase() {
+        let b = mined_block(vec![coinbase(1), coinbase(2)], 0);
+        assert_eq!(b.check_structure(), Err(BlockStructureError::ExtraCoinbase));
+    }
+
+    #[test]
+    fn structure_rejects_merkle_mismatch() {
+        let mut b = mined_block(vec![coinbase(1), spend_tx()], 0);
+        b.header.merkle_root = sha256d(b"wrong");
+        // Re-mining not needed at bits=0; the merkle check fires first.
+        assert_eq!(b.check_structure(), Err(BlockStructureError::MerkleMismatch));
+    }
+
+    #[test]
+    fn structure_rejects_insufficient_work() {
+        let mut b = mined_block(vec![coinbase(1)], 0);
+        // Demand far more work than the found nonce provides.
+        b.header.bits = 200;
+        // Keep merkle valid; only PoW fails (hash has < 200 zero bits with
+        // overwhelming probability).
+        assert_eq!(b.check_structure(), Err(BlockStructureError::InsufficientWork));
+    }
+
+    #[test]
+    fn leading_zero_bits_counts() {
+        assert_eq!(leading_zero_bits(&Hash256::ZERO), 256);
+        let mut h = [0u8; 32];
+        h[0] = 0x01;
+        assert_eq!(leading_zero_bits(&Hash256::from_bytes(h)), 7);
+        h[0] = 0x80;
+        assert_eq!(leading_zero_bits(&Hash256::from_bytes(h)), 0);
+        h[0] = 0;
+        h[1] = 0x10;
+        assert_eq!(leading_zero_bits(&Hash256::from_bytes(h)), 11);
+    }
+
+    #[test]
+    fn mining_finds_target() {
+        let b = mined_block(vec![coinbase(9)], 8);
+        assert!(leading_zero_bits(&b.header.hash()) >= 8);
+    }
+}

@@ -1,0 +1,158 @@
+//! In-memory chain storage: the append-only block file plus the header
+//! index every node keeps.
+//!
+//! Headers (80 bytes each) are always memory-resident — in EBV they are the
+//! trust anchor for Existence Validation. Full blocks are kept too; block
+//! *bodies* are not part of the status data whose memory footprint the
+//! paper measures (they live in block files on disk in real deployments,
+//! identical for Bitcoin and EBV).
+
+use crate::block::{Block, BlockHeader};
+use ebv_primitives::hash::Hash256;
+use std::collections::HashMap;
+
+/// Errors when appending to the chain.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChainError {
+    /// The block's `prev_block_hash` does not match the current tip.
+    NotOnTip,
+    /// Queried height is beyond the tip.
+    UnknownHeight(u32),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::NotOnTip => write!(f, "block does not extend the tip"),
+            ChainError::UnknownHeight(h) => write!(f, "no block at height {h}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// Linear main-chain storage (no reorg support — the experiments replay
+/// fixed chains, matching the paper's IBD setting).
+pub struct ChainStore {
+    blocks: Vec<Block>,
+    by_hash: HashMap<Hash256, u32>,
+}
+
+impl ChainStore {
+    /// Start a chain from its genesis block.
+    pub fn new(genesis: Block) -> ChainStore {
+        let mut store = ChainStore { blocks: Vec::new(), by_hash: HashMap::new() };
+        store.by_hash.insert(genesis.header.hash(), 0);
+        store.blocks.push(genesis);
+        store
+    }
+
+    /// Number of blocks (tip height + 1).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // a chain always has its genesis
+    }
+
+    /// Height of the tip.
+    pub fn tip_height(&self) -> u32 {
+        (self.blocks.len() - 1) as u32
+    }
+
+    /// Hash of the tip block.
+    pub fn tip_hash(&self) -> Hash256 {
+        self.blocks.last().expect("genesis always present").header.hash()
+    }
+
+    /// Append a block that must extend the tip.
+    pub fn append(&mut self, block: Block) -> Result<u32, ChainError> {
+        if block.header.prev_block_hash != self.tip_hash() {
+            return Err(ChainError::NotOnTip);
+        }
+        let height = self.blocks.len() as u32;
+        self.by_hash.insert(block.header.hash(), height);
+        self.blocks.push(block);
+        Ok(height)
+    }
+
+    /// The block at `height`.
+    pub fn block_at(&self, height: u32) -> Result<&Block, ChainError> {
+        self.blocks.get(height as usize).ok_or(ChainError::UnknownHeight(height))
+    }
+
+    /// The header at `height` (the EV lookup).
+    pub fn header_at(&self, height: u32) -> Result<&BlockHeader, ChainError> {
+        Ok(&self.block_at(height)?.header)
+    }
+
+    /// Look up a block's height by hash.
+    pub fn height_of(&self, hash: &Hash256) -> Option<u32> {
+        self.by_hash.get(hash).copied()
+    }
+
+    /// Iterate blocks in height order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Block)> {
+        self.blocks.iter().enumerate().map(|(h, b)| (h as u32, b))
+    }
+
+    /// Total serialized size of all headers — part of the (shared) memory
+    /// baseline both systems carry.
+    pub fn headers_size(&self) -> usize {
+        self.blocks.len() * 80
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_block, coinbase_tx, genesis_block};
+    use ebv_script::Script;
+
+    fn extend(store: &mut ChainStore, n: usize) {
+        for _ in 0..n {
+            let h = store.tip_height() + 1;
+            let cb = coinbase_tx(h, Script::new(), Vec::new());
+            let b = build_block(store.tip_hash(), cb, Vec::new(), h, 0);
+            store.append(b).unwrap();
+        }
+    }
+
+    #[test]
+    fn genesis_chain() {
+        let store = ChainStore::new(genesis_block());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.tip_height(), 0);
+        assert_eq!(store.height_of(&store.tip_hash()), Some(0));
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let mut store = ChainStore::new(genesis_block());
+        extend(&mut store, 5);
+        assert_eq!(store.tip_height(), 5);
+        for h in 0..=5u32 {
+            let block = store.block_at(h).unwrap();
+            assert_eq!(store.height_of(&block.header.hash()), Some(h));
+            assert_eq!(store.header_at(h).unwrap(), &block.header);
+        }
+        assert_eq!(store.headers_size(), 6 * 80);
+    }
+
+    #[test]
+    fn rejects_non_tip_block() {
+        let mut store = ChainStore::new(genesis_block());
+        extend(&mut store, 2);
+        // A block pointing at genesis, not the tip.
+        let cb = coinbase_tx(99, Script::new(), Vec::new());
+        let orphan = build_block(store.block_at(0).unwrap().header.hash(), cb, Vec::new(), 9, 0);
+        assert_eq!(store.append(orphan), Err(ChainError::NotOnTip));
+    }
+
+    #[test]
+    fn unknown_height_errors() {
+        let store = ChainStore::new(genesis_block());
+        assert_eq!(store.block_at(3).unwrap_err(), ChainError::UnknownHeight(3));
+    }
+}

@@ -1,0 +1,557 @@
+//! The EBV validator node (paper §IV).
+//!
+//! State kept in memory: the header chain (80 bytes/block) and the
+//! bit-vector set. Block validation never touches a database:
+//!
+//! * **EV** — fold each input's Merkle branch from its `ELs` leaf and
+//!   compare against the stored header of the claimed height;
+//! * **UV** — probe the bit at `(height, stake + relative)`;
+//! * **SV** — run `Us` against the locking script found in `ELs`, with the
+//!   shared spend digest; parallelized across inputs with rayon;
+//! * stake positions of the incoming block are recomputed and compared,
+//!   defeating fake-position attacks at packaging time.
+
+use crate::bitvec::{BitVectorSet, BitVectorSetSize, UvError};
+use crate::metrics::EbvBreakdown;
+use crate::sighash::DigestChecker;
+use crate::tidy::{EbvBlock, EbvTransaction, TxIntegrityError};
+use ebv_chain::transaction::spend_sighash;
+use ebv_chain::{BlockHeader, BLOCK_SUBSIDY};
+use ebv_primitives::hash::Hash256;
+use ebv_script::{verify_spend, Script, ScriptError};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Why an EBV block was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EbvError {
+    /// `prev_block_hash` does not extend the tip.
+    NotOnTip,
+    /// Header fails its own PoW claim.
+    InsufficientWork,
+    /// Merkle root does not match the tidy leaves.
+    MerkleMismatch,
+    /// Block has no transactions or a malformed coinbase position.
+    BadCoinbase,
+    /// A transaction's stake position differs from the recomputed value.
+    StakeMismatch { tx: usize, expected: u32, got: u32 },
+    /// Body/hash integrity failure.
+    Integrity { tx: usize, err: TxIntegrityError },
+    /// An input spends an output from a non-existent or future block.
+    BadHeight { tx: usize, input: usize, height: u32 },
+    /// Existence Validation failed: branch does not fold to the header
+    /// root.
+    EvFailed { tx: usize, input: usize },
+    /// The claimed relative position is outside `ELs`'s outputs.
+    PositionOutOfEls { tx: usize, input: usize },
+    /// Unspent Validation failed.
+    UvFailed { tx: usize, input: usize, err: UvError },
+    /// Two inputs of this block spend the same output.
+    DuplicateSpend { height: u32, position: u32 },
+    /// Script Validation failed.
+    SvFailed { tx: usize, input: usize, err: ScriptError },
+    /// Inputs are worth less than outputs.
+    ValueImbalance { tx: usize },
+    /// Coinbase claims more than subsidy + fees.
+    ExcessiveCoinbase,
+}
+
+impl std::fmt::Display for EbvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for EbvError {}
+
+/// Tuning knobs (ablations).
+#[derive(Clone, Copy, Debug)]
+pub struct EbvConfig {
+    /// Verify scripts across inputs in parallel.
+    pub parallel_sv: bool,
+    /// Check the header PoW (disabled in some microbenches).
+    pub check_pow: bool,
+}
+
+impl Default for EbvConfig {
+    fn default() -> Self {
+        EbvConfig { parallel_sv: true, check_pow: true }
+    }
+}
+
+/// Undo data for one connected block: everything needed to disconnect it
+/// again (the EBV analogue of Bitcoin's undo files, kept in memory here).
+#[derive(Clone, Debug, Default)]
+pub struct BlockUndo {
+    /// Coordinates this block spent, in application order.
+    spends: Vec<(u32, u32)>,
+    /// Vectors deleted because this block's spends emptied them:
+    /// `(height, output count)`.
+    deleted_vectors: Vec<(u32, u32)>,
+    /// Output count of the block itself (its own vector's width).
+    outputs: u32,
+}
+
+/// The EBV node: headers + bit-vector set, nothing else.
+pub struct EbvNode {
+    headers: Vec<BlockHeader>,
+    bitvecs: BitVectorSet,
+    config: EbvConfig,
+    /// Undo records, one per non-genesis connected block.
+    undo_stack: Vec<BlockUndo>,
+    /// Cumulative validation-time breakdown across all processed blocks.
+    cumulative: EbvBreakdown,
+}
+
+impl EbvNode {
+    /// Boot from a genesis block (validated structurally only).
+    pub fn new(genesis: &EbvBlock, config: EbvConfig) -> EbvNode {
+        let mut node = EbvNode {
+            headers: vec![genesis.header],
+            bitvecs: BitVectorSet::new(),
+            config,
+            undo_stack: Vec::new(),
+            cumulative: EbvBreakdown::default(),
+        };
+        node.bitvecs.insert_block(0, genesis.output_count());
+        node
+    }
+
+    /// Height of the best block.
+    pub fn tip_height(&self) -> u32 {
+        (self.headers.len() - 1) as u32
+    }
+
+    /// Hash of the best block's header.
+    pub fn tip_hash(&self) -> Hash256 {
+        self.headers.last().expect("genesis present").hash()
+    }
+
+    /// The stored header at `height`, if within the chain.
+    pub fn header_at(&self, height: u32) -> Option<&BlockHeader> {
+        self.headers.get(height as usize)
+    }
+
+    /// Memory requirement of the status data (bit-vector set).
+    pub fn status_memory(&self) -> BitVectorSetSize {
+        self.bitvecs.memory()
+    }
+
+    /// Outputs still unspent across all blocks.
+    pub fn total_unspent(&self) -> u64 {
+        self.bitvecs.total_unspent()
+    }
+
+    /// Direct bit-vector access (tests, figures).
+    pub fn bitvecs(&self) -> &BitVectorSet {
+        &self.bitvecs
+    }
+
+    /// Total validation time spent, by phase, since boot.
+    pub fn cumulative_breakdown(&self) -> EbvBreakdown {
+        self.cumulative
+    }
+
+    /// Validate `block` and, if valid, append it (storing the header and
+    /// updating the bit-vector set). Returns the per-phase timing.
+    pub fn process_block(&mut self, block: &EbvBlock) -> Result<EbvBreakdown, EbvError> {
+        let mut breakdown = EbvBreakdown::default();
+        let new_height = self.headers.len() as u32;
+
+        // ---- "others": structural checks ------------------------------
+        let t_others = Instant::now();
+        if block.header.prev_block_hash != self.tip_hash() {
+            return Err(EbvError::NotOnTip);
+        }
+        if self.config.check_pow && !block.header.meets_target() {
+            return Err(EbvError::InsufficientWork);
+        }
+        if block.transactions.is_empty() || !block.transactions[0].is_coinbase() {
+            return Err(EbvError::BadCoinbase);
+        }
+        if block.transactions[1..].iter().any(EbvTransaction::is_coinbase) {
+            return Err(EbvError::BadCoinbase);
+        }
+        let stakes = block.expected_stake_positions();
+        for (i, tx) in block.transactions.iter().enumerate() {
+            if tx.tidy.stake_position != stakes[i] {
+                return Err(EbvError::StakeMismatch {
+                    tx: i,
+                    expected: stakes[i],
+                    got: tx.tidy.stake_position,
+                });
+            }
+            tx.check_integrity().map_err(|err| EbvError::Integrity { tx: i, err })?;
+        }
+        if block.compute_merkle_root() != block.header.merkle_root {
+            return Err(EbvError::MerkleMismatch);
+        }
+        breakdown.others += t_others.elapsed();
+
+        // ---- EV: Merkle branches against stored headers ----------------
+        let t_ev = Instant::now();
+        for (i, tx) in block.transactions.iter().enumerate().skip(1) {
+            for (j, body) in tx.bodies.iter().enumerate() {
+                let proof = body.proof.as_ref().expect("non-coinbase checked in integrity");
+                let Some(header) = self.header_at(proof.height) else {
+                    return Err(EbvError::BadHeight { tx: i, input: j, height: proof.height });
+                };
+                if proof.height >= new_height {
+                    return Err(EbvError::BadHeight { tx: i, input: j, height: proof.height });
+                }
+                if !proof.mbr.verify(&proof.els.leaf_hash(), &header.merkle_root) {
+                    return Err(EbvError::EvFailed { tx: i, input: j });
+                }
+                if proof.spent_output().is_none() {
+                    return Err(EbvError::PositionOutOfEls { tx: i, input: j });
+                }
+            }
+        }
+        breakdown.ev += t_ev.elapsed();
+
+        // ---- UV: bit probes + intra-block duplicate detection ----------
+        let t_uv = Instant::now();
+        let mut spends: Vec<(u32, u32)> = Vec::with_capacity(block.input_count());
+        {
+            let mut seen = std::collections::HashSet::with_capacity(block.input_count());
+            for (i, tx) in block.transactions.iter().enumerate().skip(1) {
+                for (j, body) in tx.bodies.iter().enumerate() {
+                    let proof = body.proof.as_ref().expect("checked");
+                    let coord = (proof.height, proof.absolute_position());
+                    self.bitvecs
+                        .check_unspent(coord.0, coord.1)
+                        .map_err(|err| EbvError::UvFailed { tx: i, input: j, err })?;
+                    if !seen.insert(coord) {
+                        return Err(EbvError::DuplicateSpend { height: coord.0, position: coord.1 });
+                    }
+                    spends.push(coord);
+                }
+            }
+        }
+        breakdown.uv += t_uv.elapsed();
+
+        // ---- value conservation (part of "others") ---------------------
+        let t_val = Instant::now();
+        let mut total_fees = 0u64;
+        for (i, tx) in block.transactions.iter().enumerate().skip(1) {
+            let in_value: u64 = tx
+                .bodies
+                .iter()
+                .map(|b| b.proof.as_ref().expect("checked").spent_output().expect("checked").value)
+                .fold(0u64, u64::saturating_add);
+            let out_value = tx.tidy.total_output_value();
+            if in_value < out_value {
+                return Err(EbvError::ValueImbalance { tx: i });
+            }
+            total_fees = total_fees.saturating_add(in_value - out_value);
+        }
+        let coinbase_out = block.transactions[0].tidy.total_output_value();
+        if coinbase_out > BLOCK_SUBSIDY.saturating_add(total_fees) {
+            return Err(EbvError::ExcessiveCoinbase);
+        }
+        breakdown.others += t_val.elapsed();
+
+        // ---- SV: scripts, parallel across inputs ------------------------
+        let t_sv = Instant::now();
+        let jobs: Vec<(usize, usize, &Script, &Script, Hash256, u32)> = block
+            .transactions
+            .iter()
+            .enumerate()
+            .skip(1)
+            .flat_map(|(i, tx)| {
+                let coords = tx.spent_coords().expect("non-coinbase");
+                tx.bodies.iter().enumerate().map(move |(j, body)| {
+                    let proof = body.proof.as_ref().expect("checked");
+                    let digest = spend_sighash(
+                        tx.tidy.version,
+                        &coords,
+                        &tx.tidy.outputs,
+                        tx.tidy.lock_time,
+                        j as u32,
+                    );
+                    let lock = &proof.spent_output().expect("checked").locking_script;
+                    (i, j, &body.us, lock, digest, tx.tidy.lock_time)
+                })
+            })
+            .collect();
+        let run_one =
+            |&(i, j, us, lock, digest, lt): &(usize, usize, &Script, &Script, Hash256, u32)| {
+                verify_spend(us, lock, &DigestChecker::with_lock_time(digest, lt))
+                    .map_err(|err| EbvError::SvFailed { tx: i, input: j, err })
+            };
+        let sv_result: Result<(), EbvError> = if self.config.parallel_sv {
+            jobs.par_iter().map(run_one).collect()
+        } else {
+            jobs.iter().map(run_one).collect()
+        };
+        sv_result?;
+        breakdown.sv += t_sv.elapsed();
+
+        // ---- commit: store header, new vector, apply spends -------------
+        let t_commit = Instant::now();
+        self.headers.push(block.header);
+        let outputs = block.output_count();
+        self.bitvecs.insert_block(new_height, outputs);
+        let mut undo =
+            BlockUndo { spends: Vec::with_capacity(spends.len()), deleted_vectors: Vec::new(), outputs };
+        for (height, position) in spends {
+            let deleted = self
+                .bitvecs
+                .spend(height, position)
+                .expect("probed unspent and deduplicated above");
+            undo.spends.push((height, position));
+            if let Some(len) = deleted {
+                undo.deleted_vectors.push((height, len));
+            }
+        }
+        self.undo_stack.push(undo);
+        breakdown.uv += t_commit.elapsed();
+
+        self.cumulative += breakdown;
+        Ok(breakdown)
+    }
+
+    /// Disconnect the tip block, restoring the previous state (the reorg
+    /// primitive; the paper's experiments replay linear chains, so this is
+    /// exercised by tests rather than figures). Returns the new tip
+    /// height, or `None` if only the genesis block remains.
+    pub fn disconnect_tip(&mut self) -> Option<u32> {
+        let undo = self.undo_stack.pop()?;
+        let tip_height = self.tip_height();
+        self.headers.pop();
+        // The tip's own vector always exists: no later block can have
+        // spent from it, and it has at least the coinbase output.
+        debug_assert_eq!(
+            self.bitvecs.vector(tip_height).map(|v| v.len()),
+            Some(undo.outputs),
+            "tip vector must be intact at disconnect"
+        );
+        self.bitvecs.remove_block(tip_height);
+        // Restore fully-spent vectors this block deleted, then re-set all
+        // of its spends (reverse order for symmetry; operations commute).
+        for &(height, len) in &undo.deleted_vectors {
+            self.bitvecs.insert_all_spent(height, len);
+        }
+        for &(height, position) in undo.spends.iter().rev() {
+            self.bitvecs
+                .unspend(height, position)
+                .expect("undo data mirrors applied spends");
+        }
+        Some(self.tip_height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{ebv_coinbase, pack_ebv_block};
+    use crate::proofs::ProofArchive;
+    use crate::tidy::InputBody;
+    use ebv_chain::transaction::TxOut;
+    use ebv_primitives::ec::PrivateKey;
+    use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
+
+    /// Build a 2-block chain: genesis pays the miner, block 1 spends the
+    /// genesis coinbase output. Returns (node pre-block-1, block 1).
+    fn two_block_fixture() -> (EbvNode, EbvBlock, ProofArchive) {
+        let sk = PrivateKey::from_seed(100);
+        let pk = sk.public_key();
+        let genesis_cb = ebv_coinbase(0, p2pkh_lock(&pk.address_hash()));
+        let genesis = pack_ebv_block(Hash256::ZERO, vec![genesis_cb], 0, 0);
+        let mut archive = ProofArchive::new();
+        archive.add_block(0, &genesis);
+
+        let node = EbvNode::new(&genesis, EbvConfig::default());
+
+        // Spend genesis coinbase output (height 0, abs position 0).
+        let proof = archive.make_proof(0, 0).expect("genesis output exists");
+        let recipient = PrivateKey::from_seed(101).public_key();
+        let outputs = vec![TxOut::new(BLOCK_SUBSIDY - 1000, p2pkh_lock(&recipient.address_hash()))];
+        let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+        let us = p2pkh_unlock(&crate::sighash::sign_input(&sk, &digest), &pk.to_compressed());
+        let spend = EbvTransaction::from_parts(
+            1,
+            vec![InputBody { us, proof: Some(proof) }],
+            outputs,
+            0,
+        );
+        let cb1 = ebv_coinbase(1, p2pkh_lock(&pk.address_hash()));
+        let block1 = pack_ebv_block(genesis.header.hash(), vec![cb1, spend], 1, 0);
+        (node, block1, archive)
+    }
+
+    #[test]
+    fn valid_block_accepted_and_state_updated() {
+        let (mut node, block1, _) = two_block_fixture();
+        let breakdown = node.process_block(&block1).expect("valid block");
+        assert!(breakdown.total() > std::time::Duration::ZERO);
+        assert_eq!(node.tip_height(), 1);
+        // Genesis had 1 output, now spent → its vector is gone; block 1 has
+        // 2 outputs (coinbase + spend change).
+        assert_eq!(node.bitvecs().len(), 1);
+        assert_eq!(node.total_unspent(), 2);
+    }
+
+    #[test]
+    fn rejects_double_spend_across_blocks() {
+        let (mut node, block1, archive) = two_block_fixture();
+        node.process_block(&block1).unwrap();
+
+        // A second spend of the same genesis output.
+        let sk = PrivateKey::from_seed(100);
+        let proof = archive.make_proof(0, 0).unwrap();
+        let outputs = vec![TxOut::new(1000, Script::new())];
+        let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+        let us = p2pkh_unlock(
+            &crate::sighash::sign_input(&sk, &digest),
+            &sk.public_key().to_compressed(),
+        );
+        let double = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+        let cb2 = ebv_coinbase(2, Script::new());
+        let block2 = pack_ebv_block(block1.header.hash(), vec![cb2, double], 2, 0);
+        match node.process_block(&block2) {
+            Err(EbvError::UvFailed { err: UvError::UnknownHeight(0), .. }) => {}
+            other => panic!("expected UV failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_spend_within_block() {
+        let (mut node, block1, archive) = two_block_fixture();
+        // Two copies of the same spending tx in one block (distinct outputs
+        // so the txs differ, same spent coordinate).
+        let sk = PrivateKey::from_seed(100);
+        let mk_spend = |amount: u64| {
+            let proof = archive.make_proof(0, 0).unwrap();
+            let outputs = vec![TxOut::new(amount, Script::new())];
+            let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+            let us = p2pkh_unlock(
+                &crate::sighash::sign_input(&sk, &digest),
+                &sk.public_key().to_compressed(),
+            );
+            EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0)
+        };
+        let cb1 = ebv_coinbase(1, Script::new());
+        let block = pack_ebv_block(
+            block1.header.prev_block_hash,
+            vec![cb1, mk_spend(100), mk_spend(200)],
+            1,
+            0,
+        );
+        match node.process_block(&block) {
+            Err(EbvError::DuplicateSpend { height: 0, position: 0 }) => {}
+            other => panic!("expected duplicate-spend rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_fake_stake_position() {
+        let (mut node, mut block1, _) = two_block_fixture();
+        // Tamper with the spend tx's stake position (as a lying miner
+        // would); Merkle root is recomputed so only the stake check fires.
+        block1.transactions[1].tidy.stake_position += 1;
+        block1.header.merkle_root = block1.compute_merkle_root();
+        // Re-mine not needed at bits=0.
+        match node.process_block(&block1) {
+            Err(EbvError::StakeMismatch { tx: 1, .. }) => {}
+            other => panic!("expected stake mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_forged_els() {
+        let (mut node, mut block1, _) = two_block_fixture();
+        // Inflate the spent output's value inside ELs: EV must catch the
+        // forged leaf.
+        {
+            let body = &mut block1.transactions[1].bodies[0];
+            let proof = body.proof.as_mut().unwrap();
+            proof.els.outputs[0].value *= 2;
+        }
+        // Re-link body hashes + merkle so only EV can catch it.
+        let bodies = block1.transactions[1].bodies.clone();
+        block1.transactions[1].tidy.input_hashes =
+            bodies.iter().map(InputBody::hash).collect();
+        block1.header.merkle_root = block1.compute_merkle_root();
+        match node.process_block(&block1) {
+            Err(EbvError::EvFailed { tx: 1, input: 0 }) => {}
+            other => panic!("expected EV failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_future_height_reference() {
+        let (mut node, mut block1, _) = two_block_fixture();
+        {
+            let body = &mut block1.transactions[1].bodies[0];
+            body.proof.as_mut().unwrap().height = 999;
+        }
+        let bodies = block1.transactions[1].bodies.clone();
+        block1.transactions[1].tidy.input_hashes =
+            bodies.iter().map(InputBody::hash).collect();
+        block1.header.merkle_root = block1.compute_merkle_root();
+        match node.process_block(&block1) {
+            Err(EbvError::BadHeight { height: 999, .. }) => {}
+            other => panic!("expected bad-height rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_signature() {
+        let (mut node, mut block1, _) = two_block_fixture();
+        // Replace the unlocking script with one signed by the wrong key.
+        let wrong = PrivateKey::from_seed(999);
+        let outputs = block1.transactions[1].tidy.outputs.clone();
+        let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+        block1.transactions[1].bodies[0].us = p2pkh_unlock(
+            &crate::sighash::sign_input(&wrong, &digest),
+            &wrong.public_key().to_compressed(),
+        );
+        let bodies = block1.transactions[1].bodies.clone();
+        block1.transactions[1].tidy.input_hashes =
+            bodies.iter().map(InputBody::hash).collect();
+        block1.header.merkle_root = block1.compute_merkle_root();
+        match node.process_block(&block1) {
+            Err(EbvError::SvFailed { tx: 1, input: 0, .. }) => {}
+            other => panic!("expected SV failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_value_inflation() {
+        let (mut node, mut block1, _) = two_block_fixture();
+        // Outputs exceed the spent input's value.
+        block1.transactions[1].tidy.outputs[0].value = BLOCK_SUBSIDY * 2;
+        block1.header.merkle_root = block1.compute_merkle_root();
+        // Signature is now stale too, but value check runs before SV.
+        match node.process_block(&block1) {
+            Err(EbvError::ValueImbalance { tx: 1 }) => {}
+            other => panic!("expected value imbalance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_prev_hash_and_merkle() {
+        let (mut node, block1, _) = two_block_fixture();
+        let mut wrong_prev = block1.clone();
+        wrong_prev.header.prev_block_hash = Hash256::ZERO;
+        assert_eq!(node.process_block(&wrong_prev), Err(EbvError::NotOnTip));
+
+        let mut wrong_merkle = block1.clone();
+        wrong_merkle.header.merkle_root = Hash256::ZERO;
+        assert_eq!(node.process_block(&wrong_merkle), Err(EbvError::MerkleMismatch));
+    }
+
+    #[test]
+    fn sequential_sv_matches_parallel() {
+        let (_, block1, _) = two_block_fixture();
+        let sk = PrivateKey::from_seed(100);
+        let pk = sk.public_key();
+        let genesis_cb = ebv_coinbase(0, p2pkh_lock(&pk.address_hash()));
+        let genesis = pack_ebv_block(Hash256::ZERO, vec![genesis_cb], 0, 0);
+        let mut seq_node =
+            EbvNode::new(&genesis, EbvConfig { parallel_sv: false, check_pow: true });
+        seq_node.process_block(&block1).expect("sequential SV accepts the same block");
+        assert_eq!(seq_node.tip_height(), 1);
+    }
+}

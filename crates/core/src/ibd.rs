@@ -1,0 +1,138 @@
+//! Initial Block Download (IBD) drivers.
+//!
+//! Replays a chain through a validator node, recording per-period phase
+//! breakdowns — the measurement loop behind the paper's Figs. 5 and 17.
+
+use crate::baseline_node::{BaselineError, BaselineNode};
+use crate::ebv_node::{EbvError, EbvNode};
+use crate::metrics::{BaselineBreakdown, EbvBreakdown};
+use crate::tidy::EbvBlock;
+use ebv_chain::Block;
+use std::time::{Duration, Instant};
+
+/// Stats for one IBD period of the baseline node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselinePeriod {
+    /// First block height in the period (inclusive).
+    pub start_height: u32,
+    /// Last block height in the period (inclusive).
+    pub end_height: u32,
+    /// Summed validation breakdown over the period.
+    pub breakdown: BaselineBreakdown,
+    /// Wall-clock time for the period (includes block decode/apply glue).
+    pub wall: Duration,
+}
+
+/// Stats for one IBD period of the EBV node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EbvPeriod {
+    pub start_height: u32,
+    pub end_height: u32,
+    pub breakdown: EbvBreakdown,
+    pub wall: Duration,
+}
+
+/// Replay `blocks` (heights `1..`) into a freshly booted baseline node,
+/// reporting one entry per `period_len` blocks.
+pub fn baseline_ibd(
+    node: &mut BaselineNode,
+    blocks: &[Block],
+    period_len: usize,
+) -> Result<Vec<BaselinePeriod>, BaselineError> {
+    assert!(period_len > 0);
+    let mut periods = Vec::new();
+    for chunk in blocks.chunks(period_len) {
+        let start_height = node.tip_height() + 1;
+        let wall_start = Instant::now();
+        let mut breakdown = BaselineBreakdown::default();
+        for block in chunk {
+            breakdown += node.process_block(block)?;
+        }
+        periods.push(BaselinePeriod {
+            start_height,
+            end_height: node.tip_height(),
+            breakdown,
+            wall: wall_start.elapsed(),
+        });
+    }
+    Ok(periods)
+}
+
+/// Replay `blocks` (heights `1..`) into a freshly booted EBV node.
+pub fn ebv_ibd(
+    node: &mut EbvNode,
+    blocks: &[EbvBlock],
+    period_len: usize,
+) -> Result<Vec<EbvPeriod>, EbvError> {
+    assert!(period_len > 0);
+    let mut periods = Vec::new();
+    for chunk in blocks.chunks(period_len) {
+        let start_height = node.tip_height() + 1;
+        let wall_start = Instant::now();
+        let mut breakdown = EbvBreakdown::default();
+        for block in chunk {
+            breakdown += node.process_block(block)?;
+        }
+        periods.push(EbvPeriod {
+            start_height,
+            end_height: node.tip_height(),
+            breakdown,
+            wall: wall_start.elapsed(),
+        });
+    }
+    Ok(periods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_node::BaselineConfig;
+    use crate::ebv_node::EbvConfig;
+    use crate::intermediary::Intermediary;
+    use ebv_chain::{build_block, coinbase_tx};
+    use ebv_primitives::hash::Hash256;
+    use ebv_script::Script;
+    use ebv_store::{KvStore, StoreConfig, UtxoSet};
+
+    fn empty_chain(n: usize) -> Vec<Block> {
+        let genesis = build_block(
+            Hash256::ZERO,
+            coinbase_tx(0, Script::new(), Vec::new()),
+            Vec::new(),
+            0,
+            0,
+        );
+        let mut blocks = vec![genesis];
+        for h in 1..=n as u32 {
+            let prev = blocks.last().expect("genesis").header.hash();
+            blocks.push(build_block(prev, coinbase_tx(h, Script::new(), Vec::new()), Vec::new(), h, 0));
+        }
+        blocks
+    }
+
+    #[test]
+    fn baseline_ibd_periods() {
+        let chain = empty_chain(10);
+        let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(1 << 20)).unwrap());
+        let mut node = BaselineNode::new(&chain[0], utxos, BaselineConfig::default()).unwrap();
+        let periods = baseline_ibd(&mut node, &chain[1..], 4).unwrap();
+        assert_eq!(periods.len(), 3); // 4 + 4 + 2
+        assert_eq!(periods[0].start_height, 1);
+        assert_eq!(periods[0].end_height, 4);
+        assert_eq!(periods[2].end_height, 10);
+        assert_eq!(node.tip_height(), 10);
+    }
+
+    #[test]
+    fn ebv_ibd_periods() {
+        let chain = empty_chain(6);
+        let mut inter = Intermediary::new(0);
+        let ebv_chain = inter.convert_chain(&chain).unwrap();
+        let mut node = EbvNode::new(&ebv_chain[0], EbvConfig::default());
+        let periods = ebv_ibd(&mut node, &ebv_chain[1..], 3).unwrap();
+        assert_eq!(periods.len(), 2);
+        assert_eq!(node.tip_height(), 6);
+        let total: Duration = periods.iter().map(|p| p.wall).sum();
+        assert!(total > Duration::ZERO);
+    }
+}

@@ -1,0 +1,282 @@
+//! The intermediary node (paper §VI-A).
+//!
+//! Sits between a Bitcoin-format source chain and an EBV destination node:
+//! it receives baseline blocks in order, reconstructs each input with the
+//! EBV proof fields (`MBr`, `ELs`, `height`, `position`) by consulting the
+//! chain it has already converted, and re-packages the result as an EBV
+//! block. It maintains exactly the state the paper describes: a mapping
+//! from inputs/outputs to block heights (here: outpoint → coordinates) and
+//! enough per-block material to extract Merkle branches.
+//!
+//! No private keys are involved: the shared spend digest (see
+//! `ebv_chain::transaction::spend_sighash`) commits to output coordinates,
+//! so the original unlocking scripts remain valid in the converted chain.
+
+use crate::pack::pack_ebv_block;
+use crate::proofs::ProofArchive;
+use crate::tidy::{EbvBlock, EbvTransaction, InputBody};
+use ebv_chain::{Block, OutPoint};
+use ebv_primitives::hash::Hash256;
+use std::collections::HashMap;
+
+/// Conversion failures — all indicate a malformed source chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvertError {
+    /// Input references an outpoint the intermediary has never seen (or
+    /// already saw spent).
+    UnknownOutpoint { tx: usize, input: usize, outpoint: OutPoint },
+    /// The source block is empty or its first transaction is not coinbase.
+    BadCoinbase,
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+/// The intermediary converter.
+pub struct Intermediary {
+    /// outpoint → (height, absolute position) of the created output.
+    /// Entries are removed when spent (the source chain has no double
+    /// spends, so this keeps the map at UTXO-set size).
+    outpoint_index: HashMap<OutPoint, (u32, u32)>,
+    /// Proof material for every converted block.
+    archive: ProofArchive,
+    /// Tip hash of the converted (EBV) chain.
+    ebv_tip: Hash256,
+    /// Next height to convert.
+    next_height: u32,
+    /// Difficulty bits used when re-mining converted blocks.
+    bits: u32,
+}
+
+impl Intermediary {
+    /// Create a converter; converted blocks are re-mined at `bits`
+    /// difficulty (0 in experiments — mining cost is not a measured
+    /// quantity).
+    pub fn new(bits: u32) -> Intermediary {
+        Intermediary {
+            outpoint_index: HashMap::new(),
+            archive: ProofArchive::new(),
+            ebv_tip: Hash256::ZERO,
+            next_height: 0,
+            bits,
+        }
+    }
+
+    /// Convert the next baseline block (must be presented in height
+    /// order), producing the EBV block for the destination node.
+    pub fn convert_block(&mut self, block: &Block) -> Result<EbvBlock, ConvertError> {
+        if block.transactions.is_empty() || !block.transactions[0].is_coinbase() {
+            return Err(ConvertError::BadCoinbase);
+        }
+        let height = self.next_height;
+
+        let mut ebv_txs = Vec::with_capacity(block.transactions.len());
+        for (i, tx) in block.transactions.iter().enumerate() {
+            let mut bodies = Vec::with_capacity(tx.inputs.len());
+            for (j, input) in tx.inputs.iter().enumerate() {
+                let proof = if i == 0 {
+                    // Coinbase input: no proof.
+                    None
+                } else {
+                    let &(h, pos) = self.outpoint_index.get(&input.prevout).ok_or(
+                        ConvertError::UnknownOutpoint { tx: i, input: j, outpoint: input.prevout },
+                    )?;
+                    Some(self.archive.make_proof(h, pos).expect("indexed coordinates exist"))
+                };
+                bodies.push(InputBody { us: input.unlocking_script.clone(), proof });
+            }
+            ebv_txs.push(EbvTransaction::from_parts(
+                tx.version,
+                bodies,
+                tx.outputs.clone(),
+                tx.lock_time,
+            ));
+        }
+
+        let ebv_block = pack_ebv_block(self.ebv_tip, ebv_txs, block.header.time, self.bits);
+
+        // Index this block's outputs and retire the spent ones.
+        for tx in block.transactions.iter().skip(1) {
+            for input in &tx.inputs {
+                self.outpoint_index.remove(&input.prevout);
+            }
+        }
+        let mut position = 0u32;
+        for tx in &block.transactions {
+            let txid = tx.txid();
+            for vout in 0..tx.outputs.len() as u32 {
+                self.outpoint_index.insert(OutPoint::new(txid, vout), (height, position));
+                position += 1;
+            }
+        }
+        self.archive.add_block(height, &ebv_block);
+        self.ebv_tip = ebv_block.header.hash();
+        self.next_height += 1;
+        Ok(ebv_block)
+    }
+
+    /// Convert a whole chain (blocks in height order).
+    pub fn convert_chain(&mut self, blocks: &[Block]) -> Result<Vec<EbvBlock>, ConvertError> {
+        blocks.iter().map(|b| self.convert_block(b)).collect()
+    }
+
+    /// Look up the EBV coordinates of a baseline outpoint (unspent only).
+    pub fn coords_of(&self, outpoint: &OutPoint) -> Option<(u32, u32)> {
+        self.outpoint_index.get(outpoint).copied()
+    }
+
+    /// The proof archive (doubles as the transaction-proposer's data source
+    /// in the examples).
+    pub fn archive(&self) -> &ProofArchive {
+        &self.archive
+    }
+
+    /// Number of blocks converted so far.
+    pub fn converted(&self) -> u32 {
+        self.next_height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebv_node::{EbvConfig, EbvNode};
+    use ebv_chain::transaction::{spend_sighash, Transaction, TxIn, TxOut};
+    use ebv_chain::{build_block, coinbase_tx, BLOCK_SUBSIDY};
+    use ebv_primitives::ec::PrivateKey;
+    use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
+    use ebv_script::Script;
+
+    /// A 3-block baseline chain: genesis pays A, block 1 A→B, block 2 B→C.
+    fn baseline_chain() -> Vec<Block> {
+        let a = PrivateKey::from_seed(1);
+        let b = PrivateKey::from_seed(2);
+        let c = PrivateKey::from_seed(3);
+
+        let genesis = build_block(
+            Hash256::ZERO,
+            coinbase_tx(0, p2pkh_lock(&a.public_key().address_hash()), Vec::new()),
+            Vec::new(),
+            0,
+            0,
+        );
+
+        // Block 1: A spends genesis coinbase (coords 0,0) to B.
+        let outputs1 = vec![TxOut::new(BLOCK_SUBSIDY, p2pkh_lock(&b.public_key().address_hash()))];
+        let d1 = spend_sighash(1, &[(0, 0)], &outputs1, 0, 0);
+        let tx1 = Transaction {
+            version: 1,
+            inputs: vec![TxIn::new(
+                OutPoint::new(genesis.transactions[0].txid(), 0),
+                p2pkh_unlock(&crate::sighash::sign_input(&a, &d1), &a.public_key().to_compressed()),
+            )],
+            outputs: outputs1,
+            lock_time: 0,
+        };
+        let block1 = build_block(
+            genesis.header.hash(),
+            coinbase_tx(1, Script::new(), Vec::new()),
+            vec![tx1.clone()],
+            1,
+            0,
+        );
+
+        // Block 2: B spends tx1's output to C. tx1's output is the second
+        // output of block 1 (after the coinbase): coords (1, 1).
+        let outputs2 = vec![TxOut::new(BLOCK_SUBSIDY, p2pkh_lock(&c.public_key().address_hash()))];
+        let d2 = spend_sighash(1, &[(1, 1)], &outputs2, 0, 0);
+        let tx2 = Transaction {
+            version: 1,
+            inputs: vec![TxIn::new(
+                OutPoint::new(tx1.txid(), 0),
+                p2pkh_unlock(&crate::sighash::sign_input(&b, &d2), &b.public_key().to_compressed()),
+            )],
+            outputs: outputs2,
+            lock_time: 0,
+        };
+        let block2 = build_block(
+            block1.header.hash(),
+            coinbase_tx(2, Script::new(), Vec::new()),
+            vec![tx2],
+            2,
+            0,
+        );
+
+        vec![genesis, block1, block2]
+    }
+
+    #[test]
+    fn converted_chain_validates_on_ebv_node() {
+        let chain = baseline_chain();
+        let mut inter = Intermediary::new(0);
+        let ebv_chain = inter.convert_chain(&chain).expect("conversion succeeds");
+        assert_eq!(ebv_chain.len(), 3);
+        assert_eq!(inter.converted(), 3);
+
+        let mut node = EbvNode::new(&ebv_chain[0], EbvConfig::default());
+        for block in &ebv_chain[1..] {
+            node.process_block(block).expect("converted block validates");
+        }
+        assert_eq!(node.tip_height(), 2);
+        // Unspent: block1 coinbase, block2 coinbase, tx2's output to C.
+        assert_eq!(node.total_unspent(), 3);
+    }
+
+    #[test]
+    fn conversion_preserves_counts_and_scripts() {
+        let chain = baseline_chain();
+        let mut inter = Intermediary::new(0);
+        let ebv_chain = inter.convert_chain(&chain).unwrap();
+        for (base, ebv) in chain.iter().zip(&ebv_chain) {
+            assert_eq!(base.transactions.len(), ebv.transactions.len());
+            assert_eq!(base.output_count() as u32, ebv.output_count());
+            for (bt, et) in base.transactions.iter().zip(&ebv.transactions) {
+                assert_eq!(bt.outputs, et.tidy.outputs);
+                for (bi, eb) in bt.inputs.iter().zip(&et.bodies) {
+                    assert_eq!(bi.unlocking_script, eb.us);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_retires_spent_outpoints() {
+        let chain = baseline_chain();
+        let mut inter = Intermediary::new(0);
+        inter.convert_chain(&chain).unwrap();
+        // Genesis coinbase was spent in block 1.
+        let spent = OutPoint::new(chain[0].transactions[0].txid(), 0);
+        assert_eq!(inter.coords_of(&spent), None);
+        // tx2's output (to C) is live at coords (2, 1).
+        let live = OutPoint::new(chain[2].transactions[1].txid(), 0);
+        assert_eq!(inter.coords_of(&live), Some((2, 1)));
+    }
+
+    #[test]
+    fn unknown_outpoint_rejected() {
+        let chain = baseline_chain();
+        let mut inter = Intermediary::new(0);
+        inter.convert_block(&chain[0]).unwrap();
+        // Skip block 1 and feed block 2: its input references tx1, unknown.
+        let err = inter.convert_block(&chain[2]).unwrap_err();
+        assert!(matches!(err, ConvertError::UnknownOutpoint { tx: 1, input: 0, .. }));
+    }
+
+    #[test]
+    fn proofs_in_converted_blocks_point_at_ebv_headers() {
+        let chain = baseline_chain();
+        let mut inter = Intermediary::new(0);
+        let ebv_chain = inter.convert_chain(&chain).unwrap();
+        // Block 2's spend proof must verify against block 1's EBV header
+        // (not the baseline header — the merkle roots differ).
+        let proof = ebv_chain[2].transactions[1].bodies[0].proof.as_ref().unwrap();
+        assert_eq!(proof.height, 1);
+        assert!(proof.mbr.verify(&proof.els.leaf_hash(), &ebv_chain[1].header.merkle_root));
+        assert!(!proof.mbr.verify(&proof.els.leaf_hash(), &chain[1].header.merkle_root));
+    }
+}

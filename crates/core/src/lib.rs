@@ -1,0 +1,48 @@
+//! EBV core — the paper's contribution.
+//!
+//! *An Efficient Block Validation Mechanism for UTXO-based Blockchains*
+//! (IPDPS 2022) disassembles input checking into Existence Validation
+//! (EV), Unspent Validation (UV) and Script Validation (SV), then:
+//!
+//! * replaces the disk-bound UTXO set with an in-memory **bit-vector set**
+//!   ([`bitvec`]) — one vector per block, one bit per output, sparse
+//!   vectors stored as 16-bit index arrays;
+//! * attaches a **proof** to every input ([`tidy`]): a Merkle branch
+//!   (*MBr*), the previous tidy transaction (*ELs*), the block *height*
+//!   and the output *position*, so EV and SV need no database;
+//! * avoids **transaction inflation** by hashing input bodies out of the
+//!   Merkle leaves ("tidy transactions");
+//! * defeats **fake positions** with miner-stamped stake positions.
+//!
+//! Modules: [`ebv_node`] is the EBV validator; [`baseline_node`] the
+//! Bitcoin-style comparator; [`intermediary`] converts baseline chains to
+//! EBV format (the paper's §VI-A testbed component); [`proofs`] builds
+//! input proofs (the transaction-proposer side); [`pack`] packages and
+//! mines EBV blocks; [`ibd`] replays chains for the IBD experiments;
+//! [`metrics`] carries the per-phase timing breakdowns.
+
+pub mod baseline_node;
+pub mod bitvec;
+pub mod ebv_node;
+pub mod mempool;
+pub mod ibd;
+pub mod intermediary;
+pub mod metrics;
+pub mod pack;
+pub mod proofs;
+pub mod sighash;
+pub mod sync;
+pub mod tidy;
+
+pub use baseline_node::{BaselineConfig, BaselineError, BaselineNode};
+pub use bitvec::{BitVectorSet, BitVectorSetSize, BlockBitVector, UvError};
+pub use ebv_node::{EbvConfig, EbvError, EbvNode};
+pub use ibd::{baseline_ibd, ebv_ibd, BaselinePeriod, EbvPeriod};
+pub use intermediary::{ConvertError, Intermediary};
+pub use mempool::{Mempool, MempoolError};
+pub use metrics::{BaselineBreakdown, EbvBreakdown};
+pub use pack::{ebv_coinbase, pack_ebv_block};
+pub use proofs::ProofArchive;
+pub use sighash::{sign_input, DigestChecker};
+pub use sync::{spawn_source, sync_baseline, sync_ebv, BlockSource, SyncError};
+pub use tidy::{EbvBlock, EbvTransaction, InputBody, InputProof, TidyTransaction};

@@ -1,0 +1,329 @@
+//! Transaction validation outside blocks — the mempool.
+//!
+//! The paper's §IV-D describes validating a *transaction* on receipt:
+//! EV against stored headers, UV against the bit-vector set, SV against
+//! the scripts in `ELs`. This module applies exactly those checks to
+//! unconfirmed transactions, tracks which coordinates pending
+//! transactions consume (so conflicting spends are rejected at admission),
+//! and hands miners a ready-to-package batch.
+
+use crate::ebv_node::EbvNode;
+use crate::tidy::{EbvBlock, EbvTransaction, TxIntegrityError};
+use crate::sighash::DigestChecker;
+use ebv_chain::transaction::spend_sighash;
+use ebv_primitives::hash::Hash256;
+use ebv_script::{verify_spend, ScriptError};
+use std::collections::HashMap;
+
+/// Why a transaction was refused admission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MempoolError {
+    /// Already pooled (same tidy leaf hash).
+    Duplicate,
+    /// Coinbase transactions cannot be relayed.
+    Coinbase,
+    /// Body/hash integrity failure.
+    Integrity(TxIntegrityError),
+    /// Input references an unknown or future block.
+    BadHeight { input: usize, height: u32 },
+    /// Merkle branch does not fold to the stored header root.
+    EvFailed { input: usize },
+    /// Claimed position outside `ELs`.
+    PositionOutOfEls { input: usize },
+    /// The output is spent on-chain.
+    SpentOnChain { input: usize },
+    /// Another pooled transaction already spends this output.
+    ConflictsWithPool { input: usize, other: Hash256 },
+    /// Script validation failed.
+    SvFailed { input: usize, err: ScriptError },
+    /// Outputs exceed inputs.
+    ValueImbalance,
+}
+
+impl std::fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// A pool of validated, unconfirmed EBV transactions.
+#[derive(Default)]
+pub struct Mempool {
+    /// tidy leaf hash → transaction.
+    txs: HashMap<Hash256, EbvTransaction>,
+    /// Coordinates consumed by pooled transactions → consuming tx.
+    spent: HashMap<(u32, u32), Hash256>,
+    /// Admission order (miners package FIFO).
+    order: Vec<Hash256>,
+}
+
+impl Mempool {
+    pub fn new() -> Mempool {
+        Mempool::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Whether the pool holds a transaction with this tidy leaf hash.
+    pub fn contains(&self, id: &Hash256) -> bool {
+        self.txs.contains_key(id)
+    }
+
+    /// Validate `tx` against the node's current state and admit it.
+    /// Returns the pool id (tidy leaf hash).
+    ///
+    /// Note: admission uses the transaction's *current* tidy form (stake
+    /// position as proposed, normally 0); miners re-stamp stake positions
+    /// at packaging, which changes the leaf hash — ids are pool-local.
+    pub fn accept(&mut self, node: &EbvNode, tx: EbvTransaction) -> Result<Hash256, MempoolError> {
+        if tx.is_coinbase() {
+            return Err(MempoolError::Coinbase);
+        }
+        tx.check_integrity().map_err(MempoolError::Integrity)?;
+        let id = tx.tidy.leaf_hash();
+        if self.txs.contains_key(&id) {
+            return Err(MempoolError::Duplicate);
+        }
+
+        let mut coords = Vec::with_capacity(tx.bodies.len());
+        let mut in_value = 0u64;
+        for (j, body) in tx.bodies.iter().enumerate() {
+            let proof = body.proof.as_ref().expect("non-coinbase integrity checked");
+            // EV.
+            let Some(header) = node.header_at(proof.height) else {
+                return Err(MempoolError::BadHeight { input: j, height: proof.height });
+            };
+            if !proof.mbr.verify(&proof.els.leaf_hash(), &header.merkle_root) {
+                return Err(MempoolError::EvFailed { input: j });
+            }
+            let Some(output) = proof.spent_output() else {
+                return Err(MempoolError::PositionOutOfEls { input: j });
+            };
+            // UV against chain state…
+            let coord = (proof.height, proof.absolute_position());
+            if node.bitvecs().check_unspent(coord.0, coord.1).is_err() {
+                return Err(MempoolError::SpentOnChain { input: j });
+            }
+            // …and against other pooled transactions.
+            if let Some(other) = self.spent.get(&coord) {
+                return Err(MempoolError::ConflictsWithPool { input: j, other: *other });
+            }
+            in_value = in_value.saturating_add(output.value);
+            coords.push(coord);
+        }
+        if in_value < tx.tidy.total_output_value() {
+            return Err(MempoolError::ValueImbalance);
+        }
+
+        // SV.
+        for (j, body) in tx.bodies.iter().enumerate() {
+            let proof = body.proof.as_ref().expect("checked");
+            let digest = spend_sighash(
+                tx.tidy.version,
+                &coords,
+                &tx.tidy.outputs,
+                tx.tidy.lock_time,
+                j as u32,
+            );
+            let lock = &proof.spent_output().expect("checked").locking_script;
+            verify_spend(
+                &body.us,
+                lock,
+                &DigestChecker::with_lock_time(digest, tx.tidy.lock_time),
+            )
+            .map_err(|err| MempoolError::SvFailed { input: j, err })?;
+        }
+
+        for coord in coords {
+            self.spent.insert(coord, id);
+        }
+        self.order.push(id);
+        self.txs.insert(id, tx);
+        Ok(id)
+    }
+
+    /// Pop up to `max` transactions in admission order for packaging.
+    pub fn take_for_block(&mut self, max: usize) -> Vec<EbvTransaction> {
+        let ids: Vec<Hash256> = self.order.iter().take(max).copied().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(tx) = self.remove(&id) {
+                out.push(tx);
+            }
+        }
+        out
+    }
+
+    /// Drop pooled transactions that conflict with (or are included in) a
+    /// newly connected block.
+    pub fn remove_confirmed(&mut self, block: &EbvBlock) {
+        let block_coords: Vec<(u32, u32)> = block
+            .transactions
+            .iter()
+            .skip(1)
+            .flat_map(|tx| {
+                tx.bodies.iter().filter_map(|b| {
+                    b.proof.as_ref().map(|p| (p.height, p.absolute_position()))
+                })
+            })
+            .collect();
+        let victims: Vec<Hash256> = block_coords
+            .iter()
+            .filter_map(|c| self.spent.get(c).copied())
+            .collect();
+        for id in victims {
+            self.remove(&id);
+        }
+    }
+
+    fn remove(&mut self, id: &Hash256) -> Option<EbvTransaction> {
+        let tx = self.txs.remove(id)?;
+        self.spent.retain(|_, v| v != id);
+        self.order.retain(|o| o != id);
+        Some(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ebv_node::EbvConfig;
+    use crate::pack::{ebv_coinbase, pack_ebv_block};
+    use crate::proofs::ProofArchive;
+    use crate::sighash::sign_input;
+    use crate::tidy::InputBody;
+    use ebv_chain::transaction::TxOut;
+    use ebv_chain::BLOCK_SUBSIDY;
+    use ebv_primitives::ec::PrivateKey;
+    use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
+
+    fn world() -> (EbvNode, ProofArchive, PrivateKey) {
+        let alice = PrivateKey::from_seed(5);
+        let genesis = pack_ebv_block(
+            Hash256::ZERO,
+            vec![ebv_coinbase(0, p2pkh_lock(&alice.public_key().address_hash()))],
+            0,
+            0,
+        );
+        let node = EbvNode::new(&genesis, EbvConfig::default());
+        let mut archive = ProofArchive::new();
+        archive.add_block(0, &genesis);
+        (node, archive, alice)
+    }
+
+    fn spend(archive: &ProofArchive, signer: &PrivateKey, value: u64) -> EbvTransaction {
+        let proof = archive.make_proof(0, 0).expect("coin");
+        let outputs = vec![TxOut::new(value, p2pkh_lock(&signer.public_key().address_hash()))];
+        let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+        let us =
+            p2pkh_unlock(&sign_input(signer, &digest), &signer.public_key().to_compressed());
+        EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0)
+    }
+
+    #[test]
+    fn accepts_valid_transaction() {
+        let (node, archive, alice) = world();
+        let mut pool = Mempool::new();
+        let id = pool.accept(&node, spend(&archive, &alice, 1000)).expect("valid");
+        assert!(pool.contains(&id));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_and_conflict() {
+        let (node, archive, alice) = world();
+        let mut pool = Mempool::new();
+        let tx = spend(&archive, &alice, 1000);
+        pool.accept(&node, tx.clone()).expect("valid");
+        assert_eq!(pool.accept(&node, tx), Err(MempoolError::Duplicate));
+        // Different outputs, same coin → conflict.
+        let other = spend(&archive, &alice, 2000);
+        assert!(matches!(
+            pool.accept(&node, other),
+            Err(MempoolError::ConflictsWithPool { input: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_signature_and_value() {
+        let (node, archive, alice) = world();
+        let mallory = PrivateKey::from_seed(99);
+        let mut pool = Mempool::new();
+        assert!(matches!(
+            pool.accept(&node, spend(&archive, &mallory, 1000)),
+            Err(MempoolError::SvFailed { .. })
+        ));
+        assert_eq!(
+            pool.accept(&node, spend(&archive, &alice, BLOCK_SUBSIDY + 1)),
+            Err(MempoolError::ValueImbalance)
+        );
+    }
+
+    #[test]
+    fn rejects_coinbase_and_spent_on_chain() {
+        let (mut node, mut archive, alice) = world();
+        let mut pool = Mempool::new();
+        assert_eq!(
+            pool.accept(&node, ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash()))),
+            Err(MempoolError::Coinbase)
+        );
+        // Confirm a spend of (0,0) on-chain, then try pooling another.
+        let tx = spend(&archive, &alice, BLOCK_SUBSIDY);
+        let b1 = pack_ebv_block(
+            node.tip_hash(),
+            vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())), tx],
+            1,
+            0,
+        );
+        node.process_block(&b1).expect("valid");
+        archive.add_block(1, &b1);
+        assert!(matches!(
+            pool.accept(&node, spend(&archive, &alice, 500)),
+            Err(MempoolError::SpentOnChain { input: 0 })
+        ));
+    }
+
+    #[test]
+    fn packaged_pool_transactions_form_a_valid_block() {
+        let (mut node, archive, alice) = world();
+        let mut pool = Mempool::new();
+        pool.accept(&node, spend(&archive, &alice, BLOCK_SUBSIDY)).expect("valid");
+        let txs = pool.take_for_block(10);
+        assert_eq!(txs.len(), 1);
+        assert!(pool.is_empty());
+
+        let mut block_txs =
+            vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash()))];
+        block_txs.extend(txs);
+        let b1 = pack_ebv_block(node.tip_hash(), block_txs, 1, 0);
+        node.process_block(&b1).expect("pool transaction packages cleanly");
+    }
+
+    #[test]
+    fn remove_confirmed_evicts_conflicts() {
+        let (mut node, archive, alice) = world();
+        let mut pool = Mempool::new();
+        let id = pool.accept(&node, spend(&archive, &alice, 1234)).expect("valid");
+
+        // A different spend of the same coin is confirmed in a block.
+        let confirmed = spend(&archive, &alice, BLOCK_SUBSIDY);
+        let b1 = pack_ebv_block(
+            node.tip_hash(),
+            vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())), confirmed],
+            1,
+            0,
+        );
+        node.process_block(&b1).expect("valid");
+        pool.remove_confirmed(&b1);
+        assert!(!pool.contains(&id));
+        assert!(pool.is_empty());
+    }
+}

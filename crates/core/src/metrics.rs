@@ -1,0 +1,104 @@
+//! Validation-time breakdowns.
+//!
+//! The paper reports block-validation and IBD time split by phase: DBO /
+//! SV / others for Bitcoin (Figs. 4, 5) and EV / UV / SV / others for EBV
+//! (Figs. 16b, 17b). Validators fill these structs; figure binaries print
+//! them.
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Phase breakdown for the Bitcoin-baseline validator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BaselineBreakdown {
+    /// Database-related operations: Fetch + Delete + Insert.
+    pub dbo: Duration,
+    /// Script Validation.
+    pub sv: Duration,
+    /// Everything else (structure checks, Merkle recompute, bookkeeping).
+    pub others: Duration,
+}
+
+impl BaselineBreakdown {
+    pub fn total(&self) -> Duration {
+        self.dbo + self.sv + self.others
+    }
+
+    /// Fraction of total time spent in DBO (the ratio line of Fig. 5).
+    pub fn dbo_ratio(&self) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.dbo.as_secs_f64() / total
+        }
+    }
+}
+
+impl AddAssign for BaselineBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.dbo += rhs.dbo;
+        self.sv += rhs.sv;
+        self.others += rhs.others;
+    }
+}
+
+/// Phase breakdown for the EBV validator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EbvBreakdown {
+    /// Existence Validation: Merkle-branch folding against headers.
+    pub ev: Duration,
+    /// Unspent Validation: bit-vector probes and updates.
+    pub uv: Duration,
+    /// Script Validation.
+    pub sv: Duration,
+    /// Everything else.
+    pub others: Duration,
+}
+
+impl EbvBreakdown {
+    pub fn total(&self) -> Duration {
+        self.ev + self.uv + self.sv + self.others
+    }
+}
+
+impl AddAssign for EbvBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.ev += rhs.ev;
+        self.uv += rhs.uv;
+        self.sv += rhs.sv;
+        self.others += rhs.others;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_totals_and_ratio() {
+        let b = BaselineBreakdown {
+            dbo: Duration::from_millis(80),
+            sv: Duration::from_millis(15),
+            others: Duration::from_millis(5),
+        };
+        assert_eq!(b.total(), Duration::from_millis(100));
+        assert!((b.dbo_ratio() - 0.8).abs() < 1e-9);
+        assert_eq!(BaselineBreakdown::default().dbo_ratio(), 0.0);
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut acc = EbvBreakdown::default();
+        let one = EbvBreakdown {
+            ev: Duration::from_millis(1),
+            uv: Duration::from_millis(2),
+            sv: Duration::from_millis(3),
+            others: Duration::from_millis(4),
+        };
+        acc += one;
+        acc += one;
+        assert_eq!(acc.total(), Duration::from_millis(20));
+        assert_eq!(acc.sv, Duration::from_millis(6));
+    }
+}

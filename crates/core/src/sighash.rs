@@ -1,0 +1,94 @@
+//! Signature checking shared by the two validators.
+//!
+//! Both validators run the same script engine (SV is unchanged in EBV);
+//! the only difference is where the locking script and the spent-output
+//! coordinates come from — the database in the baseline, the input proof
+//! in EBV.
+
+use ebv_primitives::ec::PublicKey;
+use ebv_primitives::hash::Hash256;
+use ebv_script::SignatureChecker;
+
+/// Length of a signature push: 64-byte compact signature + 1 sighash-type
+/// byte.
+pub const SIG_PUSH_LEN: usize = 65;
+
+/// A [`SignatureChecker`] bound to one spend digest (and, for
+/// `OP_CHECKLOCKTIMEVERIFY`, the spending transaction's lock time).
+pub struct DigestChecker {
+    digest: [u8; 32],
+    lock_time: u32,
+}
+
+impl DigestChecker {
+    /// Checker with no lock-time context (CLTV scripts fail closed).
+    pub fn new(digest: Hash256) -> DigestChecker {
+        DigestChecker { digest: *digest.as_bytes(), lock_time: 0 }
+    }
+
+    /// Checker carrying the spending transaction's lock time.
+    pub fn with_lock_time(digest: Hash256, lock_time: u32) -> DigestChecker {
+        DigestChecker { digest: *digest.as_bytes(), lock_time }
+    }
+}
+
+impl SignatureChecker for DigestChecker {
+    fn check_sig(&self, sig: &[u8], pubkey: &[u8]) -> bool {
+        if sig.len() != SIG_PUSH_LEN || sig[SIG_PUSH_LEN - 1] != ebv_chain::SIGHASH_ALL {
+            return false;
+        }
+        let Ok(pk) = PublicKey::from_compressed(pubkey) else {
+            return false;
+        };
+        pk.verify_compact(&self.digest, &sig[..64]).unwrap_or(false)
+    }
+
+    fn check_lock_time(&self, required: i64) -> bool {
+        required >= 0 && required <= self.lock_time as i64
+    }
+}
+
+/// Build the signature push for `digest` with private key `sk`.
+pub fn sign_input(sk: &ebv_primitives::ec::PrivateKey, digest: &Hash256) -> Vec<u8> {
+    let mut out = sk.sign(digest.as_bytes()).to_compact().to_vec();
+    out.push(ebv_chain::SIGHASH_ALL);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebv_primitives::ec::PrivateKey;
+    use ebv_primitives::hash::sha256d;
+
+    #[test]
+    fn sign_then_check() {
+        let sk = PrivateKey::from_seed(11);
+        let digest = sha256d(b"spend");
+        let sig = sign_input(&sk, &digest);
+        let checker = DigestChecker::new(digest);
+        assert!(checker.check_sig(&sig, &sk.public_key().to_compressed()));
+    }
+
+    #[test]
+    fn rejects_wrong_digest_key_or_format() {
+        let sk = PrivateKey::from_seed(11);
+        let digest = sha256d(b"spend");
+        let sig = sign_input(&sk, &digest);
+
+        let wrong_digest = DigestChecker::new(sha256d(b"other"));
+        assert!(!wrong_digest.check_sig(&sig, &sk.public_key().to_compressed()));
+
+        let checker = DigestChecker::new(digest);
+        let other = PrivateKey::from_seed(12).public_key();
+        assert!(!checker.check_sig(&sig, &other.to_compressed()));
+
+        // Truncated signature and bad sighash byte.
+        assert!(!checker.check_sig(&sig[..64], &sk.public_key().to_compressed()));
+        let mut bad_type = sig.clone();
+        bad_type[64] = 0x03;
+        assert!(!checker.check_sig(&bad_type, &sk.public_key().to_compressed()));
+        // Garbage pubkey.
+        assert!(!checker.check_sig(&sig, &[0u8; 33]));
+    }
+}

@@ -1,0 +1,101 @@
+//! Paired propagation experiments — run two systems over the same seeds
+//! and summarize, the way the paper's Fig. 18 compares Bitcoin and EBV.
+
+use crate::sim::{GossipSim, SimResult};
+
+/// Aggregate outcome of a paired experiment.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Mean full-propagation time of system A (ms).
+    pub a_last_ms: f64,
+    /// Mean full-propagation time of system B (ms).
+    pub b_last_ms: f64,
+    /// Max − min of full-propagation time across runs, per system.
+    pub a_spread_ms: f64,
+    pub b_spread_ms: f64,
+    /// Per-rank mean receive times: `per_rank[i] = (a_ms, b_ms)` for the
+    /// i-th node to receive the block.
+    pub per_rank: Vec<(f64, f64)>,
+}
+
+impl Comparison {
+    /// Percentage by which B beats A on full propagation (positive = B
+    /// faster), the paper's −66.4 % headline.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.a_last_ms <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.b_last_ms / self.a_last_ms) * 100.0
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>, n: usize) -> f64 {
+    values.sum::<f64>() / n as f64
+}
+
+fn spread(runs: &[SimResult]) -> f64 {
+    let last: Vec<f64> = runs.iter().map(SimResult::last_receive_ms).collect();
+    let max = last.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = last.iter().cloned().fold(f64::INFINITY, f64::min);
+    max - min
+}
+
+/// Run both simulators `repeats` times from the same base seed (so
+/// topologies pair up) and summarize.
+pub fn compare(a: &GossipSim, b: &GossipSim, base_seed: u64, repeats: usize) -> Comparison {
+    assert!(repeats > 0, "need at least one run");
+    let a_runs = a.run_many(base_seed, repeats);
+    let b_runs = b.run_many(base_seed, repeats);
+    let n_nodes = a_runs[0].receive_us.len();
+    let per_rank = (0..n_nodes)
+        .map(|i| {
+            (
+                mean(a_runs.iter().map(|r| r.sorted_ms()[i]), repeats),
+                mean(b_runs.iter().map(|r| r.sorted_ms()[i]), repeats),
+            )
+        })
+        .collect();
+    Comparison {
+        a_last_ms: mean(a_runs.iter().map(SimResult::last_receive_ms), repeats),
+        b_last_ms: mean(b_runs.iter().map(SimResult::last_receive_ms), repeats),
+        a_spread_ms: spread(&a_runs),
+        b_spread_ms: spread(&b_runs),
+        per_rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimParams;
+    use crate::validation::ValidationModel;
+
+    fn sim(validation_us: u64) -> GossipSim {
+        GossipSim::new(SimParams {
+            validation: ValidationModel::Constant(validation_us),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn slower_system_loses() {
+        let fast = sim(2_000);
+        let slow = sim(100_000);
+        let c = compare(&slow, &fast, 3, 5);
+        assert!(c.reduction_pct() > 20.0, "fast system must win: {c:?}");
+        assert_eq!(c.per_rank.len(), 20);
+        // Ranks are monotone for both systems.
+        for w in c.per_rank.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn identical_systems_tie() {
+        let a = sim(10_000);
+        let b = sim(10_000);
+        let c = compare(&a, &b, 9, 5);
+        assert!(c.reduction_pct().abs() < 1e-9, "same params, same seeds → tie");
+        assert_eq!(c.a_spread_ms, c.b_spread_ms);
+    }
+}

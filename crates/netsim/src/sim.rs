@@ -1,0 +1,256 @@
+//! The discrete-event gossip simulation.
+//!
+//! Event loop over a binary heap of `(time, node)` block arrivals. On its
+//! first arrival at a node the block's receive time is recorded; the node
+//! then validates (sampled delay) and relays to its gossip neighbors with
+//! sampled link latency — the validate-before-relay pipeline whose total
+//! the paper measures.
+
+use crate::topology::{LatencyMatrix, Topology};
+use crate::validation::ValidationModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters (defaults = the paper's deployment).
+#[derive(Clone, Copy, Debug)]
+pub struct SimParams {
+    /// Number of nodes (paper: 20).
+    pub n_nodes: usize,
+    /// Gossip fan-out per node (paper: 2).
+    pub gossip_neighbors: usize,
+    /// Link latency model.
+    pub latency: LatencyMatrix,
+    /// Validation-time model applied at every node.
+    pub validation: ValidationModel,
+    /// Serialized block size in bytes; adds a per-hop transmission delay.
+    /// EBV blocks carry input proofs and are larger than baseline blocks —
+    /// this is how that cost enters the propagation comparison.
+    pub block_bytes: u64,
+    /// Access bandwidth per node in Mbit/s (`t2.medium`-ish). Ignored when
+    /// `block_bytes` is 0.
+    pub bandwidth_mbps: f64,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            n_nodes: 20,
+            gossip_neighbors: 2,
+            latency: LatencyMatrix::default(),
+            validation: ValidationModel::Constant(1000),
+            block_bytes: 0,
+            bandwidth_mbps: 250.0,
+        }
+    }
+}
+
+impl SimParams {
+    /// Per-hop transmission delay in microseconds.
+    pub fn transmission_us(&self) -> u64 {
+        if self.block_bytes == 0 || self.bandwidth_mbps <= 0.0 {
+            return 0;
+        }
+        (self.block_bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6) * 1e6) as u64
+    }
+}
+
+/// Result of one propagation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Per-node first-receipt time in microseconds, unsorted (index =
+    /// node id; the seed node has time 0). `u64::MAX` marks unreached
+    /// nodes (possible only in degenerate topologies).
+    pub receive_us: Vec<u64>,
+}
+
+impl SimResult {
+    /// Receive times sorted ascending — the x-axis of Fig. 18 is "the
+    /// i-th node to receive the block".
+    pub fn sorted_ms(&self) -> Vec<f64> {
+        let mut v: Vec<f64> =
+            self.receive_us.iter().map(|&us| us as f64 / 1000.0).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        v
+    }
+
+    /// Time until every node has the block (the paper's −66.4 % metric).
+    pub fn last_receive_ms(&self) -> f64 {
+        *self.sorted_ms().last().expect("nonempty")
+    }
+
+    /// Receive time below which `p` (0..=1) of nodes got the block —
+    /// e.g. `percentile_ms(0.5)` is the median propagation delay.
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        let sorted = self.sorted_ms();
+        let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Whether every node received the block.
+    pub fn fully_propagated(&self) -> bool {
+        self.receive_us.iter().all(|&us| us != u64::MAX)
+    }
+}
+
+/// The gossip simulator.
+pub struct GossipSim {
+    params: SimParams,
+}
+
+impl GossipSim {
+    pub fn new(params: SimParams) -> GossipSim {
+        GossipSim { params }
+    }
+
+    /// Run one propagation: build a fresh random topology from `seed`,
+    /// release the block from a random node at t = 0, and return per-node
+    /// receive times.
+    pub fn run(&self, seed: u64) -> SimResult {
+        let p = &self.params;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let topology = Topology::random(p.n_nodes, p.gossip_neighbors, &mut rng);
+        let origin = rng.gen_range(0..p.n_nodes);
+        self.run_on(&topology, origin, &mut rng)
+    }
+
+    /// Run on a fixed topology and origin (tests and ablations).
+    pub fn run_on(&self, topology: &Topology, origin: usize, rng: &mut SmallRng) -> SimResult {
+        let p = &self.params;
+        let n = topology.len();
+        let mut receive_us = vec![u64::MAX; n];
+        // Heap of (time, node) block arrivals, min-first.
+        let mut events: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        events.push(Reverse((0, origin)));
+
+        while let Some(Reverse((t, node))) = events.pop() {
+            if receive_us[node] != u64::MAX {
+                continue; // duplicate arrival
+            }
+            receive_us[node] = t;
+            // Validate before relaying.
+            let ready = t + p.validation.sample_us(rng);
+            let transmission = p.transmission_us();
+            for &next in &topology.neighbors[node] {
+                if receive_us[next] == u64::MAX {
+                    let delay =
+                        p.latency.sample_us(topology.regions[node], topology.regions[next], rng);
+                    events.push(Reverse((ready + delay + transmission, next)));
+                }
+            }
+        }
+        SimResult { receive_us }
+    }
+
+    /// Run `repeats` independent propagations (fresh topology each run, as
+    /// the paper repeats five times) and return all results.
+    pub fn run_many(&self, base_seed: u64, repeats: usize) -> Vec<SimResult> {
+        (0..repeats).map(|i| self.run(base_seed.wrapping_add(i as u64 * 7919))).collect()
+    }
+
+    /// The configured per-hop transmission delay (µs) — exposed for tests
+    /// and reporting.
+    pub fn params_transmission_us(&self) -> u64 {
+        self.params.transmission_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(validation: ValidationModel) -> GossipSim {
+        GossipSim::new(SimParams { validation, ..Default::default() })
+    }
+
+    #[test]
+    fn block_reaches_every_node() {
+        let s = sim(ValidationModel::Constant(1000));
+        for seed in 0..10 {
+            let r = s.run(seed);
+            assert!(r.fully_propagated(), "seed {seed}");
+            assert_eq!(r.receive_us.iter().filter(|&&t| t == 0).count(), 1, "one origin");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = sim(ValidationModel::Constant(1000));
+        assert_eq!(s.run(42).receive_us, s.run(42).receive_us);
+    }
+
+    #[test]
+    fn receive_times_monotone_sorted() {
+        let s = sim(ValidationModel::Constant(500));
+        let r = s.run(3);
+        let sorted = r.sorted_ms();
+        assert_eq!(sorted[0], 0.0);
+        for w in sorted.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(r.last_receive_ms(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn slower_validation_slows_propagation() {
+        // Same seeds; validation 50 ms vs 2 ms. Averages over runs must
+        // order strictly.
+        let slow = sim(ValidationModel::Constant(50_000));
+        let fast = sim(ValidationModel::Constant(2_000));
+        let slow_avg: f64 =
+            slow.run_many(1, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
+        let fast_avg: f64 =
+            fast.run_many(1, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
+        assert!(
+            slow_avg > fast_avg + 40.0,
+            "slow {slow_avg} ms should exceed fast {fast_avg} ms by ≫ validation gap"
+        );
+    }
+
+    #[test]
+    fn transmission_delay_slows_propagation() {
+        let small = GossipSim::new(SimParams {
+            validation: ValidationModel::Constant(1000),
+            block_bytes: 0,
+            ..Default::default()
+        });
+        let big = GossipSim::new(SimParams {
+            validation: ValidationModel::Constant(1000),
+            block_bytes: 4_000_000, // 4 MB at 250 Mbit/s → 128 ms/hop
+            ..Default::default()
+        });
+        assert_eq!(big.params_transmission_us(), 128_000);
+        let small_avg: f64 =
+            small.run_many(2, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
+        let big_avg: f64 =
+            big.run_many(2, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
+        assert!(
+            big_avg > small_avg + 100.0,
+            "transmission cost must show: {small_avg} vs {big_avg}"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let s = sim(ValidationModel::Constant(1000));
+        let r = s.run(11);
+        assert_eq!(r.percentile_ms(0.0), 0.0);
+        assert!(r.percentile_ms(0.5) <= r.percentile_ms(0.9));
+        assert_eq!(r.percentile_ms(1.0), r.last_receive_ms());
+    }
+
+    #[test]
+    fn origin_validates_before_first_relay() {
+        // With huge validation and tiny latency, the second receiver's
+        // time is at least the validation delay.
+        let s = GossipSim::new(SimParams {
+            validation: ValidationModel::Constant(100_000),
+            latency: LatencyMatrix { scale: 0.001, jitter: 0.0 },
+            ..Default::default()
+        });
+        let r = s.run(9);
+        let sorted = r.sorted_ms();
+        assert!(sorted[1] >= 100.0, "second receipt at {} ms", sorted[1]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Base58Check encoding — human-readable addresses for pay-to-pubkey-hash
+//! outputs, as used throughout the Bitcoin ecosystem.
+//!
+//! Payload layout: `version byte || data || first 4 bytes of
+//! sha256d(version || data)`, encoded in the 58-character alphabet that
+//! omits `0OIl`.
+
+use crate::hash::{sha256d, Hash160};
+
+const ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Version byte for P2PKH addresses (Bitcoin mainnet's `1…` prefix).
+pub const VERSION_P2PKH: u8 = 0x00;
+
+/// Encode raw bytes in base58 (no checksum).
+pub fn encode(data: &[u8]) -> String {
+    // Count leading zero bytes: each becomes a literal '1'.
+    let zeros = data.iter().take_while(|&&b| b == 0).count();
+    // Repeated division by 58 over the big-endian number.
+    let mut digits: Vec<u8> = Vec::with_capacity(data.len() * 138 / 100 + 1);
+    for &byte in &data[zeros..] {
+        let mut carry = byte as u32;
+        for d in digits.iter_mut() {
+            carry += (*d as u32) << 8;
+            *d = (carry % 58) as u8;
+            carry /= 58;
+        }
+        while carry > 0 {
+            digits.push((carry % 58) as u8);
+            carry /= 58;
+        }
+    }
+    let mut out = String::with_capacity(zeros + digits.len());
+    out.extend(std::iter::repeat('1').take(zeros));
+    out.extend(digits.iter().rev().map(|&d| ALPHABET[d as usize] as char));
+    out
+}
+
+/// Base58 decoding errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Base58Error {
+    /// Character outside the alphabet at the given offset.
+    InvalidChar(usize),
+    /// Checksum mismatch in [`decode_check`].
+    BadChecksum,
+    /// Payload too short to contain a checksum.
+    TooShort,
+}
+
+impl std::fmt::Display for Base58Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for Base58Error {}
+
+/// Decode base58 (no checksum).
+pub fn decode(s: &str) -> Result<Vec<u8>, Base58Error> {
+    let bytes = s.as_bytes();
+    let ones = bytes.iter().take_while(|&&b| b == b'1').count();
+    let mut out: Vec<u8> = Vec::with_capacity(s.len());
+    for (i, &c) in bytes[ones..].iter().enumerate() {
+        let digit = ALPHABET
+            .iter()
+            .position(|&a| a == c)
+            .ok_or(Base58Error::InvalidChar(ones + i))? as u32;
+        let mut carry = digit;
+        for b in out.iter_mut() {
+            carry += (*b as u32) * 58;
+            *b = carry as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            out.push(carry as u8);
+            carry >>= 8;
+        }
+    }
+    out.extend(std::iter::repeat(0).take(ones));
+    out.reverse();
+    Ok(out)
+}
+
+/// Encode with a version byte and 4-byte double-SHA256 checksum.
+pub fn encode_check(version: u8, payload: &[u8]) -> String {
+    let mut data = Vec::with_capacity(1 + payload.len() + 4);
+    data.push(version);
+    data.extend_from_slice(payload);
+    let checksum = sha256d(&data);
+    data.extend_from_slice(&checksum.as_bytes()[..4]);
+    encode(&data)
+}
+
+/// Decode and verify a Base58Check string, returning `(version, payload)`.
+pub fn decode_check(s: &str) -> Result<(u8, Vec<u8>), Base58Error> {
+    let data = decode(s)?;
+    if data.len() < 5 {
+        return Err(Base58Error::TooShort);
+    }
+    let (body, checksum) = data.split_at(data.len() - 4);
+    let expected = sha256d(body);
+    if &expected.as_bytes()[..4] != checksum {
+        return Err(Base58Error::BadChecksum);
+    }
+    Ok((body[0], body[1..].to_vec()))
+}
+
+/// The P2PKH address for a pubkey hash.
+pub fn p2pkh_address(hash: &Hash160) -> String {
+    encode_check(VERSION_P2PKH, hash.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash160;
+
+    #[test]
+    fn known_vectors() {
+        // Standard base58 vectors.
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"hello world"), "StV1DL6CwTryKyV");
+        assert_eq!(encode(&[0x00, 0x00, 0x01]), "112");
+        assert_eq!(decode("StV1DL6CwTryKyV").unwrap(), b"hello world");
+        assert_eq!(decode("112").unwrap(), vec![0x00, 0x00, 0x01]);
+    }
+
+    #[test]
+    fn genesis_address_vector() {
+        // The famous genesis-block address: HASH160 of Satoshi's pubkey.
+        // Check the well-known round trip property instead of the exact
+        // pubkey: any 20-byte payload with version 0 yields a '1…' string.
+        let h = hash160(b"some pubkey");
+        let addr = p2pkh_address(&h);
+        assert!(addr.starts_with('1'));
+        let (version, payload) = decode_check(&addr).unwrap();
+        assert_eq!(version, VERSION_P2PKH);
+        assert_eq!(payload, h.as_bytes());
+    }
+
+    #[test]
+    fn round_trip_random_payloads() {
+        for len in 0..40 {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn checksum_detects_typos() {
+        let addr = p2pkh_address(&hash160(b"k"));
+        // Flip one character (pick one that stays in the alphabet).
+        let mut chars: Vec<char> = addr.chars().collect();
+        let i = chars.len() / 2;
+        chars[i] = if chars[i] == '2' { '3' } else { '2' };
+        let typo: String = chars.into_iter().collect();
+        assert!(matches!(
+            decode_check(&typo),
+            Err(Base58Error::BadChecksum) | Err(Base58Error::InvalidChar(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(decode("0"), Err(Base58Error::InvalidChar(0)));
+        assert_eq!(decode("abcO"), Err(Base58Error::InvalidChar(3)));
+        assert_eq!(decode_check("1111"), Err(Base58Error::TooShort));
+    }
+
+    #[test]
+    fn leading_zeros_preserved() {
+        let data = [0u8, 0, 0, 7, 9];
+        let enc = encode(&data);
+        assert!(enc.starts_with("111"));
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+}

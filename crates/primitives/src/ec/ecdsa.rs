@@ -1,0 +1,237 @@
+//! ECDSA signing and verification over secp256k1.
+//!
+//! Signatures use the 64-byte compact encoding (`r || s`, both 32-byte
+//! big-endian) with low-S canonicalization, matching what the script
+//! engine's `OP_CHECKSIG` consumes.
+
+use super::point::Affine;
+use super::rfc6979;
+use super::scalar::Scalar;
+
+/// A compact ECDSA signature.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    pub r: Scalar,
+    pub s: Scalar,
+}
+
+/// Why a signature failed to parse or verify.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SigError {
+    /// r or s is zero or ≥ n.
+    ComponentOutOfRange,
+    /// s is in the upper half of the range (non-canonical encoding).
+    HighS,
+    /// The compact encoding has the wrong length.
+    BadLength,
+}
+
+impl std::fmt::Display for SigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SigError::ComponentOutOfRange => write!(f, "signature component out of range"),
+            SigError::HighS => write!(f, "non-canonical high-S signature"),
+            SigError::BadLength => write!(f, "compact signature must be 64 bytes"),
+        }
+    }
+}
+
+impl std::error::Error for SigError {}
+
+impl Signature {
+    /// Serialize as `r || s`, 64 bytes.
+    pub fn to_compact(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parse a compact signature, enforcing canonical (low-S) form.
+    pub fn from_compact(bytes: &[u8]) -> Result<Signature, SigError> {
+        if bytes.len() != 64 {
+            return Err(SigError::BadLength);
+        }
+        let r = Scalar::from_be_bytes(bytes[..32].try_into().expect("32 bytes"))
+            .ok_or(SigError::ComponentOutOfRange)?;
+        let s = Scalar::from_be_bytes(bytes[32..].try_into().expect("32 bytes"))
+            .ok_or(SigError::ComponentOutOfRange)?;
+        if r.is_zero() || s.is_zero() {
+            return Err(SigError::ComponentOutOfRange);
+        }
+        if s.is_high() {
+            return Err(SigError::HighS);
+        }
+        Ok(Signature { r, s })
+    }
+}
+
+/// Sign digest `z` with private scalar `sk` using an RFC 6979 nonce.
+///
+/// The returned signature is low-S canonical. `sk` must be nonzero (enforced
+/// by [`super::keys::PrivateKey`] construction).
+pub fn sign(z: &[u8; 32], sk: &Scalar) -> Signature {
+    debug_assert!(!sk.is_zero());
+    let z_scalar = Scalar::from_be_bytes_reduced(z);
+    let mut h1 = *z;
+    loop {
+        let k = rfc6979::generate_k(sk, &h1);
+        let point = Affine::generator().mul(&k);
+        let (x, _) = point.coords().expect("k in [1,n) cannot give infinity");
+        let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
+        if r.is_zero() {
+            // Astronomically unlikely; retry with a perturbed digest as the
+            // RFC's "try again" step.
+            h1 = crate::hash::sha256(&h1);
+            continue;
+        }
+        let kinv = k.invert().expect("k nonzero");
+        let s = kinv.mul(&z_scalar.add(&r.mul(sk)));
+        if s.is_zero() {
+            h1 = crate::hash::sha256(&h1);
+            continue;
+        }
+        return Signature { r, s: s.normalize_s() };
+    }
+}
+
+/// Verify signature `sig` on digest `z` against public key point `q`.
+pub fn verify(z: &[u8; 32], sig: &Signature, q: &Affine) -> bool {
+    if q.is_infinity() || !q.is_on_curve() {
+        return false;
+    }
+    if sig.r.is_zero() || sig.s.is_zero() {
+        return false;
+    }
+    let z_scalar = Scalar::from_be_bytes_reduced(z);
+    let w = match sig.s.invert() {
+        Some(w) => w,
+        None => return false,
+    };
+    let u1 = z_scalar.mul(&w);
+    let u2 = sig.r.mul(&w);
+    // Shamir's trick halves the doubling work of u1·G + u2·Q.
+    let point = Affine::generator()
+        .to_jacobian()
+        .shamir_mul(&u1, &q.to_jacobian(), &u2)
+        .to_affine();
+    match point.coords() {
+        None => false,
+        Some((x, _)) => Scalar::from_be_bytes_reduced(&x.to_be_bytes()) == sig.r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+    use crate::hex;
+
+    fn keypair(v: u64) -> (Scalar, Affine) {
+        let sk = Scalar::from_u64(v);
+        (sk, Affine::generator().mul(&sk))
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (sk, pk) = keypair(42);
+        let z = sha256(b"pay alice 5 coins");
+        let sig = sign(&z, &sk);
+        assert!(verify(&z, &sig, &pk));
+    }
+
+    #[test]
+    fn rejects_wrong_message() {
+        let (sk, pk) = keypair(42);
+        let sig = sign(&sha256(b"pay alice 5 coins"), &sk);
+        assert!(!verify(&sha256(b"pay alice 500 coins"), &sig, &pk));
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let (sk, _) = keypair(42);
+        let (_, other_pk) = keypair(43);
+        let z = sha256(b"msg");
+        let sig = sign(&z, &sk);
+        assert!(!verify(&z, &sig, &other_pk));
+    }
+
+    #[test]
+    fn rejects_tampered_signature() {
+        let (sk, pk) = keypair(7);
+        let z = sha256(b"msg");
+        let sig = sign(&z, &sk);
+        let mut bad = sig;
+        bad.s = bad.s.add(&Scalar::ONE);
+        assert!(!verify(&z, &bad, &pk));
+        let mut bad_r = sig;
+        bad_r.r = bad_r.r.add(&Scalar::ONE);
+        assert!(!verify(&z, &bad_r, &pk));
+    }
+
+    #[test]
+    fn rejects_infinity_key() {
+        let (sk, _) = keypair(7);
+        let z = sha256(b"msg");
+        let sig = sign(&z, &sk);
+        assert!(!verify(&z, &sig, &Affine::Infinity));
+    }
+
+    #[test]
+    fn signature_is_low_s() {
+        for i in 1..20u64 {
+            let (sk, _) = keypair(i);
+            let sig = sign(&sha256(&i.to_le_bytes()), &sk);
+            assert!(!sig.s.is_high(), "key {i} produced high-S");
+        }
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let (sk, _) = keypair(99);
+        let z = sha256(b"same message");
+        assert_eq!(sign(&z, &sk), sign(&z, &sk));
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let (sk, pk) = keypair(5);
+        let z = sha256(b"compact");
+        let sig = sign(&z, &sk);
+        let parsed = Signature::from_compact(&sig.to_compact()).unwrap();
+        assert_eq!(parsed, sig);
+        assert!(verify(&z, &parsed, &pk));
+    }
+
+    #[test]
+    fn compact_rejects_bad_encodings() {
+        assert_eq!(Signature::from_compact(&[0u8; 63]), Err(SigError::BadLength));
+        // All zero: r = s = 0.
+        assert_eq!(
+            Signature::from_compact(&[0u8; 64]),
+            Err(SigError::ComponentOutOfRange)
+        );
+        // High-S: take a valid signature and flip s to n - s.
+        let (sk, _) = keypair(5);
+        let sig = sign(&sha256(b"x"), &sk);
+        let mut bytes = sig.to_compact();
+        bytes[32..].copy_from_slice(&sig.s.neg().to_be_bytes());
+        assert_eq!(Signature::from_compact(&bytes), Err(SigError::HighS));
+    }
+
+    #[test]
+    fn known_vector_satoshi_nakamoto() {
+        // secp256k1 + RFC 6979 vector reproduced across many bitcoin
+        // libraries: sk = 1, message "Satoshi Nakamoto".
+        let sk = Scalar::from_u64(1);
+        let sig = sign(&sha256(b"Satoshi Nakamoto"), &sk);
+        assert_eq!(
+            hex::encode(&sig.r.to_be_bytes()),
+            "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8"
+        );
+        assert_eq!(
+            hex::encode(&sig.s.to_be_bytes()),
+            "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5"
+        );
+    }
+}

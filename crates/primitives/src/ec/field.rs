@@ -1,0 +1,269 @@
+//! Arithmetic in the secp256k1 base field
+//! `F_p`, `p = 2^256 - 2^32 - 977`.
+//!
+//! Elements are kept fully reduced. Because `p = 2^256 - C` with
+//! `C = 0x1000003D1` fitting in 33 bits, reduction of a 512-bit product is a
+//! cheap fold: `H·2^256 + L ≡ H·C + L (mod p)`.
+
+use crate::u256::U256;
+
+/// `p = 2^256 - 2^32 - 977`.
+pub const P: U256 = U256::from_be_limbs([
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFFFFFFFFFF,
+    0xFFFFFFFEFFFFFC2F,
+]);
+
+/// `2^256 mod p`.
+const C: u64 = 0x1000003D1;
+
+/// An element of `F_p`, always in `[0, p)`.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fe(pub U256);
+
+/// `a * m` where `m` is a single limb; returns (low 256 bits, carry limb).
+fn mul_u256_u64(a: &U256, m: u64) -> (U256, u64) {
+    let mut out = [0u64; 4];
+    let mut carry = 0u128;
+    for i in 0..4 {
+        let t = (a.limbs[i] as u128) * (m as u128) + carry;
+        out[i] = t as u64;
+        carry = t >> 64;
+    }
+    (U256 { limbs: out }, carry as u64)
+}
+
+/// Reduce a 512-bit little-endian product modulo `p`.
+fn reduce512(w: &[u64; 8]) -> Fe {
+    let l = U256 { limbs: [w[0], w[1], w[2], w[3]] };
+    let h = U256 { limbs: [w[4], w[5], w[6], w[7]] };
+
+    // First fold: value ≡ l + h·C, with h·C < 2^(256+33).
+    let (hc, hc_top) = mul_u256_u64(&h, C);
+    let (sum, carry) = l.overflowing_add(&hc);
+    let top = hc_top + carry as u64; // < 2^34, no overflow
+
+    // Second fold: top·C < 2^67.
+    let t = (top as u128) * (C as u128);
+    let addend = U256 { limbs: [t as u64, (t >> 64) as u64, 0, 0] };
+    let (mut r, carry2) = sum.overflowing_add(&addend);
+    if carry2 {
+        // Wrapped past 2^256: 2^256 ≡ C (mod p); r is tiny so this cannot
+        // wrap again.
+        r = r.overflowing_add(&U256::from_u64(C)).0;
+    }
+    while r >= P {
+        r = r.overflowing_sub(&P).0;
+    }
+    Fe(r)
+}
+
+impl Fe {
+    pub const ZERO: Fe = Fe(U256::ZERO);
+    pub const ONE: Fe = Fe(U256::ONE);
+
+    /// Construct from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// Parse 32 big-endian bytes; returns `None` if the value is ≥ p.
+    pub fn from_be_bytes(b: &[u8; 32]) -> Option<Fe> {
+        let v = U256::from_be_bytes(b);
+        if v >= P {
+            None
+        } else {
+            Some(Fe(v))
+        }
+    }
+
+    /// Serialize as 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// True if the canonical representative is odd (used for compressed
+    /// point parity).
+    pub fn is_odd(&self) -> bool {
+        self.0.limbs[0] & 1 == 1
+    }
+
+    pub fn add(&self, other: &Fe) -> Fe {
+        let (mut s, carry) = self.0.overflowing_add(&other.0);
+        if carry || s >= P {
+            s = s.overflowing_sub(&P).0;
+        }
+        Fe(s)
+    }
+
+    pub fn sub(&self, other: &Fe) -> Fe {
+        let (d, borrow) = self.0.overflowing_sub(&other.0);
+        if borrow {
+            Fe(d.overflowing_add(&P).0)
+        } else {
+            Fe(d)
+        }
+    }
+
+    pub fn neg(&self) -> Fe {
+        if self.is_zero() {
+            *self
+        } else {
+            Fe(P.overflowing_sub(&self.0).0)
+        }
+    }
+
+    pub fn mul(&self, other: &Fe) -> Fe {
+        reduce512(&self.0.widening_mul(&other.0))
+    }
+
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// `self^e` by square-and-multiply, MSB first.
+    pub fn pow(&self, e: &U256) -> Fe {
+        let mut acc = Fe::ONE;
+        let bits = e.bits();
+        for i in (0..bits).rev() {
+            acc = acc.square();
+            if e.bit(i) {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse by Fermat's little theorem (`a^(p-2)`).
+    /// Returns `None` for zero.
+    pub fn invert(&self) -> Option<Fe> {
+        if self.is_zero() {
+            return None;
+        }
+        let p_minus_2 = P.overflowing_sub(&U256::from_u64(2)).0;
+        Some(self.pow(&p_minus_2))
+    }
+
+    /// Square root, if one exists. Since `p ≡ 3 (mod 4)`,
+    /// `sqrt(a) = a^((p+1)/4)`; the candidate is verified before returning.
+    pub fn sqrt(&self) -> Option<Fe> {
+        // (p + 1) / 4: p + 1 = 2^256 - 2^32 - 976, shifted right twice.
+        // Compute by adding one then shifting with carry handling; p+1 does
+        // not overflow into 2^256 territory... it equals 2^256 - (2^32+976),
+        // still < 2^256.
+        let p_plus_1 = P.overflowing_add(&U256::ONE).0;
+        let mut e = [0u64; 4];
+        let mut carry = 0u64;
+        for i in (0..4).rev() {
+            let v = p_plus_1.limbs[i];
+            e[i] = (v >> 2) | (carry << 62);
+            carry = v & 0b11;
+        }
+        let cand = self.pow(&U256 { limbs: e });
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for Fe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fe(0x{})", crate::hex::encode(&self.to_be_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn add_wraps_at_p() {
+        let p_minus_1 = Fe(P.overflowing_sub(&U256::ONE).0);
+        assert_eq!(p_minus_1.add(&Fe::ONE), Fe::ZERO);
+        assert_eq!(p_minus_1.add(&fe(2)), Fe::ONE);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(Fe::ZERO.sub(&Fe::ONE), Fe(P.overflowing_sub(&U256::ONE).0));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse() {
+        let a = fe(123456789);
+        assert_eq!(a.add(&a.neg()), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(fe(6).mul(&fe(7)), fe(42));
+    }
+
+    #[test]
+    fn mul_reduces() {
+        // (p-1)^2 mod p = 1  (since p-1 ≡ -1)
+        let p_minus_1 = Fe(P.overflowing_sub(&U256::ONE).0);
+        assert_eq!(p_minus_1.square(), Fe::ONE);
+    }
+
+    #[test]
+    fn invert_round_trip() {
+        for v in [1u64, 2, 3, 97, 0xffff_ffff, u64::MAX] {
+            let a = fe(v);
+            let inv = a.invert().expect("nonzero");
+            assert_eq!(a.mul(&inv), Fe::ONE, "v = {v}");
+        }
+        assert!(Fe::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        for v in [2u64, 3, 5, 1234567, 0xdead_beef] {
+            let a = fe(v);
+            let sq = a.square();
+            let r = sq.sqrt().expect("square has a root");
+            assert!(r == a || r == a.neg(), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sqrt_rejects_non_residue() {
+        // 7 generates... instead test: for x where x is QR, -x is not
+        // necessarily NQR; use a known non-residue: p ≡ 3 mod 4 means -1 is
+        // a non-residue, so -(a^2) has no root when a != 0.
+        let a = fe(42).square().neg();
+        assert!(a.sqrt().is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = fe(3);
+        let mut acc = Fe::ONE;
+        for _ in 0..17 {
+            acc = acc.mul(&a);
+        }
+        assert_eq!(a.pow(&U256::from_u64(17)), acc);
+    }
+
+    #[test]
+    fn from_be_bytes_rejects_ge_p() {
+        assert!(Fe::from_be_bytes(&P.to_be_bytes()).is_none());
+        assert!(Fe::from_be_bytes(&[0xff; 32]).is_none());
+        assert_eq!(
+            Fe::from_be_bytes(&U256::ONE.to_be_bytes()),
+            Some(Fe::ONE)
+        );
+    }
+}

@@ -1,0 +1,352 @@
+//! secp256k1 group arithmetic: `y² = x³ + 7` over `F_p`.
+//!
+//! Points are manipulated in Jacobian coordinates (`X/Z²`, `Y/Z³`) so that
+//! scalar multiplication needs a single field inversion at the end. The
+//! implementation is straightforward double-and-add: verification speed is
+//! deliberately "honest work", since Script Validation cost drives the
+//! paper's Fig. 16b/17b breakdowns.
+
+use super::field::Fe;
+use super::scalar::Scalar;
+use crate::u256::U256;
+
+/// Affine curve point, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Affine {
+    /// The identity element.
+    Infinity,
+    /// A finite point `(x, y)`.
+    Point { x: Fe, y: Fe },
+}
+
+/// Jacobian-coordinate point; `z = 0` encodes infinity.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobian {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+/// Generator x-coordinate.
+const GX: U256 = U256::from_be_limbs([
+    0x79BE667EF9DCBBAC,
+    0x55A06295CE870B07,
+    0x029BFCDB2DCE28D9,
+    0x59F2815B16F81798,
+]);
+
+/// Generator y-coordinate.
+const GY: U256 = U256::from_be_limbs([
+    0x483ADA7726A3C465,
+    0x5DA4FBFC0E1108A8,
+    0xFD17B448A6855419,
+    0x9C47D08FFB10D4B8,
+]);
+
+impl Affine {
+    /// The standard generator `G`.
+    pub fn generator() -> Affine {
+        Affine::Point { x: Fe(GX), y: Fe(GY) }
+    }
+
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Affine::Infinity)
+    }
+
+    /// The affine coordinates, or `None` for infinity.
+    pub fn coords(&self) -> Option<(Fe, Fe)> {
+        match self {
+            Affine::Infinity => None,
+            Affine::Point { x, y } => Some((*x, *y)),
+        }
+    }
+
+    /// Check the curve equation `y² = x³ + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        match self {
+            Affine::Infinity => true,
+            Affine::Point { x, y } => {
+                let lhs = y.square();
+                let rhs = x.square().mul(x).add(&Fe::from_u64(7));
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Negate (reflect across the x-axis).
+    pub fn neg(&self) -> Affine {
+        match self {
+            Affine::Infinity => Affine::Infinity,
+            Affine::Point { x, y } => Affine::Point { x: *x, y: y.neg() },
+        }
+    }
+
+    /// Lift to Jacobian coordinates.
+    pub fn to_jacobian(&self) -> Jacobian {
+        match self {
+            Affine::Infinity => Jacobian::infinity(),
+            Affine::Point { x, y } => Jacobian { x: *x, y: *y, z: Fe::ONE },
+        }
+    }
+
+    /// Reconstruct the point with x-coordinate `x` and y-parity `odd`, if it
+    /// lies on the curve (compressed-point decoding).
+    pub fn lift_x(x: Fe, odd: bool) -> Option<Affine> {
+        let y2 = x.square().mul(&x).add(&Fe::from_u64(7));
+        let mut y = y2.sqrt()?;
+        if y.is_odd() != odd {
+            y = y.neg();
+        }
+        Some(Affine::Point { x, y })
+    }
+
+    /// `k * self` via Jacobian double-and-add.
+    pub fn mul(&self, k: &Scalar) -> Affine {
+        self.to_jacobian().mul(k).to_affine()
+    }
+
+    /// `a + b` in affine terms (used by verification: `u1·G + u2·Q`).
+    pub fn add(&self, other: &Affine) -> Affine {
+        self.to_jacobian().add_jacobian(&other.to_jacobian()).to_affine()
+    }
+}
+
+impl Jacobian {
+    pub fn infinity() -> Jacobian {
+        Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+    }
+
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (curve has `a = 0`).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::infinity();
+        }
+        let y2 = self.y.square();
+        let s = self.x.mul(&y2).mul(&Fe::from_u64(4));
+        let m = self.x.square().mul(&Fe::from_u64(3));
+        let x3 = m.square().sub(&s).sub(&s);
+        let y4_8 = y2.square().mul(&Fe::from_u64(8));
+        let y3 = m.mul(&s.sub(&x3)).sub(&y4_8);
+        let z3 = self.y.mul(&self.z).mul(&Fe::from_u64(2));
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian addition.
+    pub fn add_jacobian(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&z2z2).mul(&other.z);
+        let s2 = other.y.mul(&z1z1).mul(&self.z);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::infinity();
+        }
+        let h = u2.sub(&u1);
+        let r = s2.sub(&s1);
+        let h2 = h.square();
+        let h3 = h2.mul(&h);
+        let u1h2 = u1.mul(&h2);
+        let x3 = r.square().sub(&h3).sub(&u1h2).sub(&u1h2);
+        let y3 = r.mul(&u1h2.sub(&x3)).sub(&s1.mul(&h3));
+        let z3 = h.mul(&self.z).mul(&other.z);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// `k * self`, MSB-first double-and-add.
+    pub fn mul(&self, k: &Scalar) -> Jacobian {
+        let mut acc = Jacobian::infinity();
+        let bits = k.0.bits();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            if k.0.bit(i) {
+                acc = acc.add_jacobian(self);
+            }
+        }
+        acc
+    }
+
+    /// Shamir's trick: `a·self + b·other` in a single double-and-add pass
+    /// (ECDSA verification computes `u1·G + u2·Q`; the shared pass does
+    /// one doubling ladder instead of two).
+    pub fn shamir_mul(&self, a: &Scalar, other: &Jacobian, b: &Scalar) -> Jacobian {
+        let sum = self.add_jacobian(other);
+        let bits = a.0.bits().max(b.0.bits());
+        let mut acc = Jacobian::infinity();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            match (a.0.bit(i), b.0.bit(i)) {
+                (true, true) => acc = acc.add_jacobian(&sum),
+                (true, false) => acc = acc.add_jacobian(self),
+                (false, true) => acc = acc.add_jacobian(other),
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+
+    /// Project back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine {
+        if self.is_infinity() {
+            return Affine::Infinity;
+        }
+        let zinv = self.z.invert().expect("nonzero z");
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        Affine::Point { x: self.x.mul(&zinv2), y: self.y.mul(&zinv3) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn scalar(v: u64) -> Scalar {
+        Scalar::from_u64(v)
+    }
+
+    fn x_hex(p: &Affine) -> String {
+        hex::encode(&p.coords().unwrap().0.to_be_bytes())
+    }
+
+    fn y_hex(p: &Affine) -> String {
+        hex::encode(&p.coords().unwrap().1.to_be_bytes())
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(Affine::generator().is_on_curve());
+    }
+
+    #[test]
+    fn two_g_known_value() {
+        let p2 = Affine::generator().mul(&scalar(2));
+        assert_eq!(
+            x_hex(&p2),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+        assert_eq!(
+            y_hex(&p2),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a"
+        );
+    }
+
+    #[test]
+    fn three_g_known_value() {
+        let p3 = Affine::generator().mul(&scalar(3));
+        assert_eq!(
+            x_hex(&p3),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9"
+        );
+        assert_eq!(
+            y_hex(&p3),
+            "388f7b0f632de8140fe337e62a37f3566500a99934c2231b6cb9fd7584b8e672"
+        );
+    }
+
+    #[test]
+    fn add_matches_mul() {
+        let g = Affine::generator();
+        let sum = g.add(&g.add(&g)); // G + 2G via nested adds
+        assert_eq!(sum, g.mul(&scalar(3)));
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = Affine::generator().to_jacobian();
+        let d = g.double().to_affine();
+        let a = g.add_jacobian(&g).to_affine(); // triggers the u1==u2 branch
+        assert_eq!(d, a);
+        assert_eq!(d, Affine::generator().mul(&scalar(2)));
+    }
+
+    #[test]
+    fn point_plus_negation_is_infinity() {
+        let p = Affine::generator().mul(&scalar(7));
+        assert!(p.add(&p.neg()).is_infinity());
+    }
+
+    #[test]
+    fn infinity_is_identity() {
+        let p = Affine::generator().mul(&scalar(5));
+        assert_eq!(p.add(&Affine::Infinity), p);
+        assert_eq!(Affine::Infinity.add(&p), p);
+        assert!(Affine::Infinity.is_on_curve());
+    }
+
+    #[test]
+    fn n_times_g_is_infinity() {
+        use super::super::scalar::N;
+        use crate::u256::U256;
+        // (n-1)·G + G = n·G = O
+        let n_minus_1 = Scalar(N.overflowing_sub(&U256::ONE).0);
+        let p = Affine::generator().mul(&n_minus_1);
+        assert!(p.add(&Affine::generator()).is_infinity());
+        // and (n-1)·G == -G
+        assert_eq!(p, Affine::generator().neg());
+    }
+
+    #[test]
+    fn shamir_matches_separate_muls() {
+        let g = Affine::generator().to_jacobian();
+        let q = g.mul(&scalar(77));
+        for (a, b) in [(1u64, 1u64), (2, 3), (0, 9), (9, 0), (12345, 67890)] {
+            let (a, b) = (scalar(a), scalar(b));
+            let expected = g.mul(&a).add_jacobian(&q.mul(&b)).to_affine();
+            let got = g.shamir_mul(&a, &q, &b).to_affine();
+            assert_eq!(got, expected);
+        }
+        // Degenerate: both zero.
+        assert!(g.shamir_mul(&Scalar::ZERO, &q, &Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let g = Affine::generator();
+        let a = g.mul(&scalar(11));
+        let b = g.mul(&scalar(31));
+        assert_eq!(a.add(&b), g.mul(&scalar(42)));
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let g = Affine::generator();
+        assert!(g.mul(&Scalar::ZERO).is_infinity());
+        assert_eq!(g.mul(&Scalar::ONE), g);
+    }
+
+    #[test]
+    fn lift_x_round_trip() {
+        let p = Affine::generator().mul(&scalar(9));
+        let (x, y) = p.coords().unwrap();
+        let lifted = Affine::lift_x(x, y.is_odd()).unwrap();
+        assert_eq!(lifted, p);
+        let flipped = Affine::lift_x(x, !y.is_odd()).unwrap();
+        assert_eq!(flipped, p.neg());
+    }
+
+    #[test]
+    fn lift_x_rejects_off_curve() {
+        // x = 5: 5³+7 = 132 — check via the API rather than asserting QR-ness
+        // by hand; if it lifts it must be on the curve.
+        for v in 1u64..20 {
+            if let Some(p) = Affine::lift_x(Fe::from_u64(v), false) {
+                assert!(p.is_on_curve());
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic ECDSA nonces per RFC 6979 (HMAC-SHA256, qlen = 256).
+//!
+//! Deterministic nonces make transaction signing in the workload generator
+//! reproducible from the seed alone, and remove any dependence on an OS
+//! entropy source.
+
+use super::scalar::Scalar;
+use crate::hash::hmac_sha256;
+
+/// Generate the nonce `k` for private key `x` and message digest `h1`
+/// (already hashed, 32 bytes). Always returns a scalar in `[1, n)`.
+pub fn generate_k(x: &Scalar, h1: &[u8; 32]) -> Scalar {
+    // For a 256-bit group order, bits2octets(h1) = int2octets(h1 mod n).
+    let h1_reduced = Scalar::from_be_bytes_reduced(h1).to_be_bytes();
+    let x_bytes = x.to_be_bytes();
+
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+
+    // K = HMAC_K(V || 0x00 || x || h1)
+    let mut msg = Vec::with_capacity(32 + 1 + 32 + 32);
+    msg.extend_from_slice(&v);
+    msg.push(0x00);
+    msg.extend_from_slice(&x_bytes);
+    msg.extend_from_slice(&h1_reduced);
+    k = hmac_sha256(&k, &msg);
+    v = hmac_sha256(&k, &v);
+
+    // K = HMAC_K(V || 0x01 || x || h1)
+    msg.clear();
+    msg.extend_from_slice(&v);
+    msg.push(0x01);
+    msg.extend_from_slice(&x_bytes);
+    msg.extend_from_slice(&h1_reduced);
+    k = hmac_sha256(&k, &msg);
+    v = hmac_sha256(&k, &v);
+
+    loop {
+        v = hmac_sha256(&k, &v);
+        if let Some(candidate) = Scalar::from_be_bytes(&v) {
+            if !candidate.is_zero() {
+                return candidate;
+            }
+        }
+        // Candidate out of range: K = HMAC_K(V || 0x00), V = HMAC_K(V).
+        msg.clear();
+        msg.extend_from_slice(&v);
+        msg.push(0x00);
+        k = hmac_sha256(&k, &msg);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+    use crate::hex;
+
+    #[test]
+    fn deterministic() {
+        let x = Scalar::from_u64(12345);
+        let h = sha256(b"message");
+        assert_eq!(
+            generate_k(&x, &h).to_be_bytes(),
+            generate_k(&x, &h).to_be_bytes()
+        );
+    }
+
+    #[test]
+    fn different_inputs_give_different_k() {
+        let x = Scalar::from_u64(12345);
+        let h1 = sha256(b"message one");
+        let h2 = sha256(b"message two");
+        assert_ne!(generate_k(&x, &h1), generate_k(&x, &h2));
+        assert_ne!(
+            generate_k(&Scalar::from_u64(1), &h1),
+            generate_k(&Scalar::from_u64(2), &h1)
+        );
+    }
+
+    #[test]
+    fn known_vector_secp256k1_key1() {
+        // Widely reproduced secp256k1 RFC 6979 vector (e.g. in the Trezor
+        // and python-ecdsa test suites): x = 1, message "Satoshi Nakamoto".
+        let x = Scalar::from_u64(1);
+        let h = sha256(b"Satoshi Nakamoto");
+        let k = generate_k(&x, &h);
+        assert_eq!(
+            hex::encode(&k.to_be_bytes()),
+            "8f8a276c19f4149656b280621e358cce24f5f52542772691ee69063b74f15d15"
+        );
+    }
+
+    #[test]
+    fn k_is_never_zero() {
+        for i in 1..50u64 {
+            let x = Scalar::from_u64(i);
+            let h = sha256(&i.to_le_bytes());
+            assert!(!generate_k(&x, &h).is_zero());
+        }
+    }
+}

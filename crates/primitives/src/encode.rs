@@ -1,0 +1,413 @@
+//! Bitcoin-like wire encoding.
+//!
+//! Little-endian fixed-width integers, `CompactSize` varints, and
+//! length-prefixed byte strings. All chain data structures (transactions,
+//! blocks, proofs, bit-vectors) round-trip through [`Encodable`] /
+//! [`Decodable`]; the serialized sizes are what the paper's
+//! memory-requirement experiments (Figs. 1, 14) measure.
+
+use crate::hash::{Hash160, Hash256};
+
+/// Errors from decoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A varint was not minimally encoded.
+    NonCanonicalVarInt,
+    /// A length prefix exceeds the sanity limit.
+    OversizedLength(u64),
+    /// Trailing bytes remained after a full-buffer decode.
+    TrailingBytes(usize),
+    /// A structurally invalid value (e.g. unknown enum tag).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::NonCanonicalVarInt => write!(f, "non-canonical varint"),
+            DecodeError::OversizedLength(n) => write!(f, "length prefix {n} too large"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            DecodeError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum element count accepted for any length-prefixed collection.
+/// Far above anything a valid block contains; guards allocation bombs.
+pub const MAX_COLLECTION_LEN: u64 = 1 << 25;
+
+/// A cursor over an input buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.read_bytes(1)?[0])
+    }
+
+    pub fn read_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.read_bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.read_bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.read_bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `CompactSize` varint, rejecting non-minimal encodings.
+    pub fn read_varint(&mut self) -> Result<u64, DecodeError> {
+        let first = self.read_u8()?;
+        let value = match first {
+            0..=0xfc => return Ok(first as u64),
+            0xfd => self.read_u16()? as u64,
+            0xfe => self.read_u32()? as u64,
+            0xff => self.read_u64()?,
+        };
+        let minimal = match first {
+            0xfd => value >= 0xfd && value <= 0xffff,
+            0xfe => value > 0xffff && value <= 0xffff_ffff,
+            _ => value > 0xffff_ffff,
+        };
+        if !minimal {
+            return Err(DecodeError::NonCanonicalVarInt);
+        }
+        Ok(value)
+    }
+
+    /// Read a varint length prefix, bounded by [`MAX_COLLECTION_LEN`].
+    pub fn read_len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.read_varint()?;
+        if n > MAX_COLLECTION_LEN {
+            return Err(DecodeError::OversizedLength(n));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read a varint-length-prefixed byte string.
+    pub fn read_var_bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.read_len()?;
+        Ok(self.read_bytes(n)?.to_vec())
+    }
+}
+
+/// Append a `CompactSize` varint.
+pub fn write_varint(out: &mut Vec<u8>, v: u64) {
+    match v {
+        0..=0xfc => out.push(v as u8),
+        0xfd..=0xffff => {
+            out.push(0xfd);
+            out.extend_from_slice(&(v as u16).to_le_bytes());
+        }
+        0x1_0000..=0xffff_ffff => {
+            out.push(0xfe);
+            out.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        _ => {
+            out.push(0xff);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Serialized size of a varint.
+pub fn varint_len(v: u64) -> usize {
+    match v {
+        0..=0xfc => 1,
+        0xfd..=0xffff => 3,
+        0x1_0000..=0xffff_ffff => 5,
+        _ => 9,
+    }
+}
+
+/// Append a varint-length-prefixed byte string.
+pub fn write_var_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// A value with a canonical byte encoding.
+pub trait Encodable {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Serialize to a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Size of the encoding in bytes.
+    fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// A value decodable from its canonical byte encoding.
+pub trait Decodable: Sized {
+    /// Decode one value from the reader, advancing it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Decode from a buffer, requiring every byte to be consumed.
+    fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+impl Encodable for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decodable for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u8()
+    }
+}
+
+impl Encodable for u16 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        2
+    }
+}
+
+impl Decodable for u16 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u16()
+    }
+}
+
+impl Encodable for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl Decodable for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u32()
+    }
+}
+
+impl Encodable for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decodable for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.read_u64()
+    }
+}
+
+impl Encodable for Hash256 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        32
+    }
+}
+
+impl Decodable for Hash256 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Hash256(r.read_bytes(32)?.try_into().expect("32 bytes")))
+    }
+}
+
+impl Encodable for Hash160 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        20
+    }
+}
+
+impl Decodable for Hash160 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Hash160(r.read_bytes(20)?.try_into().expect("20 bytes")))
+    }
+}
+
+impl<T: Encodable> Encodable for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(Encodable::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decodable> Decodable for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.read_len()?;
+        // Avoid pre-allocating attacker-controlled sizes beyond a small cap.
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256d;
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            0xfc,
+            0xfd,
+            0xfe,
+            0xffff,
+            0x1_0000,
+            0xffff_ffff,
+            0x1_0000_0000,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "v = {v}");
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.read_varint().unwrap(), v, "v = {v}");
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_non_minimal() {
+        // 0x05 encoded with the 0xfd (u16) form.
+        let buf = [0xfd, 0x05, 0x00];
+        assert_eq!(
+            Reader::new(&buf).read_varint(),
+            Err(DecodeError::NonCanonicalVarInt)
+        );
+        // 0xffff encoded with the 0xfe (u32) form.
+        let buf = [0xfe, 0xff, 0xff, 0x00, 0x00];
+        assert_eq!(
+            Reader::new(&buf).read_varint(),
+            Err(DecodeError::NonCanonicalVarInt)
+        );
+        // small value in u64 form.
+        let mut buf = vec![0xff];
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        assert_eq!(
+            Reader::new(&buf).read_varint(),
+            Err(DecodeError::NonCanonicalVarInt)
+        );
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let buf = [0xfd, 0x05];
+        assert_eq!(Reader::new(&buf).read_varint(), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(Reader::new(&[]).read_u32(), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(
+            <Hash256 as Decodable>::from_bytes(&[0u8; 31]),
+            Err(DecodeError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut buf = sha256d(b"x").to_bytes();
+        buf.push(0);
+        assert_eq!(
+            <Hash256 as Decodable>::from_bytes(&buf),
+            Err(DecodeError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn var_bytes_round_trip() {
+        let data = vec![7u8; 300];
+        let mut buf = Vec::new();
+        write_var_bytes(&mut buf, &data);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_var_bytes().unwrap(), data);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, MAX_COLLECTION_LEN + 1);
+        assert!(matches!(
+            Reader::new(&buf).read_len(),
+            Err(DecodeError::OversizedLength(_))
+        ));
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v: Vec<u32> = (0..1000).collect();
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len());
+        assert_eq!(Vec::<u32>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn ints_are_little_endian() {
+        assert_eq!(0x0102_0304u32.to_bytes(), vec![4, 3, 2, 1]);
+        assert_eq!(0x0102u16.to_bytes(), vec![2, 1]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Hash functions and fixed-width digest types.
+//!
+//! The chain substrate identifies transactions and blocks by
+//! double-SHA-256 ([`sha256d`]) exactly as Bitcoin does; addresses use
+//! [`hash160`] (`RIPEMD160(SHA256(x))`). The EBV threat model (paper §IV-A)
+//! assumes these are collision resistant.
+
+mod hmac;
+mod ripemd160;
+mod sha1;
+mod sha256;
+
+pub use hmac::hmac_sha256;
+pub use ripemd160::ripemd160;
+pub use sha1::sha1;
+pub use sha256::Sha256;
+
+use crate::hex;
+
+/// Shared hex `fmt` body for digest newtypes.
+macro_rules! fmt_digest {
+    () => {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&hex::encode(&self.0))
+        }
+    };
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    Sha256::digest(data)
+}
+
+/// Double SHA-256 (`SHA256(SHA256(x))`) — transaction ids, block hashes and
+/// Merkle-tree nodes.
+pub fn sha256d(data: &[u8]) -> Hash256 {
+    Hash256(Sha256::digest(&Sha256::digest(data)))
+}
+
+/// `RIPEMD160(SHA256(x))` — the short hash used for pay-to-pubkey-hash
+/// addresses.
+pub fn hash160(data: &[u8]) -> Hash160 {
+    Hash160(ripemd160(&Sha256::digest(data)))
+}
+
+/// A 32-byte digest (txid, block hash, Merkle node).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero hash, used for the coinbase "null outpoint" and as the
+    /// genesis previous-block pointer.
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Interpret `bytes` as a digest.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash256(bytes)
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Parse from hex (byte order as written, not reversed).
+    pub fn from_hex(s: &str) -> Result<Self, hex::HexError> {
+        Ok(Hash256(hex::decode_array(s)?))
+    }
+
+    /// Whether this is the all-zero hash.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Hash-of-concatenation of two digests — the Merkle parent operation.
+    pub fn merkle_parent(left: &Hash256, right: &Hash256) -> Hash256 {
+        let mut buf = [0u8; 64];
+        buf[..32].copy_from_slice(&left.0);
+        buf[32..].copy_from_slice(&right.0);
+        sha256d(&buf)
+    }
+}
+
+impl std::fmt::Debug for Hash256 {
+    fmt_digest!();
+}
+
+impl std::fmt::Display for Hash256 {
+    fmt_digest!();
+}
+
+impl AsRef<[u8]> for Hash256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A 20-byte digest (pubkey hash).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Hash160(pub [u8; 20]);
+
+impl Hash160 {
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Hash160 {
+    fmt_digest!();
+}
+
+impl std::fmt::Display for Hash160 {
+    fmt_digest!();
+}
+
+impl AsRef<[u8]> for Hash160 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256d_known_vector() {
+        // Double-SHA256 of "hello" (a widely reproduced vector).
+        assert_eq!(
+            sha256d(b"hello").to_string(),
+            "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50"
+        );
+    }
+
+    #[test]
+    fn hash160_of_empty() {
+        // RIPEMD160(SHA256("")).
+        assert_eq!(
+            hash160(b"").to_string(),
+            "b472a266d0bd89c13706a4132ccfb16f7c3b9fcb"
+        );
+    }
+
+    #[test]
+    fn merkle_parent_is_order_sensitive() {
+        let a = sha256d(b"a");
+        let b = sha256d(b"b");
+        assert_ne!(Hash256::merkle_parent(&a, &b), Hash256::merkle_parent(&b, &a));
+    }
+
+    #[test]
+    fn zero_and_hex_round_trip() {
+        assert!(Hash256::ZERO.is_zero());
+        let h = sha256d(b"x");
+        assert!(!h.is_zero());
+        assert_eq!(Hash256::from_hex(&h.to_string()).unwrap(), h);
+    }
+}

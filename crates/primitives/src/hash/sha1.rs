@@ -1,0 +1,108 @@
+//! SHA-1, implemented from FIPS 180-4.
+//!
+//! Present only because Bitcoin's script engine exposes `OP_SHA1`; nothing
+//! security-critical in this workspace hashes with it.
+
+/// One-shot SHA-1 digest.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut state: [u32; 5] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0];
+
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        compress(&mut state, block.try_into().expect("64 bytes"));
+    }
+    let rem = chunks.remainder();
+
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    let mut last = [0u8; 128];
+    last[..rem.len()].copy_from_slice(rem);
+    last[rem.len()] = 0x80;
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let blocks = if rem.len() >= 56 { 2 } else { 1 };
+    last[blocks * 64 - 8..blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+    for i in 0..blocks {
+        compress(&mut state, last[i * 64..(i + 1) * 64].try_into().expect("64 bytes"));
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i / 20 {
+            0 => ((b & c) | (!b & d), 0x5a827999),
+            1 => (b ^ c ^ d, 0x6ed9eba1),
+            2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+            _ => (b ^ c ^ d, 0xca62c1d6),
+        };
+        let t = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = t;
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            hex::encode(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            hex::encode(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex::encode(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let input = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex::encode(&sha1(&input)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn padding_boundaries_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for len in 50..70 {
+            assert!(seen.insert(sha1(&vec![7u8; len])), "collision at {len}");
+        }
+    }
+}

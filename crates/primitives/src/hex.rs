@@ -1,0 +1,107 @@
+//! Minimal hex encoding/decoding.
+//!
+//! Kept dependency-free; used for `Display` impls on digests and for test
+//! vectors throughout the workspace.
+
+/// Encode `bytes` as a lowercase hex string.
+pub fn encode(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Error returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// The input length is odd.
+    OddLength,
+    /// A character outside `[0-9a-fA-F]` at the given byte offset.
+    InvalidChar(usize),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex string has odd length"),
+            HexError::InvalidChar(i) => write!(f, "invalid hex character at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+fn nibble(c: u8, pos: usize) -> Result<u8, HexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(HexError::InvalidChar(pos)),
+    }
+}
+
+/// Decode a hex string into bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let b = s.as_bytes();
+    if b.len() % 2 != 0 {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for i in (0..b.len()).step_by(2) {
+        out.push((nibble(b[i], i)? << 4) | nibble(b[i + 1], i + 1)?);
+    }
+    Ok(out)
+}
+
+/// Decode a hex string into a fixed-size array.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], HexError> {
+    let v = decode(s)?;
+    if v.len() != N {
+        return Err(HexError::OddLength);
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&v);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = [0u8, 1, 2, 0xab, 0xcd, 0xef, 0xff];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("ABCDEF").unwrap(), vec![0xab, 0xcd, 0xef]);
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+    }
+
+    #[test]
+    fn invalid_char_rejected() {
+        assert_eq!(decode("zz"), Err(HexError::InvalidChar(0)));
+        assert_eq!(decode("aag "), Err(HexError::InvalidChar(2)));
+    }
+
+    #[test]
+    fn known_vector() {
+        assert_eq!(encode(b"hello"), "68656c6c6f");
+        assert_eq!(decode("68656c6c6f").unwrap(), b"hello");
+    }
+}

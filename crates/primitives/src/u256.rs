@@ -1,0 +1,223 @@
+//! Fixed-width 256-bit unsigned arithmetic.
+//!
+//! [`U256`] is the carrier type for the secp256k1 field and scalar
+//! implementations in [`crate::ec`]. Limbs are `u64`, least significant
+//! first; widening multiplication produces a little-endian `[u64; 8]`.
+//! All operations are constant-size loops (no heap allocation).
+
+/// A 256-bit unsigned integer; `limbs[0]` is least significant.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct U256 {
+    pub limbs: [u64; 4],
+}
+
+impl U256 {
+    pub const ZERO: U256 = U256 { limbs: [0; 4] };
+    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+
+    /// Construct from a small integer.
+    pub const fn from_u64(v: u64) -> U256 {
+        U256 { limbs: [v, 0, 0, 0] }
+    }
+
+    /// Construct from limbs given most-significant first (matches the way
+    /// curve constants are written in standards documents).
+    pub const fn from_be_limbs(l: [u64; 4]) -> U256 {
+        U256 { limbs: [l[3], l[2], l[1], l[0]] }
+    }
+
+    /// Parse 32 big-endian bytes.
+    pub fn from_be_bytes(b: &[u8; 32]) -> U256 {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            limbs[3 - i] = u64::from_be_bytes(b[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        U256 { limbs }
+    }
+
+    /// Serialize as 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.limbs[3 - i].to_be_bytes());
+        }
+        out
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs == [0; 4]
+    }
+
+    /// Test bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < 256);
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.limbs[i] != 0 {
+                return 64 * i + (64 - self.limbs[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// `self + other`, returning the sum and the carry-out.
+    pub fn overflowing_add(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        (U256 { limbs: out }, carry != 0)
+    }
+
+    /// `self - other`, returning the difference and the borrow-out.
+    pub fn overflowing_sub(&self, other: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        (U256 { limbs: out }, borrow != 0)
+    }
+
+    /// Full 256×256 → 512-bit product, little-endian limbs.
+    pub fn widening_mul(&self, other: &U256) -> [u64; 8] {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let t = out[i + j] as u128
+                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
+                    + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        out
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for i in (0..4).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl std::fmt::Debug for U256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U256(0x{})", crate::hex::encode(&self.to_be_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from_u64(v)
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let mut b = [0u8; 32];
+        for (i, item) in b.iter_mut().enumerate() {
+            *item = i as u8;
+        }
+        assert_eq!(U256::from_be_bytes(&b).to_be_bytes(), b);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = U256::from_be_limbs([0x0123, 0x4567, 0x89ab, 0xcdef]);
+        let b = U256::from_be_limbs([0xfedc, 0xba98, 0x7654, 0x3210]);
+        let (s, c) = a.overflowing_add(&b);
+        assert!(!c);
+        let (d, bo) = s.overflowing_sub(&b);
+        assert!(!bo);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U256 { limbs: [u64::MAX, u64::MAX, 0, 0] };
+        let (s, c) = a.overflowing_add(&U256::ONE);
+        assert!(!c);
+        assert_eq!(s.limbs, [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn add_overflow_flag() {
+        let max = U256 { limbs: [u64::MAX; 4] };
+        let (s, c) = max.overflowing_add(&U256::ONE);
+        assert!(c);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn sub_borrow_flag() {
+        let (d, b) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(b);
+        assert_eq!(d.limbs, [u64::MAX; 4]);
+    }
+
+    #[test]
+    fn widening_mul_small() {
+        let p = u(0xffff_ffff).widening_mul(&u(0xffff_ffff));
+        assert_eq!(p[0], 0xffff_fffe_0000_0001);
+        assert!(p[1..].iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn widening_mul_max() {
+        // (2^256 - 1)^2 = 2^512 - 2^257 + 1
+        let max = U256 { limbs: [u64::MAX; 4] };
+        let p = max.widening_mul(&max);
+        assert_eq!(p[0], 1);
+        assert_eq!(p[1], 0);
+        assert_eq!(p[2], 0);
+        assert_eq!(p[3], 0);
+        assert_eq!(p[4], u64::MAX - 1);
+        assert_eq!(p[5], u64::MAX);
+        assert_eq!(p[6], u64::MAX);
+        assert_eq!(p[7], u64::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(u(1) < u(2));
+        assert!(U256 { limbs: [0, 0, 0, 1] } > U256 { limbs: [u64::MAX, u64::MAX, u64::MAX, 0] });
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        let x = U256 { limbs: [0, 1, 0, 0] };
+        assert_eq!(x.bits(), 65);
+        assert!(x.bit(64));
+        assert!(!x.bit(63));
+    }
+}

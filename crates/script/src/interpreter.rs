@@ -1,0 +1,910 @@
+//! The script interpreter.
+//!
+//! Executes one script over a stack, with Bitcoin-style resource limits and
+//! `IF/ELSE/ENDIF` conditional execution. [`verify_spend`] wires the
+//! unlocking and locking scripts together the way input checking does.
+
+use crate::num::ScriptNum;
+use crate::opcodes::*;
+use crate::script::{Instruction, Script};
+use ebv_primitives::hash::{hash160, ripemd160, sha256, sha256d};
+
+/// Execution failures. Any error means the spend is invalid.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScriptError {
+    /// A push ran past the end of the script.
+    TruncatedPush,
+    /// Stack underflow for the executed opcode.
+    StackUnderflow,
+    /// Alt-stack underflow.
+    AltStackUnderflow,
+    /// `OP_ELSE`/`OP_ENDIF` without a matching `OP_IF`.
+    UnbalancedConditional,
+    /// `OP_VERIFY`-style opcode saw a false value.
+    VerifyFailed,
+    /// `OP_RETURN` executed.
+    OpReturn,
+    /// Unknown or disabled opcode executed.
+    BadOpcode(u8),
+    /// Numeric operand longer than 4 bytes.
+    NumberOverflow,
+    /// Numeric operand not minimally encoded.
+    NonMinimalNumber,
+    /// Script exceeds the size limit.
+    ScriptTooLarge,
+    /// Too many non-push opcodes.
+    TooManyOps,
+    /// Combined stack depth limit exceeded.
+    StackOverflow,
+    /// A pushed element exceeds the element-size limit.
+    ElementTooLarge,
+    /// Final stack empty or top element false.
+    EvalFalse,
+    /// Malformed multisig key/signature counts.
+    BadMultisigCount,
+    /// `OP_PICK`/`OP_ROLL` index out of range.
+    BadPickIndex,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Resource limits (Bitcoin's consensus values).
+#[derive(Clone, Copy, Debug)]
+pub struct ExecLimits {
+    /// Maximum script size in bytes.
+    pub max_script_size: usize,
+    /// Maximum number of executed non-push opcodes per script.
+    pub max_ops: usize,
+    /// Maximum combined main+alt stack depth.
+    pub max_stack: usize,
+    /// Maximum size of a stack element.
+    pub max_element: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_script_size: 10_000, max_ops: 201, max_stack: 1000, max_element: 520 }
+    }
+}
+
+/// Callback used by the `OP_CHECKSIG` family. The chain layer supplies an
+/// implementation binding signatures to the spending transaction's digest.
+pub trait SignatureChecker {
+    /// `sig` is the full signature push (compact signature plus sighash-type
+    /// byte); `pubkey` is the compressed public key push.
+    fn check_sig(&self, sig: &[u8], pubkey: &[u8]) -> bool;
+
+    /// `OP_CHECKLOCKTIMEVERIFY` support: whether the spending transaction's
+    /// lock time satisfies the script's `required` value. The default
+    /// (no transaction context) rejects, failing closed.
+    fn check_lock_time(&self, _required: i64) -> bool {
+        false
+    }
+}
+
+/// Interpreter state for executing scripts over a shared stack.
+pub struct Engine<'a> {
+    checker: &'a dyn SignatureChecker,
+    limits: ExecLimits,
+    stack: Vec<Vec<u8>>,
+    alt_stack: Vec<Vec<u8>>,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(checker: &'a dyn SignatureChecker) -> Engine<'a> {
+        Engine::with_limits(checker, ExecLimits::default())
+    }
+
+    pub fn with_limits(checker: &'a dyn SignatureChecker, limits: ExecLimits) -> Engine<'a> {
+        Engine { checker, limits, stack: Vec::new(), alt_stack: Vec::new() }
+    }
+
+    /// The current main stack (top = last).
+    pub fn stack(&self) -> &[Vec<u8>] {
+        &self.stack
+    }
+
+    fn pop(&mut self) -> Result<Vec<u8>, ScriptError> {
+        self.stack.pop().ok_or(ScriptError::StackUnderflow)
+    }
+
+    fn pop_num(&mut self) -> Result<i64, ScriptError> {
+        let e = self.pop()?;
+        Ok(ScriptNum::decode(&e, 4)?.0)
+    }
+
+    fn pop_bool(&mut self) -> Result<bool, ScriptError> {
+        Ok(ScriptNum::is_truthy(&self.pop()?))
+    }
+
+    fn push(&mut self, e: Vec<u8>) -> Result<(), ScriptError> {
+        if e.len() > self.limits.max_element {
+            return Err(ScriptError::ElementTooLarge);
+        }
+        if self.stack.len() + self.alt_stack.len() + 1 > self.limits.max_stack {
+            return Err(ScriptError::StackOverflow);
+        }
+        self.stack.push(e);
+        Ok(())
+    }
+
+    fn push_num(&mut self, v: i64) -> Result<(), ScriptError> {
+        self.push(ScriptNum(v).encode())
+    }
+
+    fn push_bool(&mut self, v: bool) -> Result<(), ScriptError> {
+        self.push(if v { vec![1] } else { Vec::new() })
+    }
+
+    fn peek(&self, depth: usize) -> Result<&Vec<u8>, ScriptError> {
+        if depth >= self.stack.len() {
+            return Err(ScriptError::StackUnderflow);
+        }
+        Ok(&self.stack[self.stack.len() - 1 - depth])
+    }
+
+    /// Execute one script against the current stack.
+    pub fn execute(&mut self, script: &Script) -> Result<(), ScriptError> {
+        if script.len() > self.limits.max_script_size {
+            return Err(ScriptError::ScriptTooLarge);
+        }
+        // Conditional-execution stack: one bool per open IF; execution is
+        // live only when all are true.
+        let mut cond: Vec<bool> = Vec::new();
+        let mut op_count = 0usize;
+
+        for ins in script.instructions() {
+            let ins = ins?;
+            let live = cond.iter().all(|&c| c);
+
+            match ins {
+                Instruction::Push(data) => {
+                    if live {
+                        self.push(data.to_vec())?;
+                    }
+                }
+                Instruction::Op(op) => {
+                    op_count += 1;
+                    if op_count > self.limits.max_ops {
+                        return Err(ScriptError::TooManyOps);
+                    }
+                    // Conditional opcodes run even in dead branches (to
+                    // track nesting); everything else only when live.
+                    match op {
+                        OP_IF | OP_NOTIF => {
+                            let value = if live {
+                                let v = self.pop_bool()?;
+                                if op == OP_NOTIF {
+                                    !v
+                                } else {
+                                    v
+                                }
+                            } else {
+                                false
+                            };
+                            cond.push(value);
+                        }
+                        OP_ELSE => {
+                            let top = cond.last_mut().ok_or(ScriptError::UnbalancedConditional)?;
+                            *top = !*top;
+                        }
+                        OP_ENDIF => {
+                            cond.pop().ok_or(ScriptError::UnbalancedConditional)?;
+                        }
+                        _ if !live => {}
+                        _ => self.execute_op(op)?,
+                    }
+                }
+            }
+        }
+        if !cond.is_empty() {
+            return Err(ScriptError::UnbalancedConditional);
+        }
+        Ok(())
+    }
+
+    fn execute_op(&mut self, op: u8) -> Result<(), ScriptError> {
+        match op {
+            _ if is_small_int(op) => self.push_num(small_int_value(op))?,
+            OP_1NEGATE => self.push_num(-1)?,
+            OP_NOP => {}
+            OP_VERIFY => {
+                if !self.pop_bool()? {
+                    return Err(ScriptError::VerifyFailed);
+                }
+            }
+            OP_RETURN => return Err(ScriptError::OpReturn),
+
+            OP_TOALTSTACK => {
+                let e = self.pop()?;
+                self.alt_stack.push(e);
+            }
+            OP_FROMALTSTACK => {
+                let e = self.alt_stack.pop().ok_or(ScriptError::AltStackUnderflow)?;
+                self.push(e)?;
+            }
+            OP_2DROP => {
+                self.pop()?;
+                self.pop()?;
+            }
+            OP_2DUP => {
+                let a = self.peek(1)?.clone();
+                let b = self.peek(0)?.clone();
+                self.push(a)?;
+                self.push(b)?;
+            }
+            OP_3DUP => {
+                let a = self.peek(2)?.clone();
+                let b = self.peek(1)?.clone();
+                let c = self.peek(0)?.clone();
+                self.push(a)?;
+                self.push(b)?;
+                self.push(c)?;
+            }
+            OP_IFDUP => {
+                let top = self.peek(0)?.clone();
+                if ScriptNum::is_truthy(&top) {
+                    self.push(top)?;
+                }
+            }
+            OP_DEPTH => {
+                let d = self.stack.len() as i64;
+                self.push_num(d)?;
+            }
+            OP_DROP => {
+                self.pop()?;
+            }
+            OP_DUP => {
+                let top = self.peek(0)?.clone();
+                self.push(top)?;
+            }
+            OP_NIP => {
+                let top = self.pop()?;
+                self.pop()?;
+                self.push(top)?;
+            }
+            OP_OVER => {
+                let e = self.peek(1)?.clone();
+                self.push(e)?;
+            }
+            OP_PICK | OP_ROLL => {
+                let n = self.pop_num()?;
+                if n < 0 || n as usize >= self.stack.len() {
+                    return Err(ScriptError::BadPickIndex);
+                }
+                let idx = self.stack.len() - 1 - n as usize;
+                let e = if op == OP_ROLL {
+                    self.stack.remove(idx)
+                } else {
+                    self.stack[idx].clone()
+                };
+                self.push(e)?;
+            }
+            OP_ROT => {
+                let c = self.pop()?;
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b)?;
+                self.push(c)?;
+                self.push(a)?;
+            }
+            OP_SWAP => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b)?;
+                self.push(a)?;
+            }
+            OP_TUCK => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b.clone())?;
+                self.push(a)?;
+                self.push(b)?;
+            }
+
+            OP_SIZE => {
+                let n = self.peek(0)?.len() as i64;
+                self.push_num(n)?;
+            }
+            OP_EQUAL | OP_EQUALVERIFY => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                let eq = a == b;
+                if op == OP_EQUALVERIFY {
+                    if !eq {
+                        return Err(ScriptError::VerifyFailed);
+                    }
+                } else {
+                    self.push_bool(eq)?;
+                }
+            }
+
+            OP_1ADD => {
+                let a = self.pop_num()?;
+                self.push_num(a + 1)?;
+            }
+            OP_1SUB => {
+                let a = self.pop_num()?;
+                self.push_num(a - 1)?;
+            }
+            OP_NEGATE => {
+                let a = self.pop_num()?;
+                self.push_num(-a)?;
+            }
+            OP_ABS => {
+                let a = self.pop_num()?;
+                self.push_num(a.abs())?;
+            }
+            OP_NOT => {
+                let a = self.pop_num()?;
+                self.push_bool(a == 0)?;
+            }
+            OP_0NOTEQUAL => {
+                let a = self.pop_num()?;
+                self.push_bool(a != 0)?;
+            }
+            OP_ADD => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_num(a + b)?;
+            }
+            OP_SUB => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_num(a - b)?;
+            }
+            OP_BOOLAND => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a != 0 && b != 0)?;
+            }
+            OP_BOOLOR => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a != 0 || b != 0)?;
+            }
+            OP_NUMEQUAL | OP_NUMEQUALVERIFY => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                if op == OP_NUMEQUALVERIFY {
+                    if a != b {
+                        return Err(ScriptError::VerifyFailed);
+                    }
+                } else {
+                    self.push_bool(a == b)?;
+                }
+            }
+            OP_NUMNOTEQUAL => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a != b)?;
+            }
+            OP_LESSTHAN => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a < b)?;
+            }
+            OP_GREATERTHAN => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a > b)?;
+            }
+            OP_LESSTHANOREQUAL => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a <= b)?;
+            }
+            OP_GREATERTHANOREQUAL => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_bool(a >= b)?;
+            }
+            OP_MIN => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_num(a.min(b))?;
+            }
+            OP_MAX => {
+                let b = self.pop_num()?;
+                let a = self.pop_num()?;
+                self.push_num(a.max(b))?;
+            }
+            OP_WITHIN => {
+                let max = self.pop_num()?;
+                let min = self.pop_num()?;
+                let x = self.pop_num()?;
+                self.push_bool(x >= min && x < max)?;
+            }
+
+            OP_CHECKLOCKTIMEVERIFY => {
+                // BIP65: peek (not pop) a number of up to 5 bytes; negative
+                // values and unsatisfied lock times fail.
+                let top = self.peek(0)?.clone();
+                let required = ScriptNum::decode(&top, 5)?.0;
+                if required < 0 || !self.checker.check_lock_time(required) {
+                    return Err(ScriptError::VerifyFailed);
+                }
+            }
+            OP_RIPEMD160 => {
+                let e = self.pop()?;
+                self.push(ripemd160(&e).to_vec())?;
+            }
+            OP_SHA1 => {
+                let e = self.pop()?;
+                self.push(ebv_primitives::hash::sha1(&e).to_vec())?;
+            }
+            OP_SHA256 => {
+                let e = self.pop()?;
+                self.push(sha256(&e).to_vec())?;
+            }
+            OP_HASH160 => {
+                let e = self.pop()?;
+                self.push(hash160(&e).as_bytes().to_vec())?;
+            }
+            OP_HASH256 => {
+                let e = self.pop()?;
+                self.push(sha256d(&e).as_bytes().to_vec())?;
+            }
+            OP_CHECKSIG | OP_CHECKSIGVERIFY => {
+                let pubkey = self.pop()?;
+                let sig = self.pop()?;
+                let ok = self.checker.check_sig(&sig, &pubkey);
+                if op == OP_CHECKSIGVERIFY {
+                    if !ok {
+                        return Err(ScriptError::VerifyFailed);
+                    }
+                } else {
+                    self.push_bool(ok)?;
+                }
+            }
+            OP_CHECKMULTISIG | OP_CHECKMULTISIGVERIFY => {
+                self.check_multisig(op == OP_CHECKMULTISIGVERIFY)?;
+            }
+
+            other => return Err(ScriptError::BadOpcode(other)),
+        }
+        Ok(())
+    }
+
+    /// `m`-of-`n` bare multisig: pops n, the n keys, m, the m signatures and
+    /// the historical extra dummy element. Signatures must match keys in
+    /// order.
+    fn check_multisig(&mut self, verify: bool) -> Result<(), ScriptError> {
+        let n = self.pop_num()?;
+        if !(0..=20).contains(&n) {
+            return Err(ScriptError::BadMultisigCount);
+        }
+        let mut keys = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            keys.push(self.pop()?);
+        }
+        let m = self.pop_num()?;
+        if m < 0 || m > n {
+            return Err(ScriptError::BadMultisigCount);
+        }
+        let mut sigs = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            sigs.push(self.pop()?);
+        }
+        // Bitcoin's off-by-one: one extra element is consumed.
+        self.pop()?;
+
+        // Each signature must verify against some key, scanning keys in
+        // order without reuse.
+        let mut key_iter = keys.iter();
+        let mut ok = true;
+        'sigs: for sig in &sigs {
+            for key in key_iter.by_ref() {
+                if self.checker.check_sig(sig, key) {
+                    continue 'sigs;
+                }
+            }
+            ok = false;
+            break;
+        }
+
+        if verify {
+            if !ok {
+                return Err(ScriptError::VerifyFailed);
+            }
+        } else {
+            self.push_bool(ok)?;
+        }
+        Ok(())
+    }
+}
+
+/// Validate a spend: run the unlocking script, then the locking script on
+/// the same stack, and require a truthy final top element. This is the SV
+/// step of input checking.
+pub fn verify_spend(
+    unlocking: &Script,
+    locking: &Script,
+    checker: &dyn SignatureChecker,
+) -> Result<(), ScriptError> {
+    let mut engine = Engine::new(checker);
+    engine.execute(unlocking)?;
+    engine.execute(locking)?;
+    match engine.stack.last() {
+        Some(top) if ScriptNum::is_truthy(top) => Ok(()),
+        _ => Err(ScriptError::EvalFalse),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Builder;
+    use crate::{AcceptAllChecker, RejectAllChecker};
+
+    fn run(script: Script) -> Result<Vec<Vec<u8>>, ScriptError> {
+        let mut e = Engine::new(&RejectAllChecker);
+        e.execute(&script)?;
+        Ok(e.stack().to_vec())
+    }
+
+    fn expect_top_num(script: Script, v: i64) {
+        let stack = run(script).unwrap();
+        assert_eq!(
+            ScriptNum::decode(stack.last().unwrap(), 5).unwrap(),
+            ScriptNum(v)
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        expect_top_num(Builder::new().push_int(2).push_int(3).push_op(OP_ADD).into_script(), 5);
+        expect_top_num(Builder::new().push_int(2).push_int(3).push_op(OP_SUB).into_script(), -1);
+        expect_top_num(Builder::new().push_int(7).push_op(OP_1ADD).into_script(), 8);
+        expect_top_num(Builder::new().push_int(7).push_op(OP_NEGATE).into_script(), -7);
+        expect_top_num(Builder::new().push_int(-7).push_op(OP_ABS).into_script(), 7);
+        expect_top_num(Builder::new().push_int(3).push_int(9).push_op(OP_MIN).into_script(), 3);
+        expect_top_num(Builder::new().push_int(3).push_int(9).push_op(OP_MAX).into_script(), 9);
+    }
+
+    #[test]
+    fn comparisons() {
+        for (a, b, op, want) in [
+            (1i64, 2i64, OP_LESSTHAN, true),
+            (2, 1, OP_LESSTHAN, false),
+            (2, 1, OP_GREATERTHAN, true),
+            (2, 2, OP_LESSTHANOREQUAL, true),
+            (2, 2, OP_NUMEQUAL, true),
+            (2, 3, OP_NUMNOTEQUAL, true),
+        ] {
+            let s = Builder::new().push_int(a).push_int(b).push_op(op).into_script();
+            let stack = run(s).unwrap();
+            assert_eq!(ScriptNum::is_truthy(stack.last().unwrap()), want);
+        }
+        // WITHIN: x in [min, max)
+        let s = Builder::new()
+            .push_int(5)
+            .push_int(1)
+            .push_int(10)
+            .push_op(OP_WITHIN)
+            .into_script();
+        assert!(ScriptNum::is_truthy(run(s).unwrap().last().unwrap()));
+    }
+
+    #[test]
+    fn stack_manipulation() {
+        // DUP
+        let s = Builder::new().push_int(9).push_op(OP_DUP).into_script();
+        assert_eq!(run(s).unwrap().len(), 2);
+        // SWAP then SUB: 3 - 10... stack [10, 3] -> swap -> [3, 10] -> sub = -7
+        let s = Builder::new()
+            .push_int(10)
+            .push_int(3)
+            .push_op(OP_SWAP)
+            .push_op(OP_SUB)
+            .into_script();
+        expect_top_num(s, -7);
+        // DEPTH
+        let s = Builder::new().push_int(1).push_int(1).push_op(OP_DEPTH).into_script();
+        expect_top_num(s, 2);
+        // ROT: [a b c] -> [b c a]
+        let s = Builder::new()
+            .push_int(1)
+            .push_int(2)
+            .push_int(3)
+            .push_op(OP_ROT)
+            .into_script();
+        expect_top_num(s, 1);
+        // PICK copies depth-n element.
+        let s = Builder::new()
+            .push_int(7)
+            .push_int(8)
+            .push_int(1)
+            .push_op(OP_PICK)
+            .into_script();
+        expect_top_num(s, 7);
+    }
+
+    #[test]
+    fn alt_stack() {
+        let s = Builder::new()
+            .push_int(5)
+            .push_op(OP_TOALTSTACK)
+            .push_int(1)
+            .push_op(OP_FROMALTSTACK)
+            .into_script();
+        expect_top_num(s, 5);
+        let s = Builder::new().push_op(OP_FROMALTSTACK).into_script();
+        assert_eq!(run(s), Err(ScriptError::AltStackUnderflow));
+    }
+
+    #[test]
+    fn conditionals() {
+        // IF taken.
+        let s = Builder::new()
+            .push_int(1)
+            .push_op(OP_IF)
+            .push_int(10)
+            .push_op(OP_ELSE)
+            .push_int(20)
+            .push_op(OP_ENDIF)
+            .into_script();
+        expect_top_num(s, 10);
+        // IF not taken.
+        let s = Builder::new()
+            .push_int(0)
+            .push_op(OP_IF)
+            .push_int(10)
+            .push_op(OP_ELSE)
+            .push_int(20)
+            .push_op(OP_ENDIF)
+            .into_script();
+        expect_top_num(s, 20);
+        // NOTIF.
+        let s = Builder::new()
+            .push_int(0)
+            .push_op(OP_NOTIF)
+            .push_int(30)
+            .push_op(OP_ENDIF)
+            .into_script();
+        expect_top_num(s, 30);
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let s = Builder::new()
+            .push_int(1)
+            .push_op(OP_IF)
+            .push_int(0)
+            .push_op(OP_IF)
+            .push_int(1)
+            .push_op(OP_ELSE)
+            .push_int(2)
+            .push_op(OP_ENDIF)
+            .push_op(OP_ENDIF)
+            .into_script();
+        expect_top_num(s, 2);
+    }
+
+    #[test]
+    fn unbalanced_conditionals_rejected() {
+        let s = Builder::new().push_int(1).push_op(OP_IF).into_script();
+        assert_eq!(run(s), Err(ScriptError::UnbalancedConditional));
+        let s = Builder::new().push_op(OP_ENDIF).into_script();
+        assert_eq!(run(s), Err(ScriptError::UnbalancedConditional));
+        let s = Builder::new().push_op(OP_ELSE).into_script();
+        assert_eq!(run(s), Err(ScriptError::UnbalancedConditional));
+    }
+
+    #[test]
+    fn dead_branch_skips_errors() {
+        // An OP_RETURN inside a dead branch must not fire.
+        let s = Builder::new()
+            .push_int(0)
+            .push_op(OP_IF)
+            .push_op(OP_RETURN)
+            .push_op(OP_ENDIF)
+            .push_int(1)
+            .into_script();
+        expect_top_num(s, 1);
+    }
+
+    #[test]
+    fn op_return_fails() {
+        let s = Builder::new().push_op(OP_RETURN).into_script();
+        assert_eq!(run(s), Err(ScriptError::OpReturn));
+    }
+
+    #[test]
+    fn hashing_opcodes() {
+        let s = Builder::new().push_data(b"x").push_op(OP_SHA256).into_script();
+        assert_eq!(run(s).unwrap().last().unwrap(), &sha256(b"x").to_vec());
+        let s = Builder::new().push_data(b"x").push_op(OP_HASH160).into_script();
+        assert_eq!(
+            run(s).unwrap().last().unwrap(),
+            &hash160(b"x").as_bytes().to_vec()
+        );
+        let s = Builder::new().push_data(b"x").push_op(OP_HASH256).into_script();
+        assert_eq!(
+            run(s).unwrap().last().unwrap(),
+            &sha256d(b"x").as_bytes().to_vec()
+        );
+        let s = Builder::new().push_data(b"x").push_op(OP_RIPEMD160).into_script();
+        assert_eq!(run(s).unwrap().last().unwrap(), &ripemd160(b"x").to_vec());
+        let s = Builder::new().push_data(b"x").push_op(OP_SHA1).into_script();
+        assert_eq!(
+            run(s).unwrap().last().unwrap(),
+            &ebv_primitives::hash::sha1(b"x").to_vec()
+        );
+    }
+
+    #[test]
+    fn equal_and_verify() {
+        let s = Builder::new()
+            .push_data(b"a")
+            .push_data(b"a")
+            .push_op(OP_EQUAL)
+            .into_script();
+        assert!(ScriptNum::is_truthy(run(s).unwrap().last().unwrap()));
+        let s = Builder::new()
+            .push_data(b"a")
+            .push_data(b"b")
+            .push_op(OP_EQUALVERIFY)
+            .into_script();
+        assert_eq!(run(s), Err(ScriptError::VerifyFailed));
+    }
+
+    #[test]
+    fn checksig_uses_checker() {
+        let s = Builder::new()
+            .push_data(b"sig")
+            .push_data(b"key")
+            .push_op(OP_CHECKSIG)
+            .into_script();
+        let mut e = Engine::new(&AcceptAllChecker);
+        e.execute(&s).unwrap();
+        assert!(ScriptNum::is_truthy(e.stack().last().unwrap()));
+
+        let mut e = Engine::new(&RejectAllChecker);
+        e.execute(&s).unwrap();
+        assert!(!ScriptNum::is_truthy(e.stack().last().unwrap()));
+    }
+
+    #[test]
+    fn verify_spend_end_to_end() {
+        // unlocking pushes 2 and 3; locking adds and compares to 5.
+        let unlocking = Builder::new().push_int(2).push_int(3).into_script();
+        let locking = Builder::new()
+            .push_op(OP_ADD)
+            .push_int(5)
+            .push_op(OP_NUMEQUAL)
+            .into_script();
+        assert!(verify_spend(&unlocking, &locking, &RejectAllChecker).is_ok());
+
+        let bad_unlocking = Builder::new().push_int(2).push_int(4).into_script();
+        assert_eq!(
+            verify_spend(&bad_unlocking, &locking, &RejectAllChecker),
+            Err(ScriptError::EvalFalse)
+        );
+    }
+
+    #[test]
+    fn empty_final_stack_is_invalid() {
+        let empty = Script::new();
+        assert_eq!(
+            verify_spend(&empty, &empty, &RejectAllChecker),
+            Err(ScriptError::EvalFalse)
+        );
+    }
+
+    #[test]
+    fn resource_limits() {
+        // Script too large.
+        let s = Script::from_bytes(vec![OP_NOP; 10_001]);
+        assert_eq!(run(s), Err(ScriptError::ScriptTooLarge));
+        // Too many ops.
+        let s = Script::from_bytes(vec![OP_NOP; 202]);
+        assert_eq!(run(s), Err(ScriptError::TooManyOps));
+        // Element too large.
+        let s = Builder::new().push_data(&vec![0u8; 521]).into_script();
+        assert_eq!(run(s), Err(ScriptError::ElementTooLarge));
+    }
+
+    #[test]
+    fn stack_overflow_enforced() {
+        let limits = ExecLimits { max_stack: 10, ..ExecLimits::default() };
+        let mut b = Builder::new();
+        for _ in 0..11 {
+            b = b.push_int(1);
+        }
+        let mut e = Engine::with_limits(&RejectAllChecker, limits);
+        assert_eq!(e.execute(&b.into_script()), Err(ScriptError::StackOverflow));
+    }
+
+    #[test]
+    fn underflow_detected() {
+        assert_eq!(
+            run(Builder::new().push_op(OP_ADD).into_script()),
+            Err(ScriptError::StackUnderflow)
+        );
+        assert_eq!(
+            run(Builder::new().push_int(1).push_op(OP_ADD).into_script()),
+            Err(ScriptError::StackUnderflow)
+        );
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let s = Script::from_bytes(vec![0xfe]);
+        assert_eq!(run(s), Err(ScriptError::BadOpcode(0xfe)));
+    }
+
+    #[test]
+    fn checklocktimeverify() {
+        /// Checker with transaction lock time `self.0`.
+        struct LockTimeChecker(u32);
+        impl SignatureChecker for LockTimeChecker {
+            fn check_sig(&self, _: &[u8], _: &[u8]) -> bool {
+                false
+            }
+            fn check_lock_time(&self, required: i64) -> bool {
+                required <= self.0 as i64
+            }
+        }
+        let script = Builder::new().push_int(500).push_op(OP_CHECKLOCKTIMEVERIFY).into_script();
+        // Satisfied lock time: value stays on the stack (peek semantics).
+        let mut e = Engine::new(&LockTimeChecker(600));
+        e.execute(&script).expect("lock time satisfied");
+        assert_eq!(e.stack().len(), 1);
+        // Unsatisfied.
+        let mut e = Engine::new(&LockTimeChecker(400));
+        assert_eq!(e.execute(&script), Err(ScriptError::VerifyFailed));
+        // Negative requirement always fails.
+        let neg = Builder::new().push_int(-1).push_op(OP_CHECKLOCKTIMEVERIFY).into_script();
+        let mut e = Engine::new(&LockTimeChecker(400));
+        assert_eq!(e.execute(&neg), Err(ScriptError::VerifyFailed));
+        // Default checker (no context) fails closed.
+        let mut e = Engine::new(&RejectAllChecker);
+        assert_eq!(e.execute(&script), Err(ScriptError::VerifyFailed));
+        // Empty stack underflows.
+        let bare = Builder::new().push_op(OP_CHECKLOCKTIMEVERIFY).into_script();
+        let mut e = Engine::new(&LockTimeChecker(400));
+        assert_eq!(e.execute(&bare), Err(ScriptError::StackUnderflow));
+    }
+
+    #[test]
+    fn multisig_happy_path_with_accept_checker() {
+        // 2-of-3 with AcceptAll: dummy, sig1, sig2, 2, k1, k2, k3, 3.
+        let s = Builder::new()
+            .push_int(0) // dummy
+            .push_data(b"sig1")
+            .push_data(b"sig2")
+            .push_int(2)
+            .push_data(b"k1")
+            .push_data(b"k2")
+            .push_data(b"k3")
+            .push_int(3)
+            .push_op(OP_CHECKMULTISIG)
+            .into_script();
+        let mut e = Engine::new(&AcceptAllChecker);
+        e.execute(&s).unwrap();
+        assert!(ScriptNum::is_truthy(e.stack().last().unwrap()));
+    }
+
+    #[test]
+    fn multisig_bad_counts() {
+        // m > n
+        let s = Builder::new()
+            .push_int(0)
+            .push_data(b"s")
+            .push_data(b"s")
+            .push_int(2)
+            .push_data(b"k")
+            .push_int(1)
+            .push_op(OP_CHECKMULTISIG)
+            .into_script();
+        let mut e = Engine::new(&AcceptAllChecker);
+        assert_eq!(e.execute(&s), Err(ScriptError::BadMultisigCount));
+    }
+}

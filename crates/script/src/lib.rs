@@ -1,0 +1,48 @@
+//! Stack-based script engine — the Script Validation (SV) substrate.
+//!
+//! The EBV paper leaves SV untouched ("the SV process in EBV works in the
+//! same way as the traditional ones", §IV-D), so this engine is shared by
+//! the Bitcoin-baseline validator and the EBV validator. It implements the
+//! Bitcoin-style execution model:
+//!
+//! * an unlocking script (*Us*, provided by the input) runs first, then the
+//!   locking script (*Ls*, from the spent output) runs on the same stack;
+//! * the spend is valid iff execution succeeds and leaves a truthy top
+//!   element;
+//! * `OP_CHECKSIG`-family opcodes call back into a [`SignatureChecker`]
+//!   supplied by the chain layer, which binds signatures to the transaction
+//!   digest (sighash).
+//!
+//! The opcode set covers everything the workload generator emits (P2PKH,
+//! P2PK, bare multisig) plus the standard stack/arithmetic/flow opcodes so
+//! that scripts in tests can exercise realistic control flow.
+
+mod interpreter;
+mod num;
+pub mod opcodes;
+mod script;
+pub mod standard;
+
+pub use interpreter::{verify_spend, Engine, ExecLimits, ScriptError, SignatureChecker};
+pub use num::ScriptNum;
+pub use script::{Builder, Script};
+
+/// A [`SignatureChecker`] that rejects every signature; useful for tests of
+/// pure-stack scripts.
+pub struct RejectAllChecker;
+
+impl SignatureChecker for RejectAllChecker {
+    fn check_sig(&self, _sig: &[u8], _pubkey: &[u8]) -> bool {
+        false
+    }
+}
+
+/// A [`SignatureChecker`] that accepts every non-empty signature; used by
+/// benchmarks that want to isolate non-crypto script cost.
+pub struct AcceptAllChecker;
+
+impl SignatureChecker for AcceptAllChecker {
+    fn check_sig(&self, sig: &[u8], _pubkey: &[u8]) -> bool {
+        !sig.is_empty()
+    }
+}

@@ -1,0 +1,152 @@
+//! Script numbers — Bitcoin's `CScriptNum`.
+//!
+//! Stack elements interpreted as numbers are little-endian
+//! sign-and-magnitude, at most 4 bytes on input (results may grow to 5),
+//! and must be minimally encoded.
+
+use crate::interpreter::ScriptError;
+
+/// A script integer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct ScriptNum(pub i64);
+
+impl ScriptNum {
+    /// Decode a stack element as a number. `max_size` is 4 for operands.
+    pub fn decode(bytes: &[u8], max_size: usize) -> Result<ScriptNum, ScriptError> {
+        if bytes.len() > max_size {
+            return Err(ScriptError::NumberOverflow);
+        }
+        if bytes.is_empty() {
+            return Ok(ScriptNum(0));
+        }
+        // Minimal encoding: the most significant byte must not be a bare
+        // sign byte unless required by the preceding byte's high bit.
+        let last = bytes[bytes.len() - 1];
+        if last & 0x7f == 0 {
+            if bytes.len() == 1 || bytes[bytes.len() - 2] & 0x80 == 0 {
+                return Err(ScriptError::NonMinimalNumber);
+            }
+        }
+        let mut value: i64 = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            if i == bytes.len() - 1 {
+                value |= ((b & 0x7f) as i64) << (8 * i);
+            } else {
+                value |= (b as i64) << (8 * i);
+            }
+        }
+        if last & 0x80 != 0 {
+            value = -value;
+        }
+        Ok(ScriptNum(value))
+    }
+
+    /// Encode as a minimal stack element.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = self.0;
+        if v == 0 {
+            return Vec::new();
+        }
+        let negative = v < 0;
+        if negative {
+            v = -v;
+        }
+        let mut out = Vec::with_capacity(5);
+        while v > 0 {
+            out.push((v & 0xff) as u8);
+            v >>= 8;
+        }
+        // If the top byte's high bit is set, append a sign byte; otherwise
+        // fold the sign into the top byte.
+        let top = *out.last().expect("nonzero value has bytes");
+        if top & 0x80 != 0 {
+            out.push(if negative { 0x80 } else { 0x00 });
+        } else if negative {
+            *out.last_mut().expect("nonempty") |= 0x80;
+        }
+        out
+    }
+
+    /// Truthiness of a raw stack element: false iff all bytes are zero
+    /// (allowing a negative-zero sign byte).
+    pub fn is_truthy(bytes: &[u8]) -> bool {
+        for (i, &b) in bytes.iter().enumerate() {
+            if b != 0 {
+                // Negative zero (sign byte only) is false.
+                return !(i == bytes.len() - 1 && b == 0x80);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: i64) {
+        let enc = ScriptNum(v).encode();
+        assert_eq!(ScriptNum::decode(&enc, 5).unwrap(), ScriptNum(v), "v = {v}");
+    }
+
+    #[test]
+    fn encode_zero_is_empty() {
+        assert!(ScriptNum(0).encode().is_empty());
+        assert_eq!(ScriptNum::decode(&[], 4).unwrap(), ScriptNum(0));
+    }
+
+    #[test]
+    fn round_trips() {
+        for v in [
+            1i64, -1, 16, -16, 127, -127, 128, -128, 255, -255, 256, 0x7fff, -0x7fff, 0x8000,
+            0x7fff_ffff, -0x7fff_ffff, 0x8000_0000, -0x8000_0000,
+        ] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        assert_eq!(ScriptNum(1).encode(), vec![0x01]);
+        assert_eq!(ScriptNum(-1).encode(), vec![0x81]);
+        assert_eq!(ScriptNum(127).encode(), vec![0x7f]);
+        assert_eq!(ScriptNum(128).encode(), vec![0x80, 0x00]);
+        assert_eq!(ScriptNum(-128).encode(), vec![0x80, 0x80]);
+        assert_eq!(ScriptNum(256).encode(), vec![0x00, 0x01]);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        assert_eq!(
+            ScriptNum::decode(&[1, 2, 3, 4, 5], 4),
+            Err(ScriptError::NumberOverflow)
+        );
+    }
+
+    #[test]
+    fn rejects_non_minimal() {
+        // 1 encoded as [0x01, 0x00].
+        assert_eq!(
+            ScriptNum::decode(&[0x01, 0x00], 4),
+            Err(ScriptError::NonMinimalNumber)
+        );
+        // 0 encoded as [0x00].
+        assert_eq!(
+            ScriptNum::decode(&[0x00], 4),
+            Err(ScriptError::NonMinimalNumber)
+        );
+        // but [0xff, 0x00] is minimal (high bit of 0xff needs the pad).
+        assert_eq!(ScriptNum::decode(&[0xff, 0x00], 4).unwrap(), ScriptNum(255));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!ScriptNum::is_truthy(&[]));
+        assert!(!ScriptNum::is_truthy(&[0x00]));
+        assert!(!ScriptNum::is_truthy(&[0x00, 0x00]));
+        assert!(!ScriptNum::is_truthy(&[0x00, 0x80])); // negative zero
+        assert!(ScriptNum::is_truthy(&[0x01]));
+        assert!(ScriptNum::is_truthy(&[0x80, 0x00])); // 128
+        assert!(ScriptNum::is_truthy(&[0x00, 0x01]));
+    }
+}

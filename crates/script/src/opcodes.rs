@@ -1,0 +1,121 @@
+//! Opcode constants.
+//!
+//! Byte values match Bitcoin's assignments so that scripts are recognizable
+//! in hex dumps and the standard-template byte patterns (e.g. the 25-byte
+//! P2PKH locking script) have the familiar sizes, which matters for the
+//! memory-requirement experiments.
+
+/// Push an empty array (false).
+pub const OP_0: u8 = 0x00;
+/// Direct pushes: byte values 0x01..=0x4b push that many following bytes.
+pub const OP_PUSHBYTES_MAX: u8 = 0x4b;
+/// Next byte is the push length.
+pub const OP_PUSHDATA1: u8 = 0x4c;
+/// Next two bytes (LE) are the push length.
+pub const OP_PUSHDATA2: u8 = 0x4d;
+/// Next four bytes (LE) are the push length.
+pub const OP_PUSHDATA4: u8 = 0x4e;
+/// Push the number -1.
+pub const OP_1NEGATE: u8 = 0x4f;
+/// Push the number 1. OP_2..OP_16 follow contiguously.
+pub const OP_1: u8 = 0x51;
+pub const OP_2: u8 = 0x52;
+pub const OP_3: u8 = 0x53;
+pub const OP_16: u8 = 0x60;
+
+pub const OP_NOP: u8 = 0x61;
+pub const OP_IF: u8 = 0x63;
+pub const OP_NOTIF: u8 = 0x64;
+pub const OP_ELSE: u8 = 0x67;
+pub const OP_ENDIF: u8 = 0x68;
+pub const OP_VERIFY: u8 = 0x69;
+pub const OP_RETURN: u8 = 0x6a;
+
+pub const OP_TOALTSTACK: u8 = 0x6b;
+pub const OP_FROMALTSTACK: u8 = 0x6c;
+pub const OP_2DROP: u8 = 0x6d;
+pub const OP_2DUP: u8 = 0x6e;
+pub const OP_3DUP: u8 = 0x6f;
+pub const OP_IFDUP: u8 = 0x73;
+pub const OP_DEPTH: u8 = 0x74;
+pub const OP_DROP: u8 = 0x75;
+pub const OP_DUP: u8 = 0x76;
+pub const OP_NIP: u8 = 0x77;
+pub const OP_OVER: u8 = 0x78;
+pub const OP_PICK: u8 = 0x79;
+pub const OP_ROLL: u8 = 0x7a;
+pub const OP_ROT: u8 = 0x7b;
+pub const OP_SWAP: u8 = 0x7c;
+pub const OP_TUCK: u8 = 0x7d;
+
+pub const OP_SIZE: u8 = 0x82;
+pub const OP_EQUAL: u8 = 0x87;
+pub const OP_EQUALVERIFY: u8 = 0x88;
+
+pub const OP_1ADD: u8 = 0x8b;
+pub const OP_1SUB: u8 = 0x8c;
+pub const OP_NEGATE: u8 = 0x8f;
+pub const OP_ABS: u8 = 0x90;
+pub const OP_NOT: u8 = 0x91;
+pub const OP_0NOTEQUAL: u8 = 0x92;
+pub const OP_ADD: u8 = 0x93;
+pub const OP_SUB: u8 = 0x94;
+pub const OP_BOOLAND: u8 = 0x9a;
+pub const OP_BOOLOR: u8 = 0x9b;
+pub const OP_NUMEQUAL: u8 = 0x9c;
+pub const OP_NUMEQUALVERIFY: u8 = 0x9d;
+pub const OP_NUMNOTEQUAL: u8 = 0x9e;
+pub const OP_LESSTHAN: u8 = 0x9f;
+pub const OP_GREATERTHAN: u8 = 0xa0;
+pub const OP_LESSTHANOREQUAL: u8 = 0xa1;
+pub const OP_GREATERTHANOREQUAL: u8 = 0xa2;
+pub const OP_MIN: u8 = 0xa3;
+pub const OP_MAX: u8 = 0xa4;
+pub const OP_WITHIN: u8 = 0xa5;
+
+/// BIP65: fail unless the spending transaction's lock time is at least
+/// the top stack item.
+pub const OP_CHECKLOCKTIMEVERIFY: u8 = 0xb1;
+
+pub const OP_RIPEMD160: u8 = 0xa6;
+pub const OP_SHA1: u8 = 0xa7;
+pub const OP_SHA256: u8 = 0xa8;
+pub const OP_HASH160: u8 = 0xa9;
+pub const OP_HASH256: u8 = 0xaa;
+pub const OP_CHECKSIG: u8 = 0xac;
+pub const OP_CHECKSIGVERIFY: u8 = 0xad;
+pub const OP_CHECKMULTISIG: u8 = 0xae;
+pub const OP_CHECKMULTISIGVERIFY: u8 = 0xaf;
+
+/// True if the byte is one of the small-integer push opcodes OP_1..OP_16.
+pub fn is_small_int(op: u8) -> bool {
+    (OP_1..=OP_16).contains(&op)
+}
+
+/// The value pushed by a small-integer opcode.
+pub fn small_int_value(op: u8) -> i64 {
+    debug_assert!(is_small_int(op));
+    (op - OP_1) as i64 + 1
+}
+
+/// The opcode pushing small integer `v` (1..=16).
+pub fn small_int_op(v: u8) -> u8 {
+    debug_assert!((1..=16).contains(&v));
+    OP_1 + v - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_int_round_trip() {
+        for v in 1..=16u8 {
+            let op = small_int_op(v);
+            assert!(is_small_int(op));
+            assert_eq!(small_int_value(op), v as i64);
+        }
+        assert!(!is_small_int(OP_0));
+        assert!(!is_small_int(OP_NOP));
+    }
+}

@@ -1,0 +1,237 @@
+//! The [`Script`] byte container, instruction iterator and [`Builder`].
+
+use crate::interpreter::ScriptError;
+use crate::opcodes::*;
+use ebv_primitives::encode::{Decodable, DecodeError, Encodable, Reader};
+
+/// A serialized script. Scripts are opaque byte strings until executed;
+/// construction goes through [`Builder`] or the standard templates in
+/// [`crate::standard`].
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Script(pub Vec<u8>);
+
+/// One decoded instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Instruction<'a> {
+    /// Push the given bytes (covers OP_0, direct pushes and OP_PUSHDATAn).
+    Push(&'a [u8]),
+    /// A non-push opcode byte.
+    Op(u8),
+}
+
+impl Script {
+    pub fn new() -> Script {
+        Script(Vec::new())
+    }
+
+    pub fn from_bytes(bytes: Vec<u8>) -> Script {
+        Script(bytes)
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate instructions, validating push lengths.
+    pub fn instructions(&self) -> Instructions<'_> {
+        Instructions { bytes: &self.0, pos: 0 }
+    }
+}
+
+impl std::fmt::Debug for Script {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Script({})", ebv_primitives::hex::encode(&self.0))
+    }
+}
+
+impl Encodable for Script {
+    fn encode(&self, out: &mut Vec<u8>) {
+        ebv_primitives::encode::write_var_bytes(out, &self.0);
+    }
+    fn encoded_len(&self) -> usize {
+        ebv_primitives::encode::varint_len(self.0.len() as u64) + self.0.len()
+    }
+}
+
+impl Decodable for Script {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Script(r.read_var_bytes()?))
+    }
+}
+
+/// Instruction iterator over a script's bytes.
+pub struct Instructions<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for Instructions<'a> {
+    type Item = Result<Instruction<'a>, ScriptError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.bytes.len() {
+            return None;
+        }
+        let op = self.bytes[self.pos];
+        self.pos += 1;
+        let take = |this: &mut Self, n: usize| -> Result<&'a [u8], ScriptError> {
+            if this.bytes.len() - this.pos < n {
+                return Err(ScriptError::TruncatedPush);
+            }
+            let out = &this.bytes[this.pos..this.pos + n];
+            this.pos += n;
+            Ok(out)
+        };
+        let item = match op {
+            OP_0 => Ok(Instruction::Push(&[])),
+            1..=OP_PUSHBYTES_MAX => take(self, op as usize).map(Instruction::Push),
+            OP_PUSHDATA1 => take(self, 1)
+                .map(|l| l[0] as usize)
+                .and_then(|n| take(self, n))
+                .map(Instruction::Push),
+            OP_PUSHDATA2 => take(self, 2)
+                .map(|l| u16::from_le_bytes([l[0], l[1]]) as usize)
+                .and_then(|n| take(self, n))
+                .map(Instruction::Push),
+            OP_PUSHDATA4 => take(self, 4)
+                .map(|l| u32::from_le_bytes([l[0], l[1], l[2], l[3]]) as usize)
+                .and_then(|n| take(self, n))
+                .map(Instruction::Push),
+            other => Ok(Instruction::Op(other)),
+        };
+        Some(item)
+    }
+}
+
+/// Incremental script builder.
+#[derive(Default)]
+pub struct Builder(Vec<u8>);
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder(Vec::new())
+    }
+
+    /// Append a raw opcode byte.
+    pub fn push_op(mut self, op: u8) -> Builder {
+        self.0.push(op);
+        self
+    }
+
+    /// Append a data push using the shortest form.
+    pub fn push_data(mut self, data: &[u8]) -> Builder {
+        match data.len() {
+            0 => self.0.push(OP_0),
+            n @ 1..=0x4b => {
+                self.0.push(n as u8);
+                self.0.extend_from_slice(data);
+            }
+            n @ 0x4c..=0xff => {
+                self.0.push(OP_PUSHDATA1);
+                self.0.push(n as u8);
+                self.0.extend_from_slice(data);
+            }
+            n @ 0x100..=0xffff => {
+                self.0.push(OP_PUSHDATA2);
+                self.0.extend_from_slice(&(n as u16).to_le_bytes());
+                self.0.extend_from_slice(data);
+            }
+            n => {
+                self.0.push(OP_PUSHDATA4);
+                self.0.extend_from_slice(&(n as u32).to_le_bytes());
+                self.0.extend_from_slice(data);
+            }
+        }
+        self
+    }
+
+    /// Append an integer push (using small-int opcodes where possible).
+    pub fn push_int(self, v: i64) -> Builder {
+        match v {
+            0 => self.push_op(OP_0),
+            -1 => self.push_op(OP_1NEGATE),
+            1..=16 => self.push_op(small_int_op(v as u8)),
+            _ => {
+                let enc = crate::num::ScriptNum(v).encode();
+                self.push_data(&enc)
+            }
+        }
+    }
+
+    pub fn into_script(self) -> Script {
+        Script(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shortest_push_forms() {
+        let s = Builder::new().push_data(&[0xaa; 3]).into_script();
+        assert_eq!(s.0[0], 3);
+        let s = Builder::new().push_data(&[0xaa; 0x4c]).into_script();
+        assert_eq!(s.0[0], OP_PUSHDATA1);
+        let s = Builder::new().push_data(&[0xaa; 0x100]).into_script();
+        assert_eq!(s.0[0], OP_PUSHDATA2);
+    }
+
+    #[test]
+    fn instruction_iteration() {
+        let s = Builder::new()
+            .push_int(5)
+            .push_data(b"hello")
+            .push_op(OP_ADD)
+            .into_script();
+        let ins: Vec<_> = s.instructions().collect::<Result<_, _>>().unwrap();
+        assert_eq!(
+            ins,
+            vec![
+                Instruction::Op(small_int_op(5)),
+                Instruction::Push(b"hello"),
+                Instruction::Op(OP_ADD),
+            ]
+        );
+    }
+
+    #[test]
+    fn truncated_push_detected() {
+        // Direct push of 5 bytes but only 2 present.
+        let s = Script::from_bytes(vec![0x05, 0xaa, 0xbb]);
+        let r: Result<Vec<_>, _> = s.instructions().collect();
+        assert_eq!(r.unwrap_err(), ScriptError::TruncatedPush);
+
+        // PUSHDATA1 missing its length byte.
+        let s = Script::from_bytes(vec![OP_PUSHDATA1]);
+        let r: Result<Vec<_>, _> = s.instructions().collect();
+        assert_eq!(r.unwrap_err(), ScriptError::TruncatedPush);
+    }
+
+    #[test]
+    fn push_int_forms() {
+        assert_eq!(Builder::new().push_int(0).into_script().0, vec![OP_0]);
+        assert_eq!(Builder::new().push_int(-1).into_script().0, vec![OP_1NEGATE]);
+        assert_eq!(Builder::new().push_int(16).into_script().0, vec![OP_16]);
+        assert_eq!(Builder::new().push_int(17).into_script().0, vec![0x01, 17]);
+        assert_eq!(
+            Builder::new().push_int(-5).into_script().0,
+            vec![0x01, 0x85]
+        );
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let s = Builder::new().push_data(b"abc").push_op(OP_DUP).into_script();
+        let bytes = s.to_bytes();
+        assert_eq!(<Script as Decodable>::from_bytes(&bytes).unwrap(), s);
+    }
+}

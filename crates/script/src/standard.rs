@@ -1,0 +1,240 @@
+//! Standard script templates: pay-to-pubkey-hash (P2PKH), pay-to-pubkey
+//! (P2PK) and bare m-of-n multisig — the output types the workload
+//! generator emits (P2PKH dominates, mirroring the real UTXO set).
+
+use crate::opcodes::*;
+use crate::script::{Builder, Script};
+use ebv_primitives::hash::Hash160;
+
+/// `OP_DUP OP_HASH160 <pubkey-hash> OP_EQUALVERIFY OP_CHECKSIG` — the
+/// classic 25-byte P2PKH locking script.
+pub fn p2pkh_lock(pubkey_hash: &Hash160) -> Script {
+    Builder::new()
+        .push_op(OP_DUP)
+        .push_op(OP_HASH160)
+        .push_data(pubkey_hash.as_bytes())
+        .push_op(OP_EQUALVERIFY)
+        .push_op(OP_CHECKSIG)
+        .into_script()
+}
+
+/// `<sig> <pubkey>` — the P2PKH unlocking script.
+pub fn p2pkh_unlock(sig: &[u8], pubkey: &[u8]) -> Script {
+    Builder::new().push_data(sig).push_data(pubkey).into_script()
+}
+
+/// `<pubkey> OP_CHECKSIG` — pay-to-pubkey locking script.
+pub fn p2pk_lock(pubkey: &[u8]) -> Script {
+    Builder::new().push_data(pubkey).push_op(OP_CHECKSIG).into_script()
+}
+
+/// `<sig>` — pay-to-pubkey unlocking script.
+pub fn p2pk_unlock(sig: &[u8]) -> Script {
+    Builder::new().push_data(sig).into_script()
+}
+
+/// `m <key1> ... <keyn> n OP_CHECKMULTISIG` — bare multisig locking script.
+///
+/// # Panics
+/// If `m` is 0, `m > keys.len()`, or more than 16 keys are given (the
+/// small-int encoding limit for bare multisig).
+pub fn multisig_lock(m: usize, keys: &[&[u8]]) -> Script {
+    assert!(m >= 1 && m <= keys.len() && keys.len() <= 16, "invalid m-of-n");
+    let mut b = Builder::new().push_int(m as i64);
+    for key in keys {
+        b = b.push_data(key);
+    }
+    b.push_int(keys.len() as i64).push_op(OP_CHECKMULTISIG).into_script()
+}
+
+/// `OP_0 <sig1> ... <sigm>` — bare multisig unlocking script (the leading
+/// empty push absorbs `OP_CHECKMULTISIG`'s historical extra pop).
+pub fn multisig_unlock(sigs: &[&[u8]]) -> Script {
+    let mut b = Builder::new().push_op(OP_0);
+    for sig in sigs {
+        b = b.push_data(sig);
+    }
+    b.into_script()
+}
+
+/// Classify a locking script, if it matches a standard template.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScriptClass {
+    P2pkh,
+    P2pk,
+    Multisig,
+    NonStandard,
+}
+
+/// Best-effort classification by byte pattern.
+pub fn classify(lock: &Script) -> ScriptClass {
+    let b = lock.as_bytes();
+    if b.len() == 25
+        && b[0] == OP_DUP
+        && b[1] == OP_HASH160
+        && b[2] == 20
+        && b[23] == OP_EQUALVERIFY
+        && b[24] == OP_CHECKSIG
+    {
+        return ScriptClass::P2pkh;
+    }
+    if b.len() == 35 && b[0] == 33 && b[34] == OP_CHECKSIG {
+        return ScriptClass::P2pk;
+    }
+    if b.len() >= 3
+        && is_small_int(b[0])
+        && is_small_int(b[b.len() - 2])
+        && b[b.len() - 1] == OP_CHECKMULTISIG
+    {
+        return ScriptClass::Multisig;
+    }
+    ScriptClass::NonStandard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::{verify_spend, ScriptError, SignatureChecker};
+    use ebv_primitives::ec::PrivateKey;
+    use ebv_primitives::hash::sha256;
+
+    /// Checker bound to a fixed digest, the way the chain layer binds to a
+    /// sighash.
+    struct DigestChecker([u8; 32]);
+
+    impl SignatureChecker for DigestChecker {
+        fn check_sig(&self, sig: &[u8], pubkey: &[u8]) -> bool {
+            let Ok(pk) = ebv_primitives::ec::PublicKey::from_compressed(pubkey) else {
+                return false;
+            };
+            // Compact signature plus one sighash-type byte.
+            if sig.len() != 65 {
+                return false;
+            }
+            pk.verify_compact(&self.0, &sig[..64]).unwrap_or(false)
+        }
+    }
+
+    fn sig_with_type(sk: &PrivateKey, digest: &[u8; 32]) -> Vec<u8> {
+        let mut v = sk.sign(digest).to_compact().to_vec();
+        v.push(0x01); // SIGHASH_ALL
+        v
+    }
+
+    #[test]
+    fn p2pkh_lock_is_25_bytes() {
+        let sk = PrivateKey::from_seed(1);
+        let lock = p2pkh_lock(&sk.public_key().address_hash());
+        assert_eq!(lock.len(), 25);
+        assert_eq!(classify(&lock), ScriptClass::P2pkh);
+    }
+
+    #[test]
+    fn p2pkh_spend_verifies() {
+        let sk = PrivateKey::from_seed(7);
+        let pk = sk.public_key();
+        let digest = sha256(b"tx digest");
+        let lock = p2pkh_lock(&pk.address_hash());
+        let unlock = p2pkh_unlock(&sig_with_type(&sk, &digest), &pk.to_compressed());
+        assert!(verify_spend(&unlock, &lock, &DigestChecker(digest)).is_ok());
+    }
+
+    #[test]
+    fn p2pkh_wrong_key_fails() {
+        let sk = PrivateKey::from_seed(7);
+        let wrong = PrivateKey::from_seed(8);
+        let digest = sha256(b"tx digest");
+        let lock = p2pkh_lock(&sk.public_key().address_hash());
+        // Signature by the wrong key, presenting the wrong pubkey: fails the
+        // EQUALVERIFY hash check.
+        let unlock = p2pkh_unlock(
+            &sig_with_type(&wrong, &digest),
+            &wrong.public_key().to_compressed(),
+        );
+        assert_eq!(
+            verify_spend(&unlock, &lock, &DigestChecker(digest)),
+            Err(ScriptError::VerifyFailed)
+        );
+    }
+
+    #[test]
+    fn p2pkh_wrong_signature_fails() {
+        let sk = PrivateKey::from_seed(7);
+        let pk = sk.public_key();
+        let digest = sha256(b"tx digest");
+        let other_digest = sha256(b"different tx");
+        let lock = p2pkh_lock(&pk.address_hash());
+        // Right key, signature over the wrong digest: CHECKSIG pushes false.
+        let unlock = p2pkh_unlock(&sig_with_type(&sk, &other_digest), &pk.to_compressed());
+        assert_eq!(
+            verify_spend(&unlock, &lock, &DigestChecker(digest)),
+            Err(ScriptError::EvalFalse)
+        );
+    }
+
+    #[test]
+    fn p2pk_spend_verifies() {
+        let sk = PrivateKey::from_seed(3);
+        let digest = sha256(b"p2pk");
+        let lock = p2pk_lock(&sk.public_key().to_compressed());
+        assert_eq!(classify(&lock), ScriptClass::P2pk);
+        let unlock = p2pk_unlock(&sig_with_type(&sk, &digest));
+        assert!(verify_spend(&unlock, &lock, &DigestChecker(digest)).is_ok());
+    }
+
+    #[test]
+    fn multisig_2_of_3_verifies() {
+        let sks: Vec<_> = (10..13).map(PrivateKey::from_seed).collect();
+        let pks: Vec<_> = sks.iter().map(|k| k.public_key().to_compressed()).collect();
+        let digest = sha256(b"multisig");
+        let key_refs: Vec<&[u8]> = pks.iter().map(|k| k.as_slice()).collect();
+        let lock = multisig_lock(2, &key_refs);
+        assert_eq!(classify(&lock), ScriptClass::Multisig);
+
+        let s0 = sig_with_type(&sks[0], &digest);
+        let s2 = sig_with_type(&sks[2], &digest);
+        let unlock = multisig_unlock(&[&s0, &s2]);
+        assert!(verify_spend(&unlock, &lock, &DigestChecker(digest)).is_ok());
+    }
+
+    #[test]
+    fn multisig_out_of_order_sigs_fail() {
+        let sks: Vec<_> = (10..13).map(PrivateKey::from_seed).collect();
+        let pks: Vec<_> = sks.iter().map(|k| k.public_key().to_compressed()).collect();
+        let digest = sha256(b"multisig");
+        let key_refs: Vec<&[u8]> = pks.iter().map(|k| k.as_slice()).collect();
+        let lock = multisig_lock(2, &key_refs);
+
+        let s0 = sig_with_type(&sks[0], &digest);
+        let s2 = sig_with_type(&sks[2], &digest);
+        // Reversed order: key scan cannot match sig for key 2 first then 0.
+        let unlock = multisig_unlock(&[&s2, &s0]);
+        assert_eq!(
+            verify_spend(&unlock, &lock, &DigestChecker(digest)),
+            Err(ScriptError::EvalFalse)
+        );
+    }
+
+    #[test]
+    fn multisig_insufficient_sigs_fail() {
+        let sks: Vec<_> = (10..13).map(PrivateKey::from_seed).collect();
+        let pks: Vec<_> = sks.iter().map(|k| k.public_key().to_compressed()).collect();
+        let digest = sha256(b"multisig");
+        let key_refs: Vec<&[u8]> = pks.iter().map(|k| k.as_slice()).collect();
+        let lock = multisig_lock(2, &key_refs);
+        let s0 = sig_with_type(&sks[0], &digest);
+        // Only one signature provided for 2-of-3: the engine pops m=2
+        // signature slots, consuming the dummy as a (bad) signature.
+        let unlock = multisig_unlock(&[&s0]);
+        assert!(verify_spend(&unlock, &lock, &DigestChecker(digest)).is_err());
+    }
+
+    #[test]
+    fn classify_non_standard() {
+        assert_eq!(classify(&Script::new()), ScriptClass::NonStandard);
+        assert_eq!(
+            classify(&Builder::new().push_int(1).into_script()),
+            ScriptClass::NonStandard
+        );
+    }
+}

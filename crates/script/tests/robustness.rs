@@ -1,0 +1,57 @@
+//! Robustness: the interpreter must never panic, hang, or blow the stack
+//! on arbitrary byte strings — malicious peers control script contents.
+
+use ebv_script::{verify_spend, AcceptAllChecker, Engine, RejectAllChecker, Script};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let script = Script::from_bytes(bytes);
+        let mut engine = Engine::new(&RejectAllChecker);
+        // Errors are fine; panics are not.
+        let _ = engine.execute(&script);
+    }
+
+    #[test]
+    fn random_spend_pairs_never_panic(
+        unlocking in prop::collection::vec(any::<u8>(), 0..256),
+        locking in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = verify_spend(
+            &Script::from_bytes(unlocking),
+            &Script::from_bytes(locking),
+            &AcceptAllChecker,
+        );
+    }
+
+    #[test]
+    fn push_only_scripts_execute(pushes in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..75), 0..50,
+    )) {
+        let mut b = ebv_script::Builder::new();
+        for p in &pushes {
+            b = b.push_data(p);
+        }
+        let script = b.into_script();
+        let mut engine = Engine::new(&RejectAllChecker);
+        engine.execute(&script).expect("push-only scripts always succeed");
+        assert_eq!(engine.stack().len(), pushes.len());
+    }
+
+    #[test]
+    fn instruction_iterator_terminates(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let script = Script::from_bytes(bytes);
+        // The iterator must always make progress: bounded by input length.
+        let mut count = 0usize;
+        for ins in script.instructions() {
+            count += 1;
+            if ins.is_err() {
+                break;
+            }
+            assert!(count <= 2048, "iterator failed to terminate");
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The baseline UTXO set, layered on the status database.
+//!
+//! Entries are keyed by outpoint (`txid || vout`, 36 bytes) and carry the
+//! data input checking needs: amount, locking script, creation height and
+//! a coinbase flag — mirroring Bitcoin Core's `CCoin`. The paper's Fig. 3
+//! operations map to [`UtxoSet::fetch`] (❶, EV+UV), [`UtxoSet::delete`]
+//! (❸) and [`UtxoSet::insert`] (❹); ❷ SV happens in the validator.
+
+use crate::disk::DiskError;
+use crate::kv::KvStore;
+use ebv_chain::OutPoint;
+use ebv_primitives::encode::{Decodable, DecodeError, Encodable, Reader};
+use ebv_script::Script;
+
+/// One unspent transaction output as stored in the status database.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UtxoEntry {
+    /// Amount in base units.
+    pub value: u64,
+    /// The locking script (*Ls*) needed for SV.
+    pub locking_script: Script,
+    /// Height of the block that created the output.
+    pub height: u32,
+    /// Absolute position of the output within its block (whole-block output
+    /// numbering). Together with `height` these are the coordinates the
+    /// shared signing digest commits to.
+    pub position: u32,
+    /// Whether the creating transaction was a coinbase.
+    pub coinbase: bool,
+}
+
+impl Encodable for UtxoEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.value.encode(out);
+        self.locking_script.encode(out);
+        self.height.encode(out);
+        self.position.encode(out);
+        (self.coinbase as u8).encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.locking_script.encoded_len() + 4 + 4 + 1
+    }
+}
+
+impl Decodable for UtxoEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(UtxoEntry {
+            value: u64::decode(r)?,
+            locking_script: Script::decode(r)?,
+            height: u32::decode(r)?,
+            position: u32::decode(r)?,
+            coinbase: match u8::decode(r)? {
+                0 => false,
+                1 => true,
+                _ => return Err(DecodeError::Invalid("coinbase flag")),
+            },
+        })
+    }
+}
+
+/// Aggregate size statistics — what Figs. 1 and 14 plot for the baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UtxoSetSize {
+    /// Number of unspent outputs.
+    pub count: u64,
+    /// Serialized bytes of all entries plus their 36-byte keys.
+    pub bytes: u64,
+}
+
+/// The UTXO set: outpoint → [`UtxoEntry`].
+pub struct UtxoSet {
+    kv: KvStore,
+    size: UtxoSetSize,
+}
+
+/// Failures of UTXO-set operations.
+#[derive(Debug)]
+pub enum UtxoError {
+    Disk(DiskError),
+    /// Stored bytes failed to decode — database corruption.
+    Corrupt(DecodeError),
+    /// Delete of an outpoint that is not in the set.
+    MissingEntry(OutPoint),
+}
+
+impl From<DiskError> for UtxoError {
+    fn from(e: DiskError) -> Self {
+        UtxoError::Disk(e)
+    }
+}
+
+impl std::fmt::Display for UtxoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UtxoError::Disk(e) => write!(f, "utxo store: {e}"),
+            UtxoError::Corrupt(e) => write!(f, "utxo entry corrupt: {e}"),
+            UtxoError::MissingEntry(op) => write!(f, "missing utxo entry {op:?}"),
+        }
+    }
+}
+
+impl std::error::Error for UtxoError {}
+
+impl UtxoSet {
+    /// Wrap a status database.
+    pub fn new(kv: KvStore) -> UtxoSet {
+        UtxoSet { kv, size: UtxoSetSize::default() }
+    }
+
+    /// Fetch the entry for `outpoint` — the combined EV+UV lookup. `None`
+    /// means the output either never existed or was already spent (the
+    /// baseline cannot distinguish the two, as the paper notes).
+    pub fn fetch(&mut self, outpoint: &OutPoint) -> Result<Option<UtxoEntry>, UtxoError> {
+        let Some(bytes) = self.kv.get(&outpoint.to_key())? else {
+            return Ok(None);
+        };
+        UtxoEntry::from_bytes(&bytes).map(Some).map_err(UtxoError::Corrupt)
+    }
+
+    /// Insert a new unspent output.
+    pub fn insert(&mut self, outpoint: &OutPoint, entry: &UtxoEntry) -> Result<(), UtxoError> {
+        let bytes = entry.to_bytes();
+        self.size.count += 1;
+        self.size.bytes += 36 + bytes.len() as u64;
+        self.kv.put(&outpoint.to_key(), bytes)?;
+        Ok(())
+    }
+
+    /// Delete a spent output. The caller must have fetched it (validation
+    /// does); the entry size is needed to keep [`UtxoSet::size`] exact.
+    pub fn delete(&mut self, outpoint: &OutPoint, entry: &UtxoEntry) -> Result<(), UtxoError> {
+        self.size.count = self.size.count.saturating_sub(1);
+        self.size.bytes = self.size.bytes.saturating_sub(36 + entry.encoded_len() as u64);
+        self.kv.delete(&outpoint.to_key())?;
+        Ok(())
+    }
+
+    /// Current logical size of the set.
+    pub fn size(&self) -> UtxoSetSize {
+        self.size
+    }
+
+    /// DBO statistics of the underlying store.
+    pub fn stats(&self) -> crate::stats::DboStats {
+        self.kv.stats()
+    }
+
+    /// Flush dirty cache state to disk.
+    pub fn flush(&mut self) -> Result<(), UtxoError> {
+        self.kv.flush()?;
+        Ok(())
+    }
+
+    /// Access the underlying store (for cache-usage introspection).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::StoreConfig;
+    use ebv_primitives::hash::sha256d;
+    use ebv_script::Builder;
+
+    fn entry(value: u64) -> UtxoEntry {
+        UtxoEntry {
+            value,
+            locking_script: Builder::new().push_data(&[0xaa; 25]).into_script(),
+            height: 7,
+            position: 3,
+            coinbase: false,
+        }
+    }
+
+    fn outpoint(i: u64) -> OutPoint {
+        OutPoint::new(sha256d(&i.to_le_bytes()), (i % 4) as u32)
+    }
+
+    fn set() -> UtxoSet {
+        UtxoSet::new(KvStore::open(StoreConfig::with_budget(1 << 20)).unwrap())
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let e = entry(12345);
+        let bytes = e.to_bytes();
+        assert_eq!(bytes.len(), e.encoded_len());
+        assert_eq!(UtxoEntry::from_bytes(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn entry_rejects_bad_coinbase_flag() {
+        let mut bytes = entry(1).to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        assert!(matches!(
+            UtxoEntry::from_bytes(&bytes),
+            Err(DecodeError::Invalid("coinbase flag"))
+        ));
+    }
+
+    #[test]
+    fn insert_fetch_delete() {
+        let mut s = set();
+        let op = outpoint(1);
+        assert!(s.fetch(&op).unwrap().is_none());
+        s.insert(&op, &entry(10)).unwrap();
+        assert_eq!(s.fetch(&op).unwrap().unwrap().value, 10);
+        s.delete(&op, &entry(10)).unwrap();
+        assert!(s.fetch(&op).unwrap().is_none());
+    }
+
+    #[test]
+    fn size_tracking_is_exact() {
+        let mut s = set();
+        assert_eq!(s.size(), UtxoSetSize::default());
+        let e = entry(5);
+        let per_entry = 36 + e.encoded_len() as u64;
+        for i in 0..10 {
+            s.insert(&outpoint(i), &e).unwrap();
+        }
+        assert_eq!(s.size().count, 10);
+        assert_eq!(s.size().bytes, 10 * per_entry);
+        for i in 0..4 {
+            s.delete(&outpoint(i), &e).unwrap();
+        }
+        assert_eq!(s.size().count, 6);
+        assert_eq!(s.size().bytes, 6 * per_entry);
+    }
+
+    #[test]
+    fn distinct_vouts_are_distinct_entries() {
+        let mut s = set();
+        let txid = sha256d(b"tx");
+        s.insert(&OutPoint::new(txid, 0), &entry(1)).unwrap();
+        s.insert(&OutPoint::new(txid, 1), &entry(2)).unwrap();
+        assert_eq!(s.fetch(&OutPoint::new(txid, 0)).unwrap().unwrap().value, 1);
+        assert_eq!(s.fetch(&OutPoint::new(txid, 1)).unwrap().unwrap().value, 2);
+    }
+
+    #[test]
+    fn stats_flow_through() {
+        let mut s = set();
+        s.insert(&outpoint(0), &entry(1)).unwrap();
+        s.fetch(&outpoint(0)).unwrap();
+        let st = s.stats();
+        assert_eq!(st.inserts, 1);
+        assert_eq!(st.fetches, 1);
+    }
+}

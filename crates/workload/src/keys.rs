@@ -1,0 +1,90 @@
+//! The deterministic key pool.
+//!
+//! Private keys are derived from `(chain seed, key index)` so a chain is
+//! reproducible from its seed alone. Public keys, address hashes and
+//! locking scripts are precomputed — deriving a public key costs a scalar
+//! multiplication, and the generator touches keys constantly.
+
+use ebv_primitives::ec::{PrivateKey, PublicKey};
+use ebv_primitives::hash::sha256;
+use ebv_script::standard::p2pkh_lock;
+use ebv_script::Script;
+
+/// One pool entry.
+pub struct KeyEntry {
+    pub sk: PrivateKey,
+    pub pk: PublicKey,
+    /// Compressed public key bytes (pushed by unlocking scripts).
+    pub pk_bytes: [u8; 33],
+    /// The P2PKH locking script paying this key.
+    pub lock: Script,
+}
+
+/// A fixed pool of deterministic keys.
+pub struct KeyPool {
+    entries: Vec<KeyEntry>,
+}
+
+impl KeyPool {
+    /// Derive `size` keys from `seed`.
+    pub fn new(seed: u64, size: usize) -> KeyPool {
+        let entries = (0..size)
+            .map(|i| {
+                // Mix seed and index through SHA-256 for independence.
+                let mut material = [0u8; 16];
+                material[..8].copy_from_slice(&seed.to_le_bytes());
+                material[8..].copy_from_slice(&(i as u64).to_le_bytes());
+                let mut digest = sha256(&material);
+                let sk = loop {
+                    if let Some(k) = PrivateKey::from_be_bytes(&digest) {
+                        break k;
+                    }
+                    digest = sha256(&digest);
+                };
+                let pk = sk.public_key();
+                KeyEntry { sk, pk, pk_bytes: pk.to_compressed(), lock: p2pkh_lock(&pk.address_hash()) }
+            })
+            .collect();
+        KeyPool { entries }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at `index` (modulo the pool size).
+    pub fn entry(&self, index: usize) -> &KeyEntry {
+        &self.entries[index % self.entries.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = KeyPool::new(7, 4);
+        let b = KeyPool::new(7, 4);
+        for i in 0..4 {
+            assert_eq!(a.entry(i).pk_bytes, b.entry(i).pk_bytes);
+        }
+        assert_ne!(a.entry(0).pk_bytes, a.entry(1).pk_bytes);
+        // Different seed → different keys.
+        let c = KeyPool::new(8, 1);
+        assert_ne!(a.entry(0).pk_bytes, c.entry(0).pk_bytes);
+    }
+
+    #[test]
+    fn lock_script_matches_key() {
+        let pool = KeyPool::new(1, 2);
+        let e = pool.entry(1);
+        assert_eq!(e.lock, p2pkh_lock(&e.pk.address_hash()));
+        // Index wraps.
+        assert_eq!(pool.entry(3).pk_bytes, pool.entry(1).pk_bytes);
+    }
+}

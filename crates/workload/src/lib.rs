@@ -1,0 +1,19 @@
+//! Deterministic synthetic mainnet-like chain generation.
+//!
+//! The offline environment has no Bitcoin mainnet data, so the experiments
+//! run on generated chains whose per-block statistics follow the paper's
+//! setting: activity ramps up over the chain, a tunable share of outputs
+//! is never spent (UTXO-set growth), spend ages are geometric with a
+//! short mean (old blocks' bit-vectors go sparse), and an optional
+//! consolidation epoch reproduces the paper's Fig. 5 dip. Every signature
+//! is real ECDSA — Script Validation cost is genuine.
+
+mod generator;
+mod keys;
+mod params;
+pub mod stats;
+
+pub use generator::{ChainGenerator, ChainStats};
+pub use keys::{KeyEntry, KeyPool};
+pub use params::{Consolidation, GeneratorParams, Ramp};
+pub use stats::{spend_age_histogram, ChainProfile};

@@ -1,0 +1,152 @@
+//! Generator parameters and presets.
+//!
+//! The synthetic chain mirrors the *statistics* the paper's measurements
+//! depend on: transactions/block and inputs/block ramp up over the chain's
+//! life (Fig. 5's rising DBO trend), a fraction of outputs is never spent
+//! (Fig. 1's UTXO growth), spend ages are short-lived-biased (old blocks'
+//! vectors go sparse, Fig. 14), and an optional consolidation epoch sweeps
+//! up dust (the dip the paper points out in Fig. 5).
+
+/// A value that ramps linearly across the chain.
+#[derive(Clone, Copy, Debug)]
+pub struct Ramp {
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Ramp {
+    pub fn flat(v: f64) -> Ramp {
+        Ramp { start: v, end: v }
+    }
+
+    /// Value at `height` of `n_blocks` total.
+    pub fn at(&self, height: u32, n_blocks: u32) -> f64 {
+        if n_blocks <= 1 {
+            return self.start;
+        }
+        let t = height as f64 / (n_blocks - 1) as f64;
+        self.start + (self.end - self.start) * t
+    }
+}
+
+/// A consolidation epoch: blocks in `[start, end]` sweep up long-dormant
+/// outputs with many-input transactions.
+#[derive(Clone, Copy, Debug)]
+pub struct Consolidation {
+    pub start: u32,
+    pub end: u32,
+    /// Dormant coins consumed per consolidation transaction.
+    pub inputs_per_tx: usize,
+    /// Consolidation transactions per block during the epoch.
+    pub txs_per_block: usize,
+}
+
+/// Full parameter set for [`crate::ChainGenerator`].
+#[derive(Clone, Debug)]
+pub struct GeneratorParams {
+    /// RNG seed; equal seeds give byte-identical chains.
+    pub seed: u64,
+    /// Blocks to generate after the genesis block.
+    pub n_blocks: u32,
+    /// Size of the deterministic key pool.
+    pub key_pool: usize,
+    /// Spending transactions per block (ramped).
+    pub txs_per_block: Ramp,
+    /// Inputs per spending transaction: uniform in `1..=max_inputs_per_tx`.
+    pub max_inputs_per_tx: usize,
+    /// Outputs per spending transaction: uniform in
+    /// `1..=max_outputs_per_tx`.
+    pub max_outputs_per_tx: usize,
+    /// Probability a created output is never spent (drives UTXO growth).
+    pub p_never_spent: f64,
+    /// Mean spend age in blocks for outputs that do get spent (geometric).
+    pub mean_spend_age: f64,
+    /// Probability a spent output is "old money": its age is drawn
+    /// uniformly from `old_age_range` instead of the geometric. Old spends
+    /// are what defeats an LRU UTXO cache (the paper's DBO misses).
+    pub p_old_spend: f64,
+    /// Age range (blocks) for old-money spends.
+    pub old_age_range: (u32, u32),
+    /// Optional consolidation epoch.
+    pub consolidation: Option<Consolidation>,
+    /// PoW difficulty (leading zero bits) for generated blocks.
+    pub bits: u32,
+}
+
+impl GeneratorParams {
+    /// A tiny chain for unit tests (fast even with real signatures).
+    pub fn tiny(n_blocks: u32, seed: u64) -> GeneratorParams {
+        GeneratorParams {
+            seed,
+            n_blocks,
+            key_pool: 8,
+            txs_per_block: Ramp::flat(2.0),
+            max_inputs_per_tx: 2,
+            max_outputs_per_tx: 2,
+            p_never_spent: 0.3,
+            mean_spend_age: 3.0,
+            p_old_spend: 0.0,
+            old_age_range: (5, 10),
+            consolidation: None,
+            bits: 0,
+        }
+    }
+
+    /// The scaled mainnet-like profile used by the figure binaries:
+    /// activity ramps ~3× across the chain; most spends are young
+    /// (geometric, mean 12 blocks) but 30 % are "old money" spent tens to
+    /// hundreds of blocks later — the accesses that defeat an LRU UTXO
+    /// cache and empty out old bit-vectors; ~4 % of outputs survive
+    /// forever, so the UTXO set keeps growing.
+    pub fn mainnet_like(n_blocks: u32, seed: u64) -> GeneratorParams {
+        GeneratorParams {
+            seed,
+            n_blocks,
+            key_pool: 128,
+            txs_per_block: Ramp { start: 10.0, end: 30.0 },
+            max_inputs_per_tx: 4,
+            // Uniform 1..=6 outputs (mean 3.5) gives blocks of ~36–106
+            // outputs — wide enough that old, mostly-spent bit-vectors
+            // actually benefit from the 16-bit sparse encoding.
+            max_outputs_per_tx: 6,
+            p_never_spent: 0.03,
+            mean_spend_age: 12.0,
+            p_old_spend: 0.3,
+            old_age_range: (30, 500),
+            consolidation: None,
+            bits: 0,
+        }
+    }
+
+    /// Mainnet-like with a consolidation epoch over the given block range.
+    /// Kept gentle (one 12-input sweep per block) so the epoch's own extra
+    /// inputs don't swamp the per-period totals at laptop scale.
+    pub fn with_consolidation(mut self, start: u32, end: u32) -> GeneratorParams {
+        self.consolidation =
+            Some(Consolidation { start, end, inputs_per_tx: 12, txs_per_block: 1 });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_interpolates() {
+        let r = Ramp { start: 2.0, end: 12.0 };
+        assert_eq!(r.at(0, 11), 2.0);
+        assert_eq!(r.at(10, 11), 12.0);
+        assert_eq!(r.at(5, 11), 7.0);
+        assert_eq!(Ramp::flat(3.0).at(7, 100), 3.0);
+        // Degenerate single-block chain.
+        assert_eq!(r.at(0, 1), 2.0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let p = GeneratorParams::mainnet_like(100, 1).with_consolidation(50, 60);
+        assert!(p.consolidation.is_some());
+        assert!(p.p_never_spent > 0.0 && p.p_never_spent < 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Chain-statistics summaries — how a generated chain compares with the
+//! per-block aggregates the paper's figures assume.
+
+use ebv_chain::Block;
+use std::collections::HashMap;
+
+/// Per-block series of the quantities the experiments plot.
+#[derive(Clone, Debug, Default)]
+pub struct ChainProfile {
+    /// Non-coinbase transactions per block.
+    pub txs: Vec<u32>,
+    /// Non-coinbase inputs per block (Figs. 4b/15's x-axis).
+    pub inputs: Vec<u32>,
+    /// Outputs per block (bit-vector widths).
+    pub outputs: Vec<u32>,
+}
+
+impl ChainProfile {
+    /// Measure a chain (including its genesis block).
+    pub fn measure(blocks: &[Block]) -> ChainProfile {
+        let mut p = ChainProfile::default();
+        for b in blocks {
+            p.txs.push(b.transactions.len() as u32 - 1);
+            p.inputs.push(b.input_count() as u32);
+            p.outputs.push(b.output_count() as u32);
+        }
+        p
+    }
+
+    /// Mean of a series.
+    fn mean(series: &[u32]) -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        series.iter().map(|&v| v as f64).sum::<f64>() / series.len() as f64
+    }
+
+    pub fn mean_inputs(&self) -> f64 {
+        Self::mean(&self.inputs)
+    }
+
+    pub fn mean_outputs(&self) -> f64 {
+        Self::mean(&self.outputs)
+    }
+
+    pub fn max_outputs(&self) -> u32 {
+        self.outputs.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Ratio of mean activity in the last decile to the first — the
+    /// "ramp" the generator was asked for.
+    pub fn activity_ramp(&self) -> f64 {
+        let n = self.txs.len();
+        if n < 20 {
+            return 1.0;
+        }
+        let head = Self::mean(&self.txs[..n / 10]);
+        let tail = Self::mean(&self.txs[n - n / 10..]);
+        if head == 0.0 {
+            f64::INFINITY
+        } else {
+            tail / head
+        }
+    }
+}
+
+/// Realized spend-age distribution: how many blocks outputs lived before
+/// being consumed (the quantity the cache-miss economics depend on).
+pub fn spend_age_histogram(blocks: &[Block]) -> HashMap<u32, u64> {
+    // Map txid → creation height.
+    let mut created_at = HashMap::new();
+    for (h, block) in blocks.iter().enumerate() {
+        for tx in &block.transactions {
+            created_at.insert(tx.txid(), h as u32);
+        }
+    }
+    let mut hist: HashMap<u32, u64> = HashMap::new();
+    for (h, block) in blocks.iter().enumerate() {
+        for tx in block.transactions.iter().skip(1) {
+            for input in &tx.inputs {
+                if let Some(&birth) = created_at.get(&input.prevout.txid) {
+                    *hist.entry(h as u32 - birth).or_default() += 1;
+                }
+            }
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChainGenerator, GeneratorParams};
+
+    #[test]
+    fn profile_matches_direct_counts() {
+        let blocks = ChainGenerator::new(GeneratorParams::tiny(10, 4)).generate();
+        let p = ChainProfile::measure(&blocks);
+        assert_eq!(p.txs.len(), 11);
+        let total_inputs: u32 = p.inputs.iter().sum();
+        assert_eq!(total_inputs as u64, ChainGenerator::stats(&blocks).inputs);
+        assert!(p.mean_outputs() >= 1.0, "every block has a coinbase output");
+    }
+
+    #[test]
+    fn mainnet_like_ramps_up() {
+        let blocks =
+            ChainGenerator::new(GeneratorParams::mainnet_like(120, 9)).generate();
+        let p = ChainProfile::measure(&blocks);
+        assert!(
+            p.activity_ramp() > 1.5,
+            "activity should ramp, got {}",
+            p.activity_ramp()
+        );
+        assert!(p.max_outputs() <= 1 << 16, "paper's 65536-output cap");
+    }
+
+    #[test]
+    fn spend_ages_are_positive_and_bounded() {
+        let blocks = ChainGenerator::new(GeneratorParams::tiny(25, 6)).generate();
+        let hist = spend_age_histogram(&blocks);
+        assert!(!hist.is_empty(), "chain contains spends");
+        assert!(!hist.contains_key(&0), "no same-block spends by design");
+        let total: u64 = hist.values().sum();
+        assert_eq!(total, ChainGenerator::stats(&blocks).inputs);
+    }
+
+    #[test]
+    fn old_spend_knob_shifts_ages() {
+        let young = ChainGenerator::new(GeneratorParams::tiny(60, 3)).generate();
+        let old_params = GeneratorParams {
+            p_old_spend: 0.9,
+            old_age_range: (20, 40),
+            ..GeneratorParams::tiny(60, 3)
+        };
+        let old = ChainGenerator::new(old_params).generate();
+        let mean_age = |hist: &HashMap<u32, u64>| {
+            let (mut n, mut s) = (0u64, 0u64);
+            for (&age, &count) in hist {
+                n += count;
+                s += age as u64 * count;
+            }
+            s as f64 / n.max(1) as f64
+        };
+        let young_mean = mean_age(&spend_age_histogram(&young));
+        let old_mean = mean_age(&spend_age_histogram(&old));
+        assert!(
+            old_mean > young_mean + 3.0,
+            "old-spend knob must raise mean age: {young_mean} vs {old_mean}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Mempool + mining loop: unconfirmed transactions are validated on
+//! receipt (paper §IV-D), pooled, packaged into blocks by a miner, and
+//! evicted when confirmed — a miniature of the full node lifecycle.
+//!
+//! ```sh
+//! cargo run --example mempool_mining
+//! ```
+
+use ebv::chain::transaction::{spend_sighash, TxOut};
+use ebv::core::{
+    ebv_coinbase, pack_ebv_block, sign_input, EbvConfig, EbvNode, EbvTransaction, InputBody,
+    Mempool, ProofArchive,
+};
+use ebv::primitives::ec::PrivateKey;
+use ebv::primitives::hash::Hash256;
+use ebv::script::standard::{p2pkh_lock, p2pkh_unlock};
+
+fn main() {
+    let miner = PrivateKey::from_seed(1);
+    let users: Vec<PrivateKey> = (10..14).map(PrivateKey::from_seed).collect();
+
+    // Bootstrap: 4 blocks whose coinbases pay the users.
+    let mut archive = ProofArchive::new();
+    let genesis = pack_ebv_block(
+        Hash256::ZERO,
+        vec![ebv_coinbase(0, p2pkh_lock(&users[0].public_key().address_hash()))],
+        0,
+        0,
+    );
+    archive.add_block(0, &genesis);
+    let mut node = EbvNode::new(&genesis, EbvConfig::default());
+    for (i, user) in users.iter().enumerate().skip(1) {
+        let block = pack_ebv_block(
+            node.tip_hash(),
+            vec![ebv_coinbase(i as u32, p2pkh_lock(&user.public_key().address_hash()))],
+            i as u32,
+            0,
+        );
+        node.process_block(&block).expect("bootstrap block");
+        archive.add_block(i as u32, &block);
+    }
+    println!("bootstrapped {} blocks; every user owns one coinbase", node.tip_height() + 1);
+
+    // Users broadcast payments; the node validates each on receipt.
+    let mut pool = Mempool::new();
+    for (i, user) in users.iter().enumerate() {
+        let coords = (i as u32, 0u32); // user i's coinbase output
+        let proof = archive.make_proof(coords.0, coords.1).expect("owned coin");
+        let value = proof.spent_output().expect("in range").value;
+        let payee = &users[(i + 1) % users.len()];
+        let outputs = vec![TxOut::new(value, p2pkh_lock(&payee.public_key().address_hash()))];
+        let digest = spend_sighash(1, &[coords], &outputs, 0, 0);
+        let us = p2pkh_unlock(&sign_input(user, &digest), &user.public_key().to_compressed());
+        let tx = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+        let id = pool.accept(&node, tx).expect("valid payment admitted");
+        println!("pooled payment {} → {} (id {id})", i, (i + 1) % users.len());
+    }
+
+    // A conflicting double spend is refused at admission.
+    {
+        let proof = archive.make_proof(0, 0).expect("coin");
+        let outputs = vec![TxOut::new(1, p2pkh_lock(&miner.public_key().address_hash()))];
+        let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+        let us =
+            p2pkh_unlock(&sign_input(&users[0], &digest), &users[0].public_key().to_compressed());
+        let conflict =
+            EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+        let err = pool.accept(&node, conflict).expect_err("conflict refused");
+        println!("conflicting spend refused: {err}");
+    }
+
+    // The miner packages the pool into a block.
+    let height = node.tip_height() + 1;
+    let mut txs = vec![ebv_coinbase(height, p2pkh_lock(&miner.public_key().address_hash()))];
+    txs.extend(pool.take_for_block(100));
+    let block = pack_ebv_block(node.tip_hash(), txs, height, 0);
+    let breakdown = node.process_block(&block).expect("mined block validates");
+    pool.remove_confirmed(&block);
+    println!(
+        "mined block {height} with {} payments: sv {:?}, ev {:?}, uv {:?}; pool now {}",
+        block.transactions.len() - 1,
+        breakdown.sv,
+        breakdown.ev,
+        breakdown.uv,
+        pool.len()
+    );
+    println!("unspent outputs: {}", node.total_unspent());
+}

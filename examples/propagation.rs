@@ -1,0 +1,45 @@
+//! Block propagation over a simulated 20-node, 5-region gossip network
+//! (paper §VI-E / Fig. 18 in miniature).
+//!
+//! ```sh
+//! cargo run --example propagation
+//! ```
+
+use ebv::netsim::{GossipSim, SimParams, SimResult, ValidationModel};
+
+fn main() {
+    // Validation means chosen to mirror the measured gap between the two
+    // systems (run `cargo run -p ebv-bench --bin fig18` for the version
+    // that measures them from real validation runs).
+    let bitcoin = GossipSim::new(SimParams {
+        validation: ValidationModel::baseline_from_mean_us(800_000), // 800 ms
+        block_bytes: 1_200_000,                                      // ~mainnet block
+        ..Default::default()
+    });
+    let ebv = GossipSim::new(SimParams {
+        validation: ValidationModel::ebv_from_mean_us(60_000), // 60 ms
+        block_bytes: 3_000_000, // proof-carrying blocks are larger
+        ..Default::default()
+    });
+
+    let runs = 5;
+    let b = bitcoin.run_many(42, runs);
+    let e = ebv.run_many(42, runs);
+
+    println!("receive time of the i-th node (ms), averaged over {runs} runs:");
+    println!("{:>6} {:>12} {:>12}", "node", "bitcoin", "ebv");
+    let n = b[0].receive_us.len();
+    for i in 0..n {
+        let bi: f64 = b.iter().map(|r| r.sorted_ms()[i]).sum::<f64>() / runs as f64;
+        let ei: f64 = e.iter().map(|r| r.sorted_ms()[i]).sum::<f64>() / runs as f64;
+        println!("{:>6} {:>12.0} {:>12.0}", i + 1, bi, ei);
+    }
+
+    let b_last: f64 = b.iter().map(SimResult::last_receive_ms).sum::<f64>() / runs as f64;
+    let e_last: f64 = e.iter().map(SimResult::last_receive_ms).sum::<f64>() / runs as f64;
+    println!(
+        "\nfull propagation: bitcoin {b_last:.0} ms vs ebv {e_last:.0} ms → {:.1}% faster \
+         (paper: 66.4%)",
+        (1.0 - e_last / b_last) * 100.0
+    );
+}

@@ -1,0 +1,116 @@
+//! Wallet flow: propose an EBV transaction from scratch (paper §IV-C).
+//!
+//! Shows the proposer-side mechanics: locate the coin's coordinates,
+//! obtain `ELs` + `MBr` from the proof archive, sign the shared spend
+//! digest, assemble the input body, and watch the validator accept it —
+//! then try to cheat and watch each attack fail.
+//!
+//! ```sh
+//! cargo run --example propose_transaction
+//! ```
+
+use ebv::chain::transaction::{spend_sighash, TxOut};
+use ebv::core::{
+    ebv_coinbase, pack_ebv_block, sign_input, EbvConfig, EbvNode, EbvTransaction, InputBody,
+};
+use ebv::primitives::ec::PrivateKey;
+use ebv::primitives::hash::Hash256;
+use ebv::script::standard::{p2pkh_lock, p2pkh_unlock};
+use ebv_core::ProofArchive;
+
+fn main() {
+    // Alice mines the genesis block; its coinbase pays her.
+    let alice = PrivateKey::from_seed(1);
+    let bob = PrivateKey::from_seed(2);
+    let genesis = pack_ebv_block(
+        Hash256::ZERO,
+        vec![ebv_coinbase(0, p2pkh_lock(&alice.public_key().address_hash()))],
+        0,
+        0,
+    );
+    let mut node = EbvNode::new(&genesis, EbvConfig::default());
+
+    // The proposer-side archive (a wallet tracks the blocks it cares
+    // about; the intermediary node serves the same data in the testbed).
+    let mut archive = ProofArchive::new();
+    archive.add_block(0, &genesis);
+
+    // --- Propose: Alice pays Bob with the genesis coinbase output -------
+    // 1. The coin's coordinates: height 0, absolute position 0.
+    let (height, position) = (0u32, 0u32);
+    // 2. Proof: ELs (the coinbase tidy tx) + MBr into block 0.
+    let proof = archive.make_proof(height, position).expect("coin exists");
+    println!(
+        "proof: ELs with {} outputs, stake {}, {} siblings, {} bytes",
+        proof.els.outputs.len(),
+        proof.els.stake_position,
+        proof.mbr.siblings.len(),
+        proof.proof_size()
+    );
+    // 3. Outputs and signature over the shared spend digest.
+    let value = proof.spent_output().expect("in range").value;
+    let outputs = vec![TxOut::new(value, p2pkh_lock(&bob.public_key().address_hash()))];
+    let digest = spend_sighash(1, &[(height, position)], &outputs, 0, 0);
+    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+    // 4. Assemble the transaction: the tidy part carries hash(body) only.
+    let tx =
+        EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+
+    // A miner packages it (stamping the stake position).
+    let block1 = pack_ebv_block(
+        genesis.header.hash(),
+        vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())), tx.clone()],
+        1,
+        0,
+    );
+    let breakdown = node.process_block(&block1).expect("valid spend accepted");
+    println!(
+        "block 1 accepted: ev {:?}, uv {:?}, sv {:?}",
+        breakdown.ev, breakdown.uv, breakdown.sv
+    );
+    archive.add_block(1, &block1);
+
+    // --- Attacks (paper §V) ---------------------------------------------
+    // (a) double spend: same coin again.
+    let proof2 = archive.make_proof(0, 0).expect("coordinates still resolvable");
+    let outputs2 = vec![TxOut::new(value, p2pkh_lock(&alice.public_key().address_hash()))];
+    let digest2 = spend_sighash(1, &[(0, 0)], &outputs2, 0, 0);
+    let us2 = p2pkh_unlock(&sign_input(&alice, &digest2), &alice.public_key().to_compressed());
+    let double = EbvTransaction::from_parts(
+        1,
+        vec![InputBody { us: us2, proof: Some(proof2) }],
+        outputs2,
+        0,
+    );
+    let bad_block = pack_ebv_block(
+        block1.header.hash(),
+        vec![ebv_coinbase(2, p2pkh_lock(&alice.public_key().address_hash())), double],
+        2,
+        0,
+    );
+    let err = node.process_block(&bad_block).expect_err("double spend must fail");
+    println!("double spend rejected: {err}");
+
+    // (b) forged value inside ELs: EV catches the tampered leaf.
+    let mut forged_proof = archive.make_proof(1, 1).expect("bob's coin");
+    forged_proof.els.outputs[0].value *= 10;
+    let outputs3 = vec![TxOut::new(value * 10, p2pkh_lock(&bob.public_key().address_hash()))];
+    let digest3 = spend_sighash(1, &[(1, forged_proof.absolute_position())], &outputs3, 0, 0);
+    let us3 = p2pkh_unlock(&sign_input(&bob, &digest3), &bob.public_key().to_compressed());
+    let forged = EbvTransaction::from_parts(
+        1,
+        vec![InputBody { us: us3, proof: Some(forged_proof) }],
+        outputs3,
+        0,
+    );
+    let bad_block = pack_ebv_block(
+        block1.header.hash(),
+        vec![ebv_coinbase(2, p2pkh_lock(&alice.public_key().address_hash())), forged],
+        2,
+        0,
+    );
+    let err = node.process_block(&bad_block).expect_err("forged ELs must fail");
+    println!("forged ELs rejected:  {err}");
+
+    println!("tip height: {}, unspent outputs: {}", node.tip_height(), node.total_unspent());
+}

@@ -1,0 +1,79 @@
+//! Quickstart: generate a small chain, convert it to EBV format, validate
+//! it on an EBV node, and inspect the status-data savings.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ebv::core::{EbvConfig, EbvNode, Intermediary};
+use ebv::store::{KvStore, StoreConfig, UtxoSet};
+use ebv::workload::{ChainGenerator, GeneratorParams};
+use ebv_core::{BaselineConfig, BaselineNode};
+
+fn main() {
+    // 1. Generate a deterministic 60-block chain with real ECDSA spends.
+    let params = GeneratorParams::mainnet_like(60, 7);
+    let blocks = ChainGenerator::new(params).generate();
+    let stats = ChainGenerator::stats(&blocks);
+    println!(
+        "generated {} blocks: {} transactions, {} inputs, {} outputs",
+        stats.blocks, stats.transactions, stats.inputs, stats.outputs
+    );
+
+    // 2. Convert to EBV format through the intermediary node (paper §VI-A):
+    //    every input gains its proof (MBr, ELs, height, position).
+    let mut intermediary = Intermediary::new(0);
+    let ebv_blocks = intermediary.convert_chain(&blocks).expect("conversion");
+    let example_proof = ebv_blocks
+        .iter()
+        .flat_map(|b| b.transactions.iter().skip(1))
+        .flat_map(|tx| tx.bodies.iter())
+        .filter_map(|b| b.proof.as_ref())
+        .next()
+        .expect("chain contains spends");
+    println!(
+        "first input proof: height {}, position {}, {} Merkle siblings, {} proof bytes",
+        example_proof.height,
+        example_proof.absolute_position(),
+        example_proof.mbr.siblings.len(),
+        example_proof.proof_size(),
+    );
+
+    // 3. Validate the whole chain on an EBV node — headers + bit-vectors
+    //    only, no database.
+    let mut ebv = EbvNode::new(&ebv_blocks[0], EbvConfig::default());
+    for block in &ebv_blocks[1..] {
+        ebv.process_block(block).expect("valid block");
+    }
+    let b = ebv.cumulative_breakdown();
+    println!(
+        "EBV validated to height {}: ev {:?}, uv {:?}, sv {:?}, others {:?}",
+        ebv.tip_height(),
+        b.ev,
+        b.uv,
+        b.sv,
+        b.others
+    );
+
+    // 4. Same chain through the Bitcoin-style baseline for comparison.
+    let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(8 << 20)).expect("store"));
+    let mut baseline =
+        BaselineNode::new(&blocks[0], utxos, BaselineConfig::default()).expect("genesis");
+    for block in &blocks[1..] {
+        baseline.process_block(block).expect("valid block");
+    }
+
+    // 5. The paper's headline: status-data memory.
+    let ebv_mem = ebv.status_memory();
+    let utxo_mem = baseline.utxos().size();
+    println!(
+        "status data: UTXO set {} bytes ({} entries) vs bit-vectors {} bytes ({} vectors) — {:.1}% smaller",
+        utxo_mem.bytes,
+        utxo_mem.count,
+        ebv_mem.optimized,
+        ebv_mem.vectors,
+        (1.0 - ebv_mem.optimized as f64 / utxo_mem.bytes as f64) * 100.0
+    );
+    assert_eq!(baseline.utxos().size().count, ebv.total_unspent());
+    println!("both nodes agree on {} unspent outputs", ebv.total_unspent());
+}

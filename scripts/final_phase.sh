@@ -1,0 +1,27 @@
+#!/bin/sh
+# Final verification phase: rebuild with latest sources, full test suite,
+# re-run binaries whose sources changed after the main pipeline, then the
+# Criterion bench suite. Outputs land in test_output.txt / bench_output.txt
+# (repo root) and results/.
+set -x
+cd /root/repo || exit 1
+
+cargo build --workspace --bins --examples 2>&1 | grep -E '^error|^warning' -A4 | head -30
+echo "=BUILD DONE="
+
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E 'test result: FAILED|panicked' | head -5
+echo "=TESTS DONE ($(grep -c 'test result: ok' /root/repo/test_output.txt) suites ok, $(grep -oE '[0-9]+ passed' /root/repo/test_output.txt | awk '{s+=$1} END {print s}') tests passed)="
+
+# Binaries touched since the main pipeline: fig18 (transmission model),
+# propagation example, ebv-cli smoke test.
+timeout 1200 ./target/debug/fig18 > results/fig18.txt 2>&1 && echo "fig18 OK" || echo "fig18 FAIL"
+timeout 600 ./target/debug/examples/propagation > results/example_propagation.txt 2>&1 && echo "propagation OK" || echo "propagation FAIL"
+timeout 600 ./target/debug/ebv-cli generate --blocks 40 --seed 3 --out /tmp/cli-chain.bin > results/cli_demo.txt 2>&1 \
+  && timeout 600 ./target/debug/ebv-cli convert --in /tmp/cli-chain.bin --out /tmp/cli-chain.ebv >> results/cli_demo.txt 2>&1 \
+  && timeout 600 ./target/debug/ebv-cli info --in /tmp/cli-chain.ebv >> results/cli_demo.txt 2>&1 \
+  && timeout 600 ./target/debug/ebv-cli validate --in /tmp/cli-chain.ebv >> results/cli_demo.txt 2>&1 \
+  && echo "cli OK" || echo "cli FAIL"
+rm -f /tmp/cli-chain.bin /tmp/cli-chain.ebv
+
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | grep -E 'time:|error' | head -40
+echo "=BENCH DONE="

@@ -1,0 +1,245 @@
+//! `ebv-cli` — generate, convert, inspect and validate chains from the
+//! command line.
+//!
+//! ```text
+//! ebv-cli generate --blocks 200 --seed 7 --out chain.bin
+//! ebv-cli convert  --in chain.bin --out chain.ebv
+//! ebv-cli info     --in chain.bin
+//! ebv-cli validate --in chain.ebv [--budget BYTES] [--latency-us US]
+//! ```
+//!
+//! Chain files are a 8-byte magic (`EBVCHN1\n` baseline / `EBVCHN2\n`
+//! EBV), a varint block count, then serialized blocks.
+
+use ebv::chain::Block;
+use ebv::core::{BaselineConfig, BaselineNode, EbvBlock, EbvConfig, EbvNode, Intermediary};
+use ebv::primitives::encode::{write_varint, Decodable, Encodable, Reader};
+use ebv::store::{KvStore, LatencyModel, StoreConfig, UtxoSet};
+use ebv::workload::{ChainGenerator, ChainProfile, GeneratorParams};
+use std::collections::HashMap;
+use std::process::exit;
+
+const MAGIC_BASELINE: &[u8; 8] = b"EBVCHN1\n";
+const MAGIC_EBV: &[u8; 8] = b"EBVCHN2\n";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "convert" => convert(&flags),
+        "info" => info(&flags),
+        "validate" => validate(&flags),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ebv-cli <command> [flags]\n\
+         \x20 generate --blocks N [--seed S] --out FILE\n\
+         \x20 convert  --in FILE --out FILE\n\
+         \x20 info     --in FILE\n\
+         \x20 validate --in FILE [--budget BYTES] [--latency-us US]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--").unwrap_or_else(|| {
+            eprintln!("expected flag, got {:?}", args[i]);
+            exit(2);
+        });
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for --{key}");
+            exit(2);
+        };
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn flag_num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value {v:?} for --{key}");
+            exit(2);
+        }),
+    }
+}
+
+fn flag_path<'a>(flags: &'a HashMap<String, String>, key: &str) -> &'a str {
+    flags.get(key).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("missing required --{key}");
+        exit(2);
+    })
+}
+
+fn generate(flags: &HashMap<String, String>) {
+    let blocks = flag_num(flags, "blocks", 100u32);
+    let seed = flag_num(flags, "seed", 1u64);
+    let out = flag_path(flags, "out");
+    let chain = ChainGenerator::new(GeneratorParams::mainnet_like(blocks, seed)).generate();
+    let mut bytes = MAGIC_BASELINE.to_vec();
+    write_varint(&mut bytes, chain.len() as u64);
+    for block in &chain {
+        block.encode(&mut bytes);
+    }
+    std::fs::write(out, &bytes).unwrap_or_else(die("writing output"));
+    let stats = ChainGenerator::stats(&chain);
+    println!(
+        "wrote {} blocks ({} txs, {} inputs, {} outputs) to {out}",
+        stats.blocks, stats.transactions, stats.inputs, stats.outputs
+    );
+}
+
+fn load(path: &str) -> (bool, Vec<u8>) {
+    let bytes = std::fs::read(path).unwrap_or_else(die("reading input"));
+    if bytes.len() < 8 {
+        eprintln!("{path}: not a chain file");
+        exit(1);
+    }
+    match &bytes[..8] {
+        m if m == MAGIC_BASELINE => (false, bytes),
+        m if m == MAGIC_EBV => (true, bytes),
+        _ => {
+            eprintln!("{path}: unknown magic");
+            exit(1);
+        }
+    }
+}
+
+fn read_chain<T: Decodable>(bytes: &[u8]) -> Vec<T> {
+    let mut r = Reader::new(&bytes[8..]);
+    let n = r.read_len().unwrap_or_else(die("reading count"));
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(T::decode(&mut r).unwrap_or_else(die(&format!("decoding block {i}"))));
+    }
+    out
+}
+
+fn convert(flags: &HashMap<String, String>) {
+    let (is_ebv, bytes) = load(flag_path(flags, "in"));
+    if is_ebv {
+        eprintln!("input is already EBV-format");
+        exit(1);
+    }
+    let chain: Vec<Block> = read_chain(&bytes);
+    let mut intermediary = Intermediary::new(0);
+    let ebv_chain = intermediary
+        .convert_chain(&chain)
+        .unwrap_or_else(die("converting"));
+    let mut out_bytes = MAGIC_EBV.to_vec();
+    write_varint(&mut out_bytes, ebv_chain.len() as u64);
+    for block in &ebv_chain {
+        block.encode(&mut out_bytes);
+    }
+    let out = flag_path(flags, "out");
+    std::fs::write(out, &out_bytes).unwrap_or_else(die("writing output"));
+    println!(
+        "converted {} blocks ({} → {} bytes, {:.2}× proof overhead) to {out}",
+        ebv_chain.len(),
+        bytes.len(),
+        out_bytes.len(),
+        out_bytes.len() as f64 / bytes.len() as f64
+    );
+}
+
+fn info(flags: &HashMap<String, String>) {
+    let (is_ebv, bytes) = load(flag_path(flags, "in"));
+    if is_ebv {
+        let chain: Vec<EbvBlock> = read_chain(&bytes);
+        let inputs: usize = chain.iter().map(EbvBlock::input_count).sum();
+        let outputs: u32 = chain.iter().map(EbvBlock::output_count).sum();
+        println!(
+            "EBV chain: {} blocks, {} inputs, {} outputs, tip {}",
+            chain.len(),
+            inputs,
+            outputs,
+            chain.last().expect("nonempty").header.hash()
+        );
+    } else {
+        let chain: Vec<Block> = read_chain(&bytes);
+        let profile = ChainProfile::measure(&chain);
+        println!(
+            "baseline chain: {} blocks, mean {:.1} inputs/block, mean {:.1} outputs/block, tip {}",
+            chain.len(),
+            profile.mean_inputs(),
+            profile.mean_outputs(),
+            chain.last().expect("nonempty").header.hash()
+        );
+    }
+}
+
+fn validate(flags: &HashMap<String, String>) {
+    let (is_ebv, bytes) = load(flag_path(flags, "in"));
+    let started = std::time::Instant::now();
+    if is_ebv {
+        let chain: Vec<EbvBlock> = read_chain(&bytes);
+        let mut node = EbvNode::new(&chain[0], EbvConfig::default());
+        for (h, block) in chain.iter().enumerate().skip(1) {
+            node.process_block(block).unwrap_or_else(die(&format!("block {h} invalid")));
+        }
+        let b = node.cumulative_breakdown();
+        println!(
+            "valid EBV chain: height {}, {} unspent, status memory {} bytes",
+            node.tip_height(),
+            node.total_unspent(),
+            node.status_memory().optimized
+        );
+        println!(
+            "validation {:.2}s (ev {:.3}s, uv {:.3}s, sv {:.2}s, others {:.3}s); wall {:.2}s",
+            b.total().as_secs_f64(),
+            b.ev.as_secs_f64(),
+            b.uv.as_secs_f64(),
+            b.sv.as_secs_f64(),
+            b.others.as_secs_f64(),
+            started.elapsed().as_secs_f64()
+        );
+    } else {
+        let chain: Vec<Block> = read_chain(&bytes);
+        let store = KvStore::open(StoreConfig {
+            cache_budget: flag_num(flags, "budget", 24usize << 10),
+            latency: LatencyModel::scaled_hdd(flag_num(flags, "latency-us", 0u64), 0),
+            path: None,
+        })
+        .unwrap_or_else(die("opening store"));
+        let mut node = BaselineNode::new(&chain[0], UtxoSet::new(store), BaselineConfig::default())
+            .unwrap_or_else(die("booting node"));
+        for (h, block) in chain.iter().enumerate().skip(1) {
+            node.process_block(block).unwrap_or_else(die(&format!("block {h} invalid")));
+        }
+        let b = node.cumulative_breakdown();
+        println!(
+            "valid baseline chain: height {}, {} UTXOs, set {} bytes, cache hits {:.1}%",
+            node.tip_height(),
+            node.utxos().size().count,
+            node.utxos().size().bytes,
+            node.utxos().stats().hit_ratio() * 100.0
+        );
+        println!(
+            "validation {:.2}s (dbo {:.2}s, sv {:.2}s, others {:.3}s); wall {:.2}s",
+            b.total().as_secs_f64(),
+            b.dbo.as_secs_f64(),
+            b.sv.as_secs_f64(),
+            b.others.as_secs_f64(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+fn die<E: std::fmt::Debug, T>(what: &str) -> impl FnOnce(E) -> T + '_ {
+    move |e| {
+        eprintln!("error {what}: {e:?}");
+        exit(1)
+    }
+}

@@ -1,0 +1,44 @@
+//! Facade crate for the EBV reproduction workspace.
+//!
+//! Re-exports every subsystem so that examples, integration tests and
+//! downstream users can depend on a single crate. See the individual crates
+//! for detailed documentation:
+//!
+//! * [`primitives`] — hashing, secp256k1 ECDSA, wire encoding.
+//! * [`script`] — the stack-based Script Validation engine.
+//! * [`chain`] — transactions, blocks, Merkle trees with branch proofs.
+//! * [`store`] — the byte-budgeted status database (UTXO set substrate).
+//! * [`core`] — the EBV mechanism itself: bit-vector status set, input
+//!   proofs, tidy transactions, stake positions, the EBV and baseline
+//!   validators, the intermediary converter and the IBD driver.
+//! * [`workload`] — deterministic synthetic mainnet-like chain generation.
+//! * [`netsim`] — the discrete-event gossip simulator behind the
+//!   propagation-delay experiment.
+//!
+//! # Example
+//!
+//! Generate a chain, convert it to EBV format, and validate it with
+//! nothing but headers and bit-vectors:
+//!
+//! ```
+//! use ebv::core::{EbvConfig, EbvNode, Intermediary};
+//! use ebv::workload::{ChainGenerator, GeneratorParams};
+//!
+//! let blocks = ChainGenerator::new(GeneratorParams::tiny(5, 1)).generate();
+//! let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).unwrap();
+//!
+//! let mut node = EbvNode::new(&ebv_blocks[0], EbvConfig::default());
+//! for block in &ebv_blocks[1..] {
+//!     node.process_block(block).expect("valid block");
+//! }
+//! assert_eq!(node.tip_height(), 5);
+//! assert!(node.status_memory().optimized > 0);
+//! ```
+
+pub use ebv_chain as chain;
+pub use ebv_core as core;
+pub use ebv_netsim as netsim;
+pub use ebv_primitives as primitives;
+pub use ebv_script as script;
+pub use ebv_store as store;
+pub use ebv_workload as workload;

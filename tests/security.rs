@@ -1,0 +1,264 @@
+//! Security test suite — the attacks of the paper's §V, mounted across
+//! crate boundaries against a running EBV node.
+
+use ebv::chain::transaction::{spend_sighash, TxOut};
+use ebv::core::{
+    ebv_coinbase, pack_ebv_block, sign_input, EbvConfig, EbvError, EbvNode, EbvTransaction,
+    InputBody, ProofArchive, UvError,
+};
+use ebv::primitives::ec::PrivateKey;
+use ebv::primitives::hash::{sha256d, Hash256};
+use ebv::script::standard::{p2pkh_lock, p2pkh_unlock};
+use ebv_chain::merkle::MerkleBranch;
+use ebv_chain::BLOCK_SUBSIDY;
+use ebv_core::{EbvBlock, InputProof};
+
+/// World: genesis coinbase pays `alice`; returns node + archive + alice.
+fn world() -> (EbvNode, ProofArchive, PrivateKey, EbvBlock) {
+    let alice = PrivateKey::from_seed(50);
+    let genesis = pack_ebv_block(
+        Hash256::ZERO,
+        vec![ebv_coinbase(0, p2pkh_lock(&alice.public_key().address_hash()))],
+        0,
+        0,
+    );
+    let node = EbvNode::new(&genesis, EbvConfig::default());
+    let mut archive = ProofArchive::new();
+    archive.add_block(0, &genesis);
+    (node, archive, alice, genesis)
+}
+
+fn spend_with(proof: InputProof, signer: &PrivateKey, out_value: u64) -> EbvTransaction {
+    let outputs = vec![TxOut::new(out_value, p2pkh_lock(&signer.public_key().address_hash()))];
+    let digest =
+        spend_sighash(1, &[(proof.height, proof.absolute_position())], &outputs, 0, 0);
+    let us = p2pkh_unlock(&sign_input(signer, &digest), &signer.public_key().to_compressed());
+    EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0)
+}
+
+fn block_with(node: &EbvNode, height: u32, tx: EbvTransaction) -> EbvBlock {
+    pack_ebv_block(node.tip_hash(), vec![ebv_coinbase(height, ebv::script::Script::new()), tx], height, 0)
+}
+
+#[test]
+fn spending_a_nonexistent_output_fails_ev() {
+    let (mut node, archive, alice, _) = world();
+    // Fabricate a proof for an output that was never created: real ELs but
+    // a hand-built Merkle branch over fake leaves.
+    let real = archive.make_proof(0, 0).expect("exists");
+    let fake_leaves = vec![sha256d(b"fake0"), sha256d(b"fake1")];
+    let forged = InputProof {
+        mbr: MerkleBranch::extract(&fake_leaves, 0),
+        els: real.els.clone(),
+        height: 0,
+        relative_position: 0,
+    };
+    let tx = spend_with(forged, &alice, 1000);
+    let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
+    assert!(matches!(err, EbvError::EvFailed { .. }), "got {err:?}");
+}
+
+#[test]
+fn spending_an_already_spent_output_fails_uv() {
+    let (mut node, mut archive, alice, _) = world();
+    // Legitimate spend first.
+    let proof = archive.make_proof(0, 0).expect("exists");
+    let b1 = block_with(&node, 1, spend_with(proof, &alice, BLOCK_SUBSIDY));
+    node.process_block(&b1).expect("first spend ok");
+    archive.add_block(1, &b1);
+
+    // Second spend of the same coordinates.
+    let proof = archive.make_proof(0, 0).expect("coordinates still derivable");
+    let tx = spend_with(proof, &alice, 500);
+    let err = node.process_block(&block_with(&node, 2, tx)).unwrap_err();
+    assert!(
+        matches!(err, EbvError::UvFailed { err: UvError::UnknownHeight(0), .. }),
+        "fully-spent block's vector was deleted, so UV reports unknown height: {err:?}"
+    );
+}
+
+#[test]
+fn fake_position_is_caught() {
+    let (mut node, archive, alice, _) = world();
+    // The proposer lies about the relative position (the §IV-D2 attack):
+    // the coinbase has a single output, so position 1 does not exist.
+    let mut proof = archive.make_proof(0, 0).expect("exists");
+    proof.relative_position = 1;
+    let tx = spend_with(proof, &alice, 1000);
+    let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
+    assert!(matches!(err, EbvError::PositionOutOfEls { .. }), "got {err:?}");
+}
+
+#[test]
+fn fake_stake_position_in_els_is_caught_by_ev() {
+    let (mut node, archive, alice, _) = world();
+    // The proposer doctors the *stake position inside ELs* to shift the
+    // absolute position: the leaf hash changes, so EV fails.
+    let mut proof = archive.make_proof(0, 0).expect("exists");
+    proof.els.stake_position = 7;
+    let tx = spend_with(proof, &alice, 1000);
+    let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
+    assert!(matches!(err, EbvError::EvFailed { .. }), "got {err:?}");
+}
+
+#[test]
+fn stealing_with_wrong_key_fails_sv() {
+    let (mut node, archive, _alice, _) = world();
+    let mallory = PrivateKey::from_seed(666);
+    let proof = archive.make_proof(0, 0).expect("exists");
+    // Mallory signs with her own key for an output locked to alice.
+    let tx = spend_with(proof, &mallory, 1000);
+    let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
+    // P2PKH pubkey-hash mismatch surfaces as a script VerifyFailed.
+    assert!(matches!(err, EbvError::SvFailed { .. }), "got {err:?}");
+}
+
+#[test]
+fn replayed_signature_on_different_outputs_fails_sv() {
+    let (mut node, archive, alice, _) = world();
+    let proof = archive.make_proof(0, 0).expect("exists");
+    // Build a legit tx, then swap the outputs while keeping the signature:
+    // the spend digest commits to outputs, so SV must fail.
+    let mut tx = spend_with(proof, &alice, 1000);
+    tx.tidy.outputs[0].value = 999_999;
+    let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
+    assert!(matches!(err, EbvError::SvFailed { .. }), "got {err:?}");
+}
+
+#[test]
+fn inflating_value_beyond_inputs_fails() {
+    let (mut node, archive, alice, _) = world();
+    let proof = archive.make_proof(0, 0).expect("exists");
+    let outputs = vec![TxOut::new(BLOCK_SUBSIDY * 2, p2pkh_lock(&alice.public_key().address_hash()))];
+    let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+    let tx = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+    let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
+    assert!(matches!(err, EbvError::ValueImbalance { .. }), "got {err:?}");
+}
+
+#[test]
+fn truncated_merkle_branch_fails_ev() {
+    let (mut node, mut archive, alice, _) = world();
+    // Grow the chain so branches are non-trivial: block 1 has 2 txs.
+    let proof = archive.make_proof(0, 0).expect("exists");
+    let b1 = block_with(&node, 1, spend_with(proof, &alice, BLOCK_SUBSIDY));
+    node.process_block(&b1).expect("ok");
+    archive.add_block(1, &b1);
+
+    // Spend alice's change output at block 1 with a truncated branch.
+    let mut proof = archive.make_proof(1, 1).expect("change exists");
+    assert!(!proof.mbr.siblings.is_empty());
+    proof.mbr.siblings.pop();
+    let tx = spend_with(proof, &alice, 1000);
+    let err = node.process_block(&block_with(&node, 2, tx)).unwrap_err();
+    assert!(matches!(err, EbvError::EvFailed { .. }), "got {err:?}");
+}
+
+#[test]
+fn miner_cannot_misassign_stake_positions() {
+    let (mut node, archive, alice, _) = world();
+    let proof = archive.make_proof(0, 0).expect("exists");
+    let mut block = block_with(&node, 1, spend_with(proof, &alice, BLOCK_SUBSIDY));
+    // A lying miner shifts the second transaction's stake position and
+    // re-commits the Merkle root (so the root check passes).
+    block.transactions[1].tidy.stake_position = 5;
+    block.header.merkle_root = block.compute_merkle_root();
+    let err = node.process_block(&block).unwrap_err();
+    assert!(matches!(err, EbvError::StakeMismatch { .. }), "got {err:?}");
+}
+
+#[test]
+fn timelocked_output_respects_cltv() {
+    use ebv::script::opcodes::{OP_CHECKLOCKTIMEVERIFY, OP_DROP};
+    use ebv::script::Builder;
+
+    let (mut node, mut archive, alice, _) = world();
+    // Block 1 pays alice through a CLTV-guarded script requiring
+    // lock_time ≥ 700.
+    let timelock = Builder::new()
+        .push_int(700)
+        .push_op(OP_CHECKLOCKTIMEVERIFY)
+        .push_op(OP_DROP)
+        .into_script();
+    // Prefix the standard P2PKH with the timelock: the full lock is
+    // "700 CLTV DROP DUP HASH160 <h> EQUALVERIFY CHECKSIG".
+    let mut lock_bytes = timelock.as_bytes().to_vec();
+    lock_bytes.extend_from_slice(p2pkh_lock(&alice.public_key().address_hash()).as_bytes());
+    let lock = ebv::script::Script::from_bytes(lock_bytes);
+
+    let proof = archive.make_proof(0, 0).expect("genesis coin");
+    let outputs = vec![TxOut::new(BLOCK_SUBSIDY, lock)];
+    let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+    let fund = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+    let b1 = block_with(&node, 1, fund);
+    node.process_block(&b1).expect("funding block valid");
+    archive.add_block(1, &b1);
+
+    // Spend attempt with lock_time 0: CLTV fails.
+    let build_spend = |archive: &ProofArchive, lock_time: u32| {
+        let proof = archive.make_proof(1, 1).expect("timelocked coin");
+        let outputs =
+            vec![TxOut::new(1000, p2pkh_lock(&alice.public_key().address_hash()))];
+        let digest = spend_sighash(1, &[(1, 1)], &outputs, lock_time, 0);
+        let us =
+            p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+        EbvTransaction::from_parts(
+            1,
+            vec![InputBody { us, proof: Some(proof) }],
+            outputs,
+            lock_time,
+        )
+    };
+    let early = build_spend(&archive, 0);
+    let b_early = block_with(&node, 2, early);
+    match node.process_block(&b_early) {
+        Err(EbvError::SvFailed { .. }) => {}
+        other => panic!("expected CLTV failure, got {other:?}"),
+    }
+
+    // With lock_time 700 the same coin spends fine.
+    let late = build_spend(&archive, 700);
+    let b_late = block_with(&node, 2, late);
+    node.process_block(&b_late).expect("CLTV satisfied");
+}
+
+#[test]
+fn baseline_rejects_the_same_attacks() {
+    // The baseline comparator must also be sound: nonexistent outpoint.
+    use ebv::core::{BaselineConfig, BaselineError, BaselineNode};
+    use ebv::store::{KvStore, StoreConfig, UtxoSet};
+    use ebv_chain::transaction::{Transaction, TxIn};
+    use ebv_chain::{build_block, coinbase_tx, OutPoint};
+
+    let alice = PrivateKey::from_seed(50);
+    let genesis = build_block(
+        Hash256::ZERO,
+        coinbase_tx(0, p2pkh_lock(&alice.public_key().address_hash()), Vec::new()),
+        Vec::new(),
+        0,
+        0,
+    );
+    let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(1 << 20)).expect("store"));
+    let mut node = BaselineNode::new(&genesis, utxos, BaselineConfig::default()).expect("boot");
+
+    let outputs = vec![TxOut::new(1, ebv::script::Script::new())];
+    let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
+    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+    let ghost = Transaction {
+        version: 1,
+        inputs: vec![TxIn::new(OutPoint::new(sha256d(b"ghost"), 0), us)],
+        outputs,
+        lock_time: 0,
+    };
+    let block = build_block(
+        genesis.header.hash(),
+        coinbase_tx(1, ebv::script::Script::new(), Vec::new()),
+        vec![ghost],
+        1,
+        0,
+    );
+    let err = node.process_block(&block).unwrap_err();
+    assert!(matches!(err, BaselineError::MissingUtxo { .. }), "got {err:?}");
+}

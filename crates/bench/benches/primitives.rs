@@ -31,7 +31,9 @@ fn bench_ecdsa(c: &mut Criterion) {
 
 fn bench_merkle(c: &mut Criterion) {
     let leaves: Vec<Hash256> = (0..1024u64).map(|i| sha256d(&i.to_le_bytes())).collect();
-    c.bench_function("merkle/root_1024", |b| b.iter(|| merkle_root(black_box(&leaves))));
+    c.bench_function("merkle/root_1024", |b| {
+        b.iter(|| merkle_root(black_box(&leaves)))
+    });
     c.bench_function("merkle/extract_branch_1024", |b| {
         b.iter(|| MerkleBranch::extract(black_box(&leaves), 700))
     });

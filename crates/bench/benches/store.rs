@@ -60,11 +60,17 @@ fn bench_bitvec(c: &mut Criterion) {
     for i in 0..4090 {
         sparse.spend(i);
     }
-    c.bench_function("bitvec/encode_dense_4096", |b| b.iter(|| black_box(dense.to_bytes())));
-    c.bench_function("bitvec/encode_sparse_4096", |b| b.iter(|| black_box(sparse.to_bytes())));
+    c.bench_function("bitvec/encode_dense_4096", |b| {
+        b.iter(|| black_box(dense.to_bytes()))
+    });
+    c.bench_function("bitvec/encode_sparse_4096", |b| {
+        b.iter(|| black_box(sparse.to_bytes()))
+    });
 
     // Memory accounting sweep (figure-time work).
-    c.bench_function("bitvec/memory_scan_1000_vectors", |b| b.iter(|| black_box(set.memory())));
+    c.bench_function("bitvec/memory_scan_1000_vectors", |b| {
+        b.iter(|| black_box(set.memory()))
+    });
 }
 
 criterion_group! {

@@ -6,7 +6,14 @@ use ebv_bench::{CommonArgs, Scenario};
 use ebv_core::{baseline_ibd, ebv_ibd, EbvConfig, EbvNode};
 
 fn args() -> CommonArgs {
-    CommonArgs { blocks: 60, seed: 3, budget: 64 << 10, latency_us: 20, runs: 1 }
+    CommonArgs {
+        blocks: 60,
+        seed: 3,
+        budget: 64 << 10,
+        latency_us: 20,
+        runs: 1,
+        ..CommonArgs::default()
+    }
 }
 
 fn bench_block_validation(c: &mut Criterion) {
@@ -40,14 +47,11 @@ fn bench_block_validation(c: &mut Criterion) {
         )
     });
 
-    // Ablation: sequential SV.
-    c.bench_function("validate/ebv_tip_block_seq_sv", |b| {
+    // Ablation: fully sequential pipeline (no parallel EV or SV).
+    c.bench_function("validate/ebv_tip_block_sequential", |b| {
         b.iter_batched(
             || {
-                let mut node = EbvNode::new(
-                    &scenario.ebv_blocks[0],
-                    EbvConfig { parallel_sv: false, check_pow: true },
-                );
+                let mut node = EbvNode::new(&scenario.ebv_blocks[0], EbvConfig::sequential());
                 ebv_ibd(&mut node, &scenario.ebv_blocks[1..split], 1 << 20).expect("warmup");
                 node
             },

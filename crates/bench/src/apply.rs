@@ -22,7 +22,12 @@ pub struct StatusTracker {
 
 impl StatusTracker {
     pub fn new(utxos: UtxoSet) -> StatusTracker {
-        StatusTracker { utxos, bitvecs: BitVectorSet::new(), coords: HashMap::new(), next_height: 0 }
+        StatusTracker {
+            utxos,
+            bitvecs: BitVectorSet::new(),
+            coords: HashMap::new(),
+            next_height: 0,
+        }
     }
 
     /// Apply the next block (heights must be presented in order).
@@ -37,7 +42,9 @@ impl StatusTracker {
                     .coords
                     .remove(&input.prevout)
                     .expect("generated chains never double-spend");
-                self.bitvecs.spend(h, pos).expect("tracked coordinate is unspent");
+                self.bitvecs
+                    .spend(h, pos)
+                    .expect("tracked coordinate is unspent");
                 // The UTXO delete needs the entry for exact size tracking.
                 let entry = self
                     .utxos
@@ -49,7 +56,8 @@ impl StatusTracker {
         }
 
         // Then inserts.
-        self.bitvecs.insert_block(height, block.output_count() as u32);
+        self.bitvecs
+            .insert_block(height, block.output_count() as u32);
         let mut position = 0u32;
         for tx in &block.transactions {
             let txid = tx.txid();

@@ -1,5 +1,7 @@
 //! Minimal CLI parsing shared by the figure binaries (no external deps).
 
+use ebv_core::EbvConfig;
+
 /// Common knobs; each binary overrides the defaults that matter to it.
 #[derive(Clone, Copy, Debug)]
 pub struct CommonArgs {
@@ -11,6 +13,12 @@ pub struct CommonArgs {
     pub latency_us: u64,
     /// Repetitions for multi-run figures.
     pub runs: usize,
+    /// Fold Merkle branches (EV) in parallel on the EBV node.
+    pub parallel_ev: bool,
+    /// Verify scripts (SV) in parallel on the EBV node.
+    pub parallel_sv: bool,
+    /// Worker-thread override for the parallel phases (`None` = all cores).
+    pub workers: Option<usize>,
 }
 
 impl CommonArgs {
@@ -50,9 +58,22 @@ impl CommonArgs {
                     out.runs = parse_num::<u64>(value(i), flag) as usize;
                     i += 2;
                 }
+                "--seq-ev" => {
+                    out.parallel_ev = false;
+                    i += 1;
+                }
+                "--seq-sv" => {
+                    out.parallel_sv = false;
+                    i += 1;
+                }
+                "--workers" => {
+                    out.workers = Some(parse_num::<u64>(value(i), flag) as usize);
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R\n\
+                        "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
+                         --seq-ev --seq-sv --workers W\n\
                          defaults: {defaults:?}"
                     );
                     std::process::exit(0);
@@ -86,6 +107,21 @@ impl Default for CommonArgs {
             budget: 24 << 10,
             latency_us: 1000,
             runs: 5,
+            parallel_ev: true,
+            parallel_sv: true,
+            workers: None,
+        }
+    }
+}
+
+impl CommonArgs {
+    /// The EBV validator configuration these flags select.
+    pub fn ebv_config(&self) -> EbvConfig {
+        EbvConfig {
+            parallel_ev: self.parallel_ev,
+            parallel_sv: self.parallel_sv,
+            workers: self.workers,
+            ..EbvConfig::default()
         }
     }
 }

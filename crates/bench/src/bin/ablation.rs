@@ -5,16 +5,28 @@
 
 use ebv_bench::apply::StatusTracker;
 use ebv_bench::{table, CommonArgs, Scenario};
-use ebv_core::baseline_ibd;
+use ebv_core::{baseline_ibd, ebv_ibd, EbvConfig};
 use ebv_store::{KvStore, StoreConfig, UtxoSet};
 use ebv_workload::{ChainGenerator, GeneratorParams};
 
 fn main() {
-    let args = CommonArgs::parse(CommonArgs { blocks: 260, latency_us: 200, ..Default::default() });
+    let args = CommonArgs::parse(CommonArgs {
+        blocks: 260,
+        latency_us: 200,
+        ..Default::default()
+    });
     let scenario = Scenario::mainnet_like(&args);
 
-    println!("# Ablation 1 — cache-budget sweep (baseline IBD, latency {} µs)", args.latency_us);
-    let cols = [("budget_kib", 12), ("ibd_s", 9), ("dbo_s", 9), ("hit_ratio", 10)];
+    println!(
+        "# Ablation 1 — cache-budget sweep (baseline IBD, latency {} µs)",
+        args.latency_us
+    );
+    let cols = [
+        ("budget_kib", 12),
+        ("ibd_s", 9),
+        ("dbo_s", 9),
+        ("hit_ratio", 10),
+    ];
     table::header(&cols);
     for shift in [3usize, 4, 5, 6, 8, 10] {
         let budget = 1usize << (shift + 10);
@@ -27,12 +39,23 @@ fn main() {
             (format!("{}", budget / 1024), 12),
             (format!("{total:.2}"), 9),
             (table::secs(b.dbo), 9),
-            (format!("{:.1}%", node.utxos().stats().hit_ratio() * 100.0), 10),
+            (
+                format!("{:.1}%", node.utxos().stats().hit_ratio() * 100.0),
+                10,
+            ),
         ]);
     }
 
-    println!("\n# Ablation 2 — disk-latency sweep (baseline IBD, budget {} KiB)", args.budget / 1024);
-    let cols = [("latency_us", 12), ("ibd_s", 9), ("dbo_s", 9), ("dbo_ratio", 10)];
+    println!(
+        "\n# Ablation 2 — disk-latency sweep (baseline IBD, budget {} KiB)",
+        args.budget / 1024
+    );
+    let cols = [
+        ("latency_us", 12),
+        ("ibd_s", 9),
+        ("dbo_s", 9),
+        ("dbo_ratio", 10),
+    ];
     table::header(&cols);
     for latency_us in [0u64, 50, 200, 500, 1000] {
         let run_args = CommonArgs { latency_us, ..args };
@@ -57,7 +80,12 @@ fn main() {
         ChainGenerator::new(GeneratorParams::mainnet_like(sweep3_blocks, args.seed)).generate();
     let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(1 << 30)).expect("store"));
     let mut tracker = StatusTracker::new(utxos);
-    let cols = [("height", 8), ("opt_kib", 10), ("noopt_kib", 10), ("gain", 8)];
+    let cols = [
+        ("height", 8),
+        ("opt_kib", 10),
+        ("noopt_kib", 10),
+        ("gain", 8),
+    ];
     table::header(&cols);
     let step = (chain.len() / 8).max(1);
     for (i, block) in chain.iter().enumerate() {
@@ -68,9 +96,51 @@ fn main() {
                 (format!("{i}"), 8),
                 (format!("{:.1}", m.optimized as f64 / 1024.0), 10),
                 (format!("{:.1}", m.unoptimized as f64 / 1024.0), 10),
-                (table::reduction_pct(m.unoptimized as f64, m.optimized as f64), 8),
+                (
+                    table::reduction_pct(m.unoptimized as f64, m.optimized as f64),
+                    8,
+                ),
             ]);
         }
     }
     println!("\npaper shape: optimization gain grows with age as old vectors go sparse (42.6% at the tip)");
+
+    println!("\n# Ablation 4 — EBV pipeline parallelism (EV/SV knobs, full IBD)");
+    // Every configuration returns byte-identical accept/reject decisions;
+    // only the wall time moves. `--workers` (if given) caps each run.
+    let cols = [
+        ("config", 12),
+        ("ibd_s", 9),
+        ("ev_s", 9),
+        ("sv_s", 9),
+        ("commit_s", 9),
+        ("others_s", 10),
+    ];
+    table::header(&cols);
+    let sweeps: [(&str, bool, bool); 4] = [
+        ("seq", false, false),
+        ("par_ev", true, false),
+        ("par_sv", false, true),
+        ("par_both", true, true),
+    ];
+    for (label, parallel_ev, parallel_sv) in sweeps {
+        let config = EbvConfig {
+            parallel_ev,
+            parallel_sv,
+            workers: args.workers,
+            ..EbvConfig::default()
+        };
+        let mut node = scenario.ebv_node_with(config);
+        let periods = ebv_ibd(&mut node, &scenario.ebv_blocks[1..], 1 << 20).expect("ibd");
+        let total: f64 = periods.iter().map(|p| p.wall.as_secs_f64()).sum();
+        let b = node.cumulative_breakdown();
+        table::row(&[
+            (label.to_string(), 12),
+            (format!("{total:.2}"), 9),
+            (table::secs(b.ev), 9),
+            (table::secs(b.sv), 9),
+            (table::secs(b.commit), 9),
+            (table::secs(b.others), 10),
+        ]);
+    }
 }

@@ -23,13 +23,19 @@ fn main() {
         "# Fig. 1 — UTXO count and UTXO-set size by quarter ({} blocks, {} warmup, {} per quarter, seed {})",
         args.blocks, warmup, blocks_per_quarter, args.seed
     );
-    let chain = ChainGenerator::new(GeneratorParams::mainnet_like(args.blocks, args.seed)).generate();
+    let chain =
+        ChainGenerator::new(GeneratorParams::mainnet_like(args.blocks, args.seed)).generate();
 
     // Growth measurement wants no cache pressure: big budget, no latency.
     let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(1 << 30)).expect("store"));
     let mut tracker = StatusTracker::new(utxos);
 
-    let cols = [("quarter", 8), ("height", 8), ("utxo_count", 12), ("utxo_size_mb", 14)];
+    let cols = [
+        ("quarter", 8),
+        ("height", 8),
+        ("utxo_count", 12),
+        ("utxo_size_mb", 14),
+    ];
     table::header(&cols);
     let mut first: Option<(u64, u64)> = None;
     let mut last = (0u64, 0u64);
@@ -39,7 +45,7 @@ fn main() {
             continue;
         }
         let past_warmup = i as u32 + 1 - warmup;
-        let boundary = past_warmup % blocks_per_quarter == 0;
+        let boundary = past_warmup.is_multiple_of(blocks_per_quarter);
         if boundary || i + 1 == chain.len() {
             let quarter = past_warmup / blocks_per_quarter;
             let size = tracker.utxos.size();

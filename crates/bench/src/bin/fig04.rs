@@ -26,8 +26,7 @@ fn main() {
 
     let tail = 10usize.min(scenario.blocks.len() - 1);
     let split = scenario.blocks.len() - tail;
-    baseline_ibd(&mut node, &scenario.blocks[1..split], usize::MAX.min(1 << 20))
-        .expect("warmup IBD validates");
+    baseline_ibd(&mut node, &scenario.blocks[1..split], 1 << 20).expect("warmup IBD validates");
 
     println!("\n## Fig. 4a/4b rows (one per block)");
     let cols = [

@@ -20,7 +20,8 @@ fn main() {
         args.blocks, warmup, args.seed
     );
 
-    let chain = ChainGenerator::new(GeneratorParams::mainnet_like(args.blocks, args.seed)).generate();
+    let chain =
+        ChainGenerator::new(GeneratorParams::mainnet_like(args.blocks, args.seed)).generate();
     let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(1 << 30)).expect("store"));
     let mut tracker = StatusTracker::new(utxos);
 
@@ -40,7 +41,7 @@ fn main() {
             continue;
         }
         let past_warmup = i as u32 + 1 - warmup;
-        if past_warmup % blocks_per_quarter == 0 || i + 1 == chain.len() {
+        if past_warmup.is_multiple_of(blocks_per_quarter) || i + 1 == chain.len() {
             let quarter = past_warmup / blocks_per_quarter;
             let utxo_bytes = tracker.utxos.size().bytes as f64;
             let m = tracker.bitvecs.memory();
@@ -51,7 +52,10 @@ fn main() {
                 (table::mb(m.optimized), 10),
                 (table::mb(m.unoptimized), 13),
                 (table::reduction_pct(utxo_bytes, m.optimized as f64), 10),
-                (table::reduction_pct(m.unoptimized as f64, m.optimized as f64), 10),
+                (
+                    table::reduction_pct(m.unoptimized as f64, m.optimized as f64),
+                    10,
+                ),
             ]);
         }
     }

@@ -38,8 +38,14 @@ fn main() {
     let n = rows.len() as f64;
     let mean_x = rows.iter().map(|r| r.0 as f64).sum::<f64>() / n;
     let mean_y = rows.iter().map(|r| r.1).sum::<f64>() / n;
-    let cov: f64 = rows.iter().map(|r| (r.0 as f64 - mean_x) * (r.1 - mean_y)).sum::<f64>();
-    let var_x: f64 = rows.iter().map(|r| (r.0 as f64 - mean_x).powi(2)).sum::<f64>();
+    let cov: f64 = rows
+        .iter()
+        .map(|r| (r.0 as f64 - mean_x) * (r.1 - mean_y))
+        .sum::<f64>();
+    let var_x: f64 = rows
+        .iter()
+        .map(|r| (r.0 as f64 - mean_x).powi(2))
+        .sum::<f64>();
     let var_y: f64 = rows.iter().map(|r| (r.1 - mean_y).powi(2)).sum::<f64>();
     if var_x > 0.0 && var_y > 0.0 {
         println!(

@@ -3,20 +3,23 @@
 //!
 //! The paper: under the same memory limit, EBV cuts per-block validation
 //! by up to 93.5 % (block 590004); inside EBV, EV and UV are negligible
-//! and SV dominates.
+//! and SV dominates. This binary additionally reports the sequential
+//! pipeline next to the parallel one (Fig. 16c), exposing what the
+//! `parallel_ev`/`parallel_sv` knobs buy.
 
 use ebv_bench::{table, CommonArgs, Scenario};
-use ebv_core::{baseline_ibd, ebv_ibd};
+use ebv_core::{baseline_ibd, ebv_ibd, EbvConfig};
 
 fn main() {
     let args = CommonArgs::parse(CommonArgs::default());
     println!(
         "# Fig. 16 — validation time comparison over the last 10 blocks \
-         ({} blocks, budget {} KiB, latency {} µs, seed {})",
+         ({} blocks, budget {} KiB, latency {} µs, seed {}, ebv {:?})",
         args.blocks,
         args.budget / 1024,
         args.latency_us,
-        args.seed
+        args.seed,
+        args.ebv_config()
     );
 
     let scenario = Scenario::mainnet_like(&args);
@@ -26,20 +29,38 @@ fn main() {
     // Baseline node, warmed to the split point.
     let mut baseline = scenario.baseline_node(&args);
     baseline_ibd(&mut baseline, &scenario.blocks[1..split], 1 << 20).expect("warmup");
-    // EBV node, warmed identically.
-    let mut ebv = scenario.ebv_node();
+    // EBV node with the configured pipeline, warmed identically; plus a
+    // fully sequential twin for the Fig. 16c comparison.
+    let mut ebv = scenario.ebv_node_with(args.ebv_config());
     ebv_ibd(&mut ebv, &scenario.ebv_blocks[1..split], 1 << 20).expect("warmup");
+    let mut ebv_seq = scenario.ebv_node_with(EbvConfig::sequential());
+    ebv_ibd(&mut ebv_seq, &scenario.ebv_blocks[1..split], 1 << 20).expect("warmup");
 
     println!("\n## Fig. 16a — per-block totals");
-    let cols =
-        [("height", 8), ("inputs", 8), ("bitcoin_ms", 11), ("ebv_ms", 9), ("reduction", 10)];
+    let cols = [
+        ("height", 8),
+        ("inputs", 8),
+        ("bitcoin_ms", 11),
+        ("ebv_ms", 9),
+        ("reduction", 10),
+    ];
     table::header(&cols);
     let mut worst = (0.0f64, 0.0f64, 0.0f64); // (reduction, bitcoin, ebv)
     let mut ebv_breakdowns = Vec::new();
-    for (base_block, ebv_block) in scenario.blocks[split..].iter().zip(&scenario.ebv_blocks[split..]) {
-        let bb = baseline.process_block(base_block).expect("baseline validates");
+    let mut seq_breakdowns = Vec::new();
+    for (base_block, ebv_block) in scenario.blocks[split..]
+        .iter()
+        .zip(&scenario.ebv_blocks[split..])
+    {
+        let bb = baseline
+            .process_block(base_block)
+            .expect("baseline validates");
         let eb = ebv.process_block(ebv_block).expect("ebv validates");
+        let sb = ebv_seq
+            .process_block(ebv_block)
+            .expect("sequential ebv validates");
         ebv_breakdowns.push((ebv.tip_height(), ebv_block.input_count(), eb));
+        seq_breakdowns.push(sb);
         let b_ms = bb.total().as_secs_f64() * 1000.0;
         let e_ms = eb.total().as_secs_f64() * 1000.0;
         let red = (1.0 - e_ms / b_ms) * 100.0;
@@ -66,6 +87,7 @@ fn main() {
         ("ev_ms", 9),
         ("uv_ms", 9),
         ("sv_ms", 9),
+        ("commit_ms", 10),
         ("others_ms", 10),
     ];
     table::header(&cols);
@@ -76,8 +98,35 @@ fn main() {
             (table::ms(b.ev), 9),
             (table::ms(b.uv), 9),
             (table::ms(b.sv), 9),
+            (table::ms(b.commit), 10),
             (table::ms(b.others), 10),
         ]);
     }
     println!("\npaper shape: EV and UV take little time; SV dominates EBV validation");
+
+    println!("\n## Fig. 16c — parallel vs sequential EBV pipeline");
+    let cols = [
+        ("height", 8),
+        ("par_ms", 9),
+        ("seq_ms", 9),
+        ("par_ev_ms", 10),
+        ("seq_ev_ms", 10),
+        ("par_sv_ms", 10),
+        ("seq_sv_ms", 10),
+    ];
+    table::header(&cols);
+    for ((height, _, pb), sb) in ebv_breakdowns.iter().zip(&seq_breakdowns) {
+        table::row(&[
+            (format!("{height}"), 8),
+            (table::ms(pb.total()), 9),
+            (table::ms(sb.total()), 9),
+            (table::ms(pb.ev), 10),
+            (table::ms(sb.ev), 10),
+            (table::ms(pb.sv), 10),
+            (table::ms(sb.sv), 10),
+        ]);
+    }
+    println!(
+        "\nboth pipelines return identical accept/reject decisions; only the wall time differs"
+    );
 }

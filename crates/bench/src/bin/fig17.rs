@@ -27,18 +27,20 @@ fn main() {
     let mut base_cum: Vec<Vec<f64>> = Vec::new();
     let mut ebv_cum: Vec<Vec<f64>> = Vec::new();
     let mut ebv_break = EbvBreakdown::default();
-    let mut ebv_periods_acc: Vec<EbvBreakdown> = vec![EbvBreakdown::default(); 0];
+    let mut ebv_periods_acc: Vec<EbvBreakdown> = Vec::new();
 
     for run in 0..args.runs {
-        let run_args = CommonArgs { seed: args.seed + run as u64, ..args };
+        let run_args = CommonArgs {
+            seed: args.seed + run as u64,
+            ..args
+        };
         let scenario = Scenario::mainnet_like(&run_args);
 
         let mut baseline = scenario.baseline_node(&run_args);
-        let periods =
-            baseline_ibd(&mut baseline, &scenario.blocks[1..], period_len).expect("ibd");
+        let periods = baseline_ibd(&mut baseline, &scenario.blocks[1..], period_len).expect("ibd");
         base_cum.push(cumulative(periods.iter().map(|p| p.wall)));
 
-        let mut ebv = scenario.ebv_node();
+        let mut ebv = scenario.ebv_node_with(run_args.ebv_config());
         let periods = ebv_ibd(&mut ebv, &scenario.ebv_blocks[1..], period_len).expect("ibd");
         ebv_cum.push(cumulative(periods.iter().map(|p| p.wall)));
         if ebv_periods_acc.is_empty() {
@@ -50,8 +52,15 @@ fn main() {
         ebv_break += ebv.cumulative_breakdown();
     }
 
-    println!("\n## Fig. 17a — cumulative IBD seconds at each period boundary (mean [min–max] over runs)");
-    let cols = [("period", 8), ("bitcoin_s", 24), ("ebv_s", 24), ("reduction", 10)];
+    println!(
+        "\n## Fig. 17a — cumulative IBD seconds at each period boundary (mean [min–max] over runs)"
+    );
+    let cols = [
+        ("period", 8),
+        ("bitcoin_s", 24),
+        ("ebv_s", 24),
+        ("reduction", 10),
+    ];
     table::header(&cols);
     let n_rows = base_cum[0].len();
     let mut final_red = 0.0;
@@ -69,7 +78,14 @@ fn main() {
     println!("\nfinal IBD reduction: {final_red:.1}%  (paper: 38.5% at block 650k)");
 
     println!("\n## Fig. 17b — EBV IBD breakdown per period (summed over runs)");
-    let cols = [("period", 8), ("ev_s", 9), ("uv_s", 9), ("sv_s", 9), ("others_s", 10)];
+    let cols = [
+        ("period", 8),
+        ("ev_s", 9),
+        ("uv_s", 9),
+        ("sv_s", 9),
+        ("commit_s", 9),
+        ("others_s", 10),
+    ];
     table::header(&cols);
     for (i, b) in ebv_periods_acc.iter().enumerate() {
         table::row(&[
@@ -77,6 +93,7 @@ fn main() {
             (table::secs(b.ev), 9),
             (table::secs(b.uv), 9),
             (table::secs(b.sv), 9),
+            (table::secs(b.commit), 9),
             (table::secs(b.others), 10),
         ]);
     }

@@ -13,7 +13,10 @@ use ebv_core::{baseline_ibd, ebv_ibd};
 use ebv_netsim::{GossipSim, SimParams, SimResult, ValidationModel};
 
 fn main() {
-    let args = CommonArgs::parse(CommonArgs { blocks: 600, ..Default::default() });
+    let args = CommonArgs::parse(CommonArgs {
+        blocks: 600,
+        ..Default::default()
+    });
     println!(
         "# Fig. 18 — propagation delay, 20 nodes / 5 regions / 2 gossip neighbors, {} runs",
         args.runs
@@ -32,7 +35,11 @@ fn main() {
     for block in &scenario.blocks[split..] {
         base_inputs += block.input_count() as u64;
         base_bytes += ebv_primitives::encode::Encodable::encoded_len(block) as u64;
-        base_us += baseline.process_block(block).expect("validates").total().as_micros() as u64;
+        base_us += baseline
+            .process_block(block)
+            .expect("validates")
+            .total()
+            .as_micros() as u64;
     }
 
     let mut ebv = scenario.ebv_node();
@@ -41,7 +48,11 @@ fn main() {
     let mut ebv_bytes: u64 = 0;
     for block in &scenario.ebv_blocks[split..] {
         ebv_bytes += ebv_primitives::encode::Encodable::encoded_len(block) as u64;
-        ebv_us += ebv.process_block(block).expect("validates").total().as_micros() as u64;
+        ebv_us += ebv
+            .process_block(block)
+            .expect("validates")
+            .total()
+            .as_micros() as u64;
     }
 
     // Scale the measured *per-input* costs to the paper's block
@@ -58,13 +69,13 @@ fn main() {
     println!(
         "\nscaled to {MAINNET_INPUTS_PER_BLOCK} inputs/block (measured over {} tail inputs):\n\
          \x20 validation: bitcoin {:.0} ms, ebv {:.0} ms\n\
-         \x20 block size: bitcoin {:.2} MB, ebv {:.2} MB ({}× — proof overhead)",
+         \x20 block size: bitcoin {:.2} MB, ebv {:.2} MB ({:.2}× — proof overhead)",
         base_inputs,
         base_us as f64 / 1000.0,
         ebv_us as f64 / 1000.0,
         base_block_bytes as f64 / 1e6,
         ebv_block_bytes as f64 / 1e6,
-        format!("{:.2}", ebv_block_bytes as f64 / base_block_bytes as f64),
+        ebv_block_bytes as f64 / base_block_bytes as f64,
     );
 
     // --- Phase 2: plug the measured means into the gossip simulator ----

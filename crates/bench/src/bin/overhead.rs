@@ -8,7 +8,10 @@ use ebv_bench::{table, CommonArgs, Scenario};
 use ebv_primitives::encode::Encodable;
 
 fn main() {
-    let args = CommonArgs::parse(CommonArgs { blocks: 400, ..Default::default() });
+    let args = CommonArgs::parse(CommonArgs {
+        blocks: 400,
+        ..Default::default()
+    });
     println!(
         "# Proof overhead — baseline vs EBV serialized sizes ({} blocks, seed {})",
         args.blocks, args.seed
@@ -60,7 +63,9 @@ fn main() {
             (format!("{:.1}", ebv_bytes as f64 / 1024.0), 10),
             (format!("{:.2}x", ebv_bytes as f64 / base_bytes as f64), 10),
             (
-                if inputs > 0 { format!("{}", proof_bytes / inputs) } else { "-".into() },
+                proof_bytes
+                    .checked_div(inputs)
+                    .map_or_else(|| "-".into(), |v| format!("{v}")),
                 14,
             ),
             (
@@ -80,7 +85,7 @@ fn main() {
         grand.1 as f64 / 1024.0,
         grand.1 as f64 / grand.0 as f64,
         grand.3,
-        if grand.3 > 0 { grand.2 / grand.3 } else { 0 },
+        grand.2.checked_div(grand.3).unwrap_or(0),
     );
     println!(
         "EBV trades block size for validation locality; branch length grows with log2(txs/block), \

@@ -12,7 +12,14 @@ fn main() {
     // Smoke-scale knobs keep the whole suite to a few minutes on a laptop
     // core: short chain, small budget, light latency, 2 runs.
     let flags: &[&str] = &[
-        "--blocks", "130", "--budget", "16384", "--latency-us", "200", "--runs", "2",
+        "--blocks",
+        "130",
+        "--budget",
+        "16384",
+        "--latency-us",
+        "200",
+        "--runs",
+        "2",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe path")

@@ -2,9 +2,7 @@
 
 use crate::args::CommonArgs;
 use ebv_chain::Block;
-use ebv_core::{
-    BaselineConfig, BaselineNode, EbvBlock, EbvConfig, EbvNode, Intermediary,
-};
+use ebv_core::{BaselineConfig, BaselineNode, EbvBlock, EbvConfig, EbvNode, Intermediary};
 use ebv_store::{KvStore, LatencyModel, StoreConfig, UtxoSet};
 use ebv_workload::{ChainGenerator, GeneratorParams};
 
@@ -45,12 +43,21 @@ impl Scenario {
             path: None,
         })
         .expect("temp store opens");
-        BaselineNode::new(&self.blocks[0], UtxoSet::new(store), BaselineConfig::default())
-            .expect("genesis applies")
+        BaselineNode::new(
+            &self.blocks[0],
+            UtxoSet::new(store),
+            BaselineConfig::default(),
+        )
+        .expect("genesis applies")
     }
 
     /// A freshly booted EBV node over this scenario's genesis.
     pub fn ebv_node(&self) -> EbvNode {
-        EbvNode::new(&self.ebv_blocks[0], EbvConfig::default())
+        self.ebv_node_with(EbvConfig::default())
+    }
+
+    /// Same, with an explicit validator configuration (parallelism knobs).
+    pub fn ebv_node_with(&self, config: EbvConfig) -> EbvNode {
+        EbvNode::new(&self.ebv_blocks[0], config)
     }
 }

@@ -117,7 +117,11 @@ impl Block {
     /// Total number of inputs, excluding the coinbase input — the quantity
     /// the paper plots against validation time (Figs. 4b, 15).
     pub fn input_count(&self) -> usize {
-        self.transactions.iter().skip(1).map(|tx| tx.inputs.len()).sum()
+        self.transactions
+            .iter()
+            .skip(1)
+            .map(|tx| tx.inputs.len())
+            .sum()
     }
 
     /// Total number of outputs across all transactions (bit-vector width).
@@ -138,7 +142,10 @@ impl Encodable for Block {
 
 impl Decodable for Block {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(Block { header: BlockHeader::decode(r)?, transactions: Vec::decode(r)? })
+        Ok(Block {
+            header: BlockHeader::decode(r)?,
+            transactions: Vec::decode(r)?,
+        })
     }
 }
 
@@ -200,7 +207,10 @@ mod tests {
         while !header.meets_target() {
             header.nonce += 1;
         }
-        Block { header, transactions: txs }
+        Block {
+            header,
+            transactions: txs,
+        }
     }
 
     #[test]
@@ -235,7 +245,10 @@ mod tests {
     #[test]
     fn structure_rejects_missing_coinbase() {
         let b = mined_block(vec![spend_tx()], 0);
-        assert_eq!(b.check_structure(), Err(BlockStructureError::FirstNotCoinbase));
+        assert_eq!(
+            b.check_structure(),
+            Err(BlockStructureError::FirstNotCoinbase)
+        );
     }
 
     #[test]
@@ -249,7 +262,10 @@ mod tests {
         let mut b = mined_block(vec![coinbase(1), spend_tx()], 0);
         b.header.merkle_root = sha256d(b"wrong");
         // Re-mining not needed at bits=0; the merkle check fires first.
-        assert_eq!(b.check_structure(), Err(BlockStructureError::MerkleMismatch));
+        assert_eq!(
+            b.check_structure(),
+            Err(BlockStructureError::MerkleMismatch)
+        );
     }
 
     #[test]
@@ -259,7 +275,10 @@ mod tests {
         b.header.bits = 200;
         // Keep merkle valid; only PoW fails (hash has < 200 zero bits with
         // overwhelming probability).
-        assert_eq!(b.check_structure(), Err(BlockStructureError::InsufficientWork));
+        assert_eq!(
+            b.check_structure(),
+            Err(BlockStructureError::InsufficientWork)
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub fn build_block(
     while !header.meets_target() {
         header.nonce = header.nonce.checked_add(1).expect("nonce space sufficient");
     }
-    Block { header, transactions: txs }
+    Block {
+        header,
+        transactions: txs,
+    }
 }
 
 /// The deterministic genesis block shared by all generated chains.

@@ -41,7 +41,10 @@ pub struct ChainStore {
 impl ChainStore {
     /// Start a chain from its genesis block.
     pub fn new(genesis: Block) -> ChainStore {
-        let mut store = ChainStore { blocks: Vec::new(), by_hash: HashMap::new() };
+        let mut store = ChainStore {
+            blocks: Vec::new(),
+            by_hash: HashMap::new(),
+        };
         store.by_hash.insert(genesis.header.hash(), 0);
         store.blocks.push(genesis);
         store
@@ -63,7 +66,11 @@ impl ChainStore {
 
     /// Hash of the tip block.
     pub fn tip_hash(&self) -> Hash256 {
-        self.blocks.last().expect("genesis always present").header.hash()
+        self.blocks
+            .last()
+            .expect("genesis always present")
+            .header
+            .hash()
     }
 
     /// Append a block that must extend the tip.
@@ -79,7 +86,9 @@ impl ChainStore {
 
     /// The block at `height`.
     pub fn block_at(&self, height: u32) -> Result<&Block, ChainError> {
-        self.blocks.get(height as usize).ok_or(ChainError::UnknownHeight(height))
+        self.blocks
+            .get(height as usize)
+            .ok_or(ChainError::UnknownHeight(height))
     }
 
     /// The header at `height` (the EV lookup).
@@ -146,7 +155,13 @@ mod tests {
         extend(&mut store, 2);
         // A block pointing at genesis, not the tip.
         let cb = coinbase_tx(99, Script::new(), Vec::new());
-        let orphan = build_block(store.block_at(0).unwrap().header.hash(), cb, Vec::new(), 9, 0);
+        let orphan = build_block(
+            store.block_at(0).unwrap().header.hash(),
+            cb,
+            Vec::new(),
+            9,
+            0,
+        );
         assert_eq!(store.append(orphan), Err(ChainError::NotOnTip));
     }
 

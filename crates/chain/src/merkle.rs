@@ -75,7 +75,10 @@ impl MerkleBranch {
             level = next_level(&level);
             idx /= 2;
         }
-        MerkleBranch { leaf_index: leaf_index as u32, siblings }
+        MerkleBranch {
+            leaf_index: leaf_index as u32,
+            siblings,
+        }
     }
 
     /// Fold the branch upward from `leaf`, producing the root it implies.
@@ -117,7 +120,10 @@ impl Encodable for MerkleBranch {
 
 impl Decodable for MerkleBranch {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(MerkleBranch { leaf_index: u32::decode(r)?, siblings: Vec::decode(r)? })
+        Ok(MerkleBranch {
+            leaf_index: u32::decode(r)?,
+            siblings: Vec::decode(r)?,
+        })
     }
 }
 

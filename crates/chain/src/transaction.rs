@@ -4,9 +4,7 @@
 //! creates new outputs, each locked by a script. The legacy SIGHASH_ALL
 //! digest algorithm binds signatures to the transaction.
 
-use ebv_primitives::encode::{
-    write_varint, Decodable, DecodeError, Encodable, Reader,
-};
+use ebv_primitives::encode::{write_varint, Decodable, DecodeError, Encodable, Reader};
 use ebv_primitives::hash::{sha256d, Hash256};
 use ebv_script::Script;
 
@@ -21,7 +19,10 @@ pub struct OutPoint {
 
 impl OutPoint {
     /// The null outpoint used by coinbase inputs.
-    pub const NULL: OutPoint = OutPoint { txid: Hash256::ZERO, vout: u32::MAX };
+    pub const NULL: OutPoint = OutPoint {
+        txid: Hash256::ZERO,
+        vout: u32::MAX,
+    };
 
     pub fn new(txid: Hash256, vout: u32) -> OutPoint {
         OutPoint { txid, vout }
@@ -53,7 +54,10 @@ impl Encodable for OutPoint {
 
 impl Decodable for OutPoint {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(OutPoint { txid: Hash256::decode(r)?, vout: u32::decode(r)? })
+        Ok(OutPoint {
+            txid: Hash256::decode(r)?,
+            vout: u32::decode(r)?,
+        })
     }
 }
 
@@ -67,7 +71,11 @@ pub struct TxIn {
 
 impl TxIn {
     pub fn new(prevout: OutPoint, unlocking_script: Script) -> TxIn {
-        TxIn { prevout, unlocking_script, sequence: u32::MAX }
+        TxIn {
+            prevout,
+            unlocking_script,
+            sequence: u32::MAX,
+        }
     }
 }
 
@@ -102,7 +110,10 @@ pub struct TxOut {
 
 impl TxOut {
     pub fn new(value: u64, locking_script: Script) -> TxOut {
-        TxOut { value, locking_script }
+        TxOut {
+            value,
+            locking_script,
+        }
     }
 }
 
@@ -118,7 +129,10 @@ impl Encodable for TxOut {
 
 impl Decodable for TxOut {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(TxOut { value: u64::decode(r)?, locking_script: Script::decode(r)? })
+        Ok(TxOut {
+            value: u64::decode(r)?,
+            locking_script: Script::decode(r)?,
+        })
     }
 }
 
@@ -148,7 +162,9 @@ impl Transaction {
     /// Total output value. Saturates on (invalid) overflowing totals so the
     /// caller's `sum(in) >= sum(out)` check fails safely.
     pub fn total_output_value(&self) -> u64 {
-        self.outputs.iter().fold(0u64, |acc, o| acc.saturating_add(o.value))
+        self.outputs
+            .iter()
+            .fold(0u64, |acc, o| acc.saturating_add(o.value))
     }
 
     /// Legacy SIGHASH_ALL digest for signing `input_index`, which spends an
@@ -192,21 +208,57 @@ pub fn spend_sighash(
     lock_time: u32,
     input_index: u32,
 ) -> Hash256 {
-    let mut buf = Vec::with_capacity(16 + spent_coords.len() * 8 + outputs.len() * 40);
-    version.encode(&mut buf);
-    write_varint(&mut buf, spent_coords.len() as u64);
-    for &(height, position) in spent_coords {
-        height.encode(&mut buf);
-        position.encode(&mut buf);
+    SpendSighashMidstate::new(version, spent_coords, outputs, lock_time).input_digest(input_index)
+}
+
+/// Per-transaction midstate for [`spend_sighash`].
+///
+/// Everything the digest commits to except the signed input's index is
+/// identical for every input of a transaction, so the serialized prefix —
+/// version, spent coordinates, outputs, lock time — is built once here and
+/// each input only appends its 8 trailing bytes. Validators that previously
+/// called `spend_sighash` per input were re-serializing the outputs
+/// (O(outputs) work) once per input; with the midstate that cost is paid
+/// once per transaction.
+#[derive(Clone, Debug)]
+pub struct SpendSighashMidstate {
+    /// Serialization of every committed field up to and including
+    /// `lock_time`; `input_digest` appends `input_index` and the sighash
+    /// type, leaving the prefix untouched so the midstate is reusable.
+    prefix: Vec<u8>,
+}
+
+impl SpendSighashMidstate {
+    pub fn new(
+        version: u32,
+        spent_coords: &[(u32, u32)],
+        outputs: &[TxOut],
+        lock_time: u32,
+    ) -> SpendSighashMidstate {
+        let mut prefix = Vec::with_capacity(16 + spent_coords.len() * 8 + outputs.len() * 40);
+        version.encode(&mut prefix);
+        write_varint(&mut prefix, spent_coords.len() as u64);
+        for &(height, position) in spent_coords {
+            height.encode(&mut prefix);
+            position.encode(&mut prefix);
+        }
+        write_varint(&mut prefix, outputs.len() as u64);
+        for output in outputs {
+            output.encode(&mut prefix);
+        }
+        lock_time.encode(&mut prefix);
+        SpendSighashMidstate { prefix }
     }
-    write_varint(&mut buf, outputs.len() as u64);
-    for output in outputs {
-        output.encode(&mut buf);
+
+    /// The digest signing `input_index`. Byte-identical to
+    /// [`spend_sighash`] with the same fields.
+    pub fn input_digest(&self, input_index: u32) -> Hash256 {
+        let mut buf = Vec::with_capacity(self.prefix.len() + 8);
+        buf.extend_from_slice(&self.prefix);
+        input_index.encode(&mut buf);
+        (SIGHASH_ALL as u32).encode(&mut buf);
+        sha256d(&buf)
     }
-    lock_time.encode(&mut buf);
-    input_index.encode(&mut buf);
-    (SIGHASH_ALL as u32).encode(&mut buf);
-    sha256d(&buf)
 }
 
 impl Encodable for Transaction {
@@ -275,7 +327,8 @@ mod tests {
         tx.inputs = vec![TxIn::new(OutPoint::NULL, Script::new())];
         assert!(tx.is_coinbase());
         // Two inputs, one null: not a coinbase.
-        tx.inputs.push(TxIn::new(OutPoint::new(sha256d(b"x"), 0), Script::new()));
+        tx.inputs
+            .push(TxIn::new(OutPoint::new(sha256d(b"x"), 0), Script::new()));
         assert!(!tx.is_coinbase());
     }
 
@@ -309,7 +362,10 @@ mod tests {
         let lock_a = Builder::new().push_data(b"a").into_script();
         let lock_b = Builder::new().push_data(b"b").into_script();
         let mut tx = sample_tx();
-        tx.inputs.push(TxIn::new(OutPoint::new(sha256d(b"other"), 0), Script::new()));
+        tx.inputs.push(TxIn::new(
+            OutPoint::new(sha256d(b"other"), 0),
+            Script::new(),
+        ));
         assert_ne!(tx.sighash(0, &lock_a), tx.sighash(1, &lock_a));
         assert_ne!(tx.sighash(0, &lock_a), tx.sighash(0, &lock_b));
     }
@@ -331,6 +387,23 @@ mod tests {
     }
 
     #[test]
+    fn midstate_matches_direct_digest() {
+        let outputs = vec![
+            TxOut::new(10, Builder::new().push_data(b"l").into_script()),
+            TxOut::new(7, Builder::new().push_data(b"m").into_script()),
+        ];
+        let coords = [(5, 2), (9, 0)];
+        let mid = SpendSighashMidstate::new(1, &coords, &outputs, 3);
+        for input_index in 0..4 {
+            assert_eq!(
+                mid.input_digest(input_index),
+                spend_sighash(1, &coords, &outputs, 3, input_index),
+                "input {input_index}"
+            );
+        }
+    }
+
+    #[test]
     fn total_output_value_saturates() {
         let mut tx = sample_tx();
         tx.outputs[0].value = u64::MAX;
@@ -342,7 +415,10 @@ mod tests {
     fn decode_rejects_truncation() {
         let bytes = sample_tx().to_bytes();
         for cut in [0, 1, 10, bytes.len() - 1] {
-            assert!(Transaction::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                Transaction::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::metrics::BaselineBreakdown;
 use crate::sighash::DigestChecker;
-use ebv_chain::transaction::spend_sighash;
+use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{Block, BlockHeader, BlockStructureError, OutPoint, BLOCK_SUBSIDY};
 use ebv_primitives::hash::Hash256;
 use ebv_script::{verify_spend, Script, ScriptError};
@@ -25,11 +25,19 @@ pub enum BaselineError {
     Structure(BlockStructureError),
     /// An input's outpoint is not in the UTXO set (nonexistent or spent —
     /// indistinguishable here, as the paper notes).
-    MissingUtxo { tx: usize, input: usize, outpoint: OutPoint },
+    MissingUtxo {
+        tx: usize,
+        input: usize,
+        outpoint: OutPoint,
+    },
     /// Two inputs of the block spend the same outpoint.
     DuplicateSpend(OutPoint),
     /// Script Validation failed.
-    SvFailed { tx: usize, input: usize, err: ScriptError },
+    SvFailed {
+        tx: usize,
+        input: usize,
+        err: ScriptError,
+    },
     /// Inputs worth less than outputs.
     ValueImbalance { tx: usize },
     /// Coinbase claims more than subsidy + fees.
@@ -63,7 +71,10 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        BaselineConfig { parallel_sv: true, check_pow: true }
+        BaselineConfig {
+            parallel_sv: true,
+            check_pow: true,
+        }
     }
 }
 
@@ -88,7 +99,11 @@ pub struct BaselineNode {
 
 impl BaselineNode {
     /// Boot from a genesis block, inserting its outputs into the UTXO set.
-    pub fn new(genesis: &Block, utxos: UtxoSet, config: BaselineConfig) -> Result<BaselineNode, BaselineError> {
+    pub fn new(
+        genesis: &Block,
+        utxos: UtxoSet,
+        config: BaselineConfig,
+    ) -> Result<BaselineNode, BaselineError> {
         let mut node = BaselineNode {
             headers: vec![genesis.header],
             utxos,
@@ -198,7 +213,10 @@ impl BaselineNode {
         let t_val = Instant::now();
         let mut total_fees = 0u64;
         for (idx, (tx, entries)) in block.transactions.iter().skip(1).zip(&fetched).enumerate() {
-            let in_value: u64 = entries.iter().map(|e| e.value).fold(0u64, u64::saturating_add);
+            let in_value: u64 = entries
+                .iter()
+                .map(|e| e.value)
+                .fold(0u64, u64::saturating_add);
             let out_value = tx.total_output_value();
             if in_value < out_value {
                 return Err(BaselineError::ValueImbalance { tx: idx + 1 });
@@ -222,22 +240,37 @@ impl BaselineNode {
             .flat_map(|((i, tx), entries)| {
                 let coords: Vec<(u32, u32)> =
                     entries.iter().map(|e| (e.height, e.position)).collect();
+                // Serialize the per-transaction sighash prefix once; each
+                // input only appends its index.
+                let midstate =
+                    SpendSighashMidstate::new(tx.version, &coords, &tx.outputs, tx.lock_time);
                 tx.inputs.iter().enumerate().map(move |(j, input)| {
-                    let digest =
-                        spend_sighash(tx.version, &coords, &tx.outputs, tx.lock_time, j as u32);
-                    (i, j, &input.unlocking_script, &entries[j].locking_script, digest, tx.lock_time)
+                    let digest = midstate.input_digest(j as u32);
+                    (
+                        i,
+                        j,
+                        &input.unlocking_script,
+                        &entries[j].locking_script,
+                        digest,
+                        tx.lock_time,
+                    )
                 })
             })
             .collect();
         let run_one =
             |&(i, j, us, lock, digest, lt): &(usize, usize, &Script, &Script, Hash256, u32)| {
-                verify_spend(us, lock, &DigestChecker::with_lock_time(digest, lt))
-                    .map_err(|err| BaselineError::SvFailed { tx: i, input: j, err })
+                verify_spend(us, lock, &DigestChecker::with_lock_time(digest, lt)).map_err(|err| {
+                    BaselineError::SvFailed {
+                        tx: i,
+                        input: j,
+                        err,
+                    }
+                })
             };
         let sv_result: Result<(), BaselineError> = if self.config.parallel_sv {
             jobs.par_iter().map(run_one).collect()
         } else {
-            jobs.iter().map(run_one).collect()
+            jobs.iter().try_for_each(run_one)
         };
         sv_result?;
         breakdown.sv += t_sv.elapsed();
@@ -266,7 +299,9 @@ impl BaselineNode {
         let undo = self.undo_stack.pop()?;
         self.headers.pop();
         for (outpoint, entry) in &undo.created {
-            self.utxos.delete(outpoint, entry).expect("created entry present");
+            self.utxos
+                .delete(outpoint, entry)
+                .expect("created entry present");
         }
         for (outpoint, entry) in undo.spent.iter().rev() {
             self.utxos.insert(outpoint, entry).expect("store io");
@@ -278,7 +313,7 @@ impl BaselineNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ebv_chain::transaction::{Transaction, TxIn, TxOut};
+    use ebv_chain::transaction::{spend_sighash, Transaction, TxIn, TxOut};
     use ebv_chain::{build_block, coinbase_tx, genesis_block};
     use ebv_primitives::ec::PrivateKey;
     use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
@@ -299,16 +334,20 @@ mod tests {
             0,
             0,
         );
-        let node =
-            BaselineNode::new(&genesis, fresh_utxos(), BaselineConfig::default()).unwrap();
+        let node = BaselineNode::new(&genesis, fresh_utxos(), BaselineConfig::default()).unwrap();
 
         let genesis_cb_txid = genesis.transactions[0].txid();
         let recipient = PrivateKey::from_seed(101).public_key();
-        let outputs =
-            vec![TxOut::new(BLOCK_SUBSIDY - 500, p2pkh_lock(&recipient.address_hash()))];
+        let outputs = vec![TxOut::new(
+            BLOCK_SUBSIDY - 500,
+            p2pkh_lock(&recipient.address_hash()),
+        )];
         // Genesis coinbase output is at (height 0, position 0).
         let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-        let us = p2pkh_unlock(&crate::sighash::sign_input(&sk, &digest), &pk.to_compressed());
+        let us = p2pkh_unlock(
+            &crate::sighash::sign_input(&sk, &digest),
+            &pk.to_compressed(),
+        );
         let spend = Transaction {
             version: 1,
             inputs: vec![TxIn::new(OutPoint::new(genesis_cb_txid, 0), us)],
@@ -351,7 +390,9 @@ mod tests {
             0,
         );
         match node.process_block(&block2) {
-            Err(BaselineError::MissingUtxo { tx: 1, input: 0, .. }) => {}
+            Err(BaselineError::MissingUtxo {
+                tx: 1, input: 0, ..
+            }) => {}
             other => panic!("expected missing UTXO, got {other:?}"),
         }
     }
@@ -388,7 +429,9 @@ mod tests {
         // Fix the merkle root after mutating the tx.
         block1.header.merkle_root = block1.compute_merkle_root();
         match node.process_block(&block1) {
-            Err(BaselineError::SvFailed { tx: 1, input: 0, .. }) => {}
+            Err(BaselineError::SvFailed {
+                tx: 1, input: 0, ..
+            }) => {}
             other => panic!("expected SV failure, got {other:?}"),
         }
     }
@@ -424,7 +467,8 @@ mod tests {
         // Claim exactly the 500 fee: allowed.
         let cb = coinbase_tx(1, Script::new(), vec![TxOut::new(500, Script::new())]);
         let block = build_block(block1.header.prev_block_hash, cb, vec![spend], 1, 0);
-        node.process_block(&block).expect("fee-inclusive coinbase is valid");
+        node.process_block(&block)
+            .expect("fee-inclusive coinbase is valid");
     }
 
     #[test]
@@ -432,13 +476,18 @@ mod tests {
         let (mut node, block1) = fixture();
         let mut off_tip = block1.clone();
         off_tip.header.prev_block_hash = Hash256::ZERO;
-        assert!(matches!(node.process_block(&off_tip), Err(BaselineError::NotOnTip)));
+        assert!(matches!(
+            node.process_block(&off_tip),
+            Err(BaselineError::NotOnTip)
+        ));
 
         let mut bad_merkle = block1.clone();
         bad_merkle.header.merkle_root = Hash256::ZERO;
         assert!(matches!(
             node.process_block(&bad_merkle),
-            Err(BaselineError::Structure(BlockStructureError::MerkleMismatch))
+            Err(BaselineError::Structure(
+                BlockStructureError::MerkleMismatch
+            ))
         ));
     }
 

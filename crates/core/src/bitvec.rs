@@ -38,7 +38,11 @@ impl BlockBitVector {
         assert!(len > 0, "a block has at least the coinbase output");
         assert!(len <= 1 << 16, "output count must fit 16-bit indices");
         let words = vec![u64::MAX; (len as usize).div_ceil(64)];
-        let mut v = BlockBitVector { words, len, ones: len };
+        let mut v = BlockBitVector {
+            words,
+            len,
+            ones: len,
+        };
         // Clear padding bits in the last word.
         let tail = len % 64;
         if tail != 0 {
@@ -52,8 +56,12 @@ impl BlockBitVector {
         self.len
     }
 
+    /// Whether the vector tracks zero outputs. `new_all_unspent` enforces
+    /// `len >= 1`, so this is only `true` for a decoded zero-length vector;
+    /// it must still answer from `len` rather than hardcode `false` so the
+    /// `len()`/`is_empty()` contract holds for every constructible value.
     pub fn is_empty(&self) -> bool {
-        false // len >= 1 by construction
+        self.len == 0
     }
 
     /// Number of unspent outputs remaining.
@@ -154,7 +162,7 @@ impl Encodable for BlockBitVector {
                     byte = 0;
                 }
             }
-            if self.len % 8 != 0 {
+            if !self.len.is_multiple_of(8) {
                 out.push(byte);
             }
         }
@@ -274,7 +282,10 @@ impl BitVectorSet {
 
     /// Check bit `(height, position)` without modifying it — the UV probe.
     pub fn check_unspent(&self, height: u32, position: u32) -> Result<(), UvError> {
-        let v = self.vectors.get(&height).ok_or(UvError::UnknownHeight(height))?;
+        let v = self
+            .vectors
+            .get(&height)
+            .ok_or(UvError::UnknownHeight(height))?;
         match v.is_unspent(position) {
             None => Err(UvError::PositionOutOfRange { height, position }),
             Some(false) => Err(UvError::AlreadySpent { height, position }),
@@ -287,7 +298,10 @@ impl BitVectorSet {
     /// the vector if this spend deleted it (`None` otherwise) — undo data
     /// needs it to restore the vector on disconnect.
     pub fn spend(&mut self, height: u32, position: u32) -> Result<Option<u32>, UvError> {
-        let v = self.vectors.get_mut(&height).ok_or(UvError::UnknownHeight(height))?;
+        let v = self
+            .vectors
+            .get_mut(&height)
+            .ok_or(UvError::UnknownHeight(height))?;
         match v.is_unspent(position) {
             None => return Err(UvError::PositionOutOfRange { height, position }),
             Some(false) => return Err(UvError::AlreadySpent { height, position }),
@@ -310,7 +324,10 @@ impl BitVectorSet {
     ///
     /// [`spend`]: BitVectorSet::spend
     pub fn unspend(&mut self, height: u32, position: u32) -> Result<(), UvError> {
-        let v = self.vectors.get_mut(&height).ok_or(UvError::UnknownHeight(height))?;
+        let v = self
+            .vectors
+            .get_mut(&height)
+            .ok_or(UvError::UnknownHeight(height))?;
         match v.is_unspent(position) {
             None => Err(UvError::PositionOutOfRange { height, position }),
             Some(true) => Err(UvError::AlreadySpent { height, position }), // already 1
@@ -329,7 +346,10 @@ impl BitVectorSet {
             v.spend(i);
         }
         let prev = self.vectors.insert(height, v);
-        debug_assert!(prev.is_none(), "restoring over a live vector at height {height}");
+        debug_assert!(
+            prev.is_none(),
+            "restoring over a live vector at height {height}"
+        );
     }
 
     /// Remove the vector for `height` entirely (disconnecting the block
@@ -351,7 +371,10 @@ impl BitVectorSet {
     /// Memory requirement in both representations. Each entry is charged
     /// its serialized size plus the 4-byte height key.
     pub fn memory(&self) -> BitVectorSetSize {
-        let mut size = BitVectorSetSize { vectors: self.vectors.len() as u64, ..Default::default() };
+        let mut size = BitVectorSetSize {
+            vectors: self.vectors.len() as u64,
+            ..Default::default()
+        };
         for v in self.vectors.values() {
             size.optimized += 4 + v.optimized_size() as u64;
             size.unoptimized += 4 + v.dense_size() as u64;
@@ -496,13 +519,25 @@ mod tests {
         s.spend(0, 2).unwrap();
         assert_eq!(
             s.check_unspent(0, 2),
-            Err(UvError::AlreadySpent { height: 0, position: 2 })
+            Err(UvError::AlreadySpent {
+                height: 0,
+                position: 2
+            })
         );
         assert_eq!(
             s.spend(0, 2),
-            Err(UvError::AlreadySpent { height: 0, position: 2 })
+            Err(UvError::AlreadySpent {
+                height: 0,
+                position: 2
+            })
         );
-        assert_eq!(s.spend(0, 9), Err(UvError::PositionOutOfRange { height: 0, position: 9 }));
+        assert_eq!(
+            s.spend(0, 9),
+            Err(UvError::PositionOutOfRange {
+                height: 0,
+                position: 9
+            })
+        );
         assert_eq!(s.spend(7, 0), Err(UvError::UnknownHeight(7)));
     }
 

@@ -1,21 +1,31 @@
 //! The EBV validator node (paper §IV).
 //!
 //! State kept in memory: the header chain (80 bytes/block) and the
-//! bit-vector set. Block validation never touches a database:
+//! bit-vector set. Block validation never touches a database. After the
+//! structural checks, every non-coinbase input is flattened into one job
+//! list that the per-input phases share:
 //!
 //! * **EV** — fold each input's Merkle branch from its `ELs` leaf and
-//!   compare against the stored header of the claimed height;
-//! * **UV** — probe the bit at `(height, stake + relative)`;
+//!   compare against the stored header of the claimed height; parallel
+//!   across inputs (`parallel_ev`);
+//! * **UV** — probe the bit at `(height, stake + relative)`; sequential,
+//!   because intra-block duplicate detection is order-dependent;
+//! * value + midstates — per transaction, sum values and build the shared
+//!   sighash midstate; parallel across transactions (`parallel_sv`);
 //! * **SV** — run `Us` against the locking script found in `ELs`, with the
-//!   shared spend digest; parallelized across inputs with rayon;
+//!   digest finished from the transaction's midstate; parallel across
+//!   inputs (`parallel_sv`);
 //! * stake positions of the incoming block are recomputed and compared,
 //!   defeating fake-position attacks at packaging time.
+//!
+//! Every parallel phase reports the minimum-`(tx, input)` failure, so a
+//! parallel run returns byte-identical results to a sequential one.
 
 use crate::bitvec::{BitVectorSet, BitVectorSetSize, UvError};
 use crate::metrics::EbvBreakdown;
 use crate::sighash::DigestChecker;
-use crate::tidy::{EbvBlock, EbvTransaction, TxIntegrityError};
-use ebv_chain::transaction::spend_sighash;
+use crate::tidy::{EbvBlock, EbvTransaction, InputProof, TxIntegrityError};
+use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{BlockHeader, BLOCK_SUBSIDY};
 use ebv_primitives::hash::Hash256;
 use ebv_script::{verify_spend, Script, ScriptError};
@@ -38,18 +48,30 @@ pub enum EbvError {
     /// Body/hash integrity failure.
     Integrity { tx: usize, err: TxIntegrityError },
     /// An input spends an output from a non-existent or future block.
-    BadHeight { tx: usize, input: usize, height: u32 },
+    BadHeight {
+        tx: usize,
+        input: usize,
+        height: u32,
+    },
     /// Existence Validation failed: branch does not fold to the header
     /// root.
     EvFailed { tx: usize, input: usize },
     /// The claimed relative position is outside `ELs`'s outputs.
     PositionOutOfEls { tx: usize, input: usize },
     /// Unspent Validation failed.
-    UvFailed { tx: usize, input: usize, err: UvError },
+    UvFailed {
+        tx: usize,
+        input: usize,
+        err: UvError,
+    },
     /// Two inputs of this block spend the same output.
     DuplicateSpend { height: u32, position: u32 },
     /// Script Validation failed.
-    SvFailed { tx: usize, input: usize, err: ScriptError },
+    SvFailed {
+        tx: usize,
+        input: usize,
+        err: ScriptError,
+    },
     /// Inputs are worth less than outputs.
     ValueImbalance { tx: usize },
     /// Coinbase claims more than subsidy + fees.
@@ -67,16 +89,61 @@ impl std::error::Error for EbvError {}
 /// Tuning knobs (ablations).
 #[derive(Clone, Copy, Debug)]
 pub struct EbvConfig {
-    /// Verify scripts across inputs in parallel.
+    /// Fold Merkle branches (EV) across inputs in parallel.
+    pub parallel_ev: bool,
+    /// Verify scripts (SV) — and build the per-transaction sighash
+    /// midstates and value sums feeding it — across inputs in parallel.
     pub parallel_sv: bool,
+    /// Worker-thread override for the parallel phases; `None` uses every
+    /// available core.
+    pub workers: Option<usize>,
     /// Check the header PoW (disabled in some microbenches).
     pub check_pow: bool,
 }
 
 impl Default for EbvConfig {
     fn default() -> Self {
-        EbvConfig { parallel_sv: true, check_pow: true }
+        EbvConfig {
+            parallel_ev: true,
+            parallel_sv: true,
+            workers: None,
+            check_pow: true,
+        }
     }
+}
+
+impl EbvConfig {
+    /// Fully sequential pipeline (the ablation baseline).
+    pub fn sequential() -> EbvConfig {
+        EbvConfig {
+            parallel_ev: false,
+            parallel_sv: false,
+            ..EbvConfig::default()
+        }
+    }
+}
+
+/// Run `op` with `workers` governing rayon's fan-out (`None` = default).
+fn with_workers<R>(workers: Option<usize>, op: impl FnOnce() -> R) -> R {
+    match workers {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool construction is infallible")
+            .install(op),
+        None => op(),
+    }
+}
+
+/// One non-coinbase input flattened out of the block: the unit of work for
+/// the per-input validation phases. `tx`/`input` are the coordinates error
+/// reports use; jobs are built in `(tx, input)` lexicographic order, so
+/// "lowest job index" and "minimum `(tx, input)`" coincide.
+struct InputJob<'b> {
+    tx: usize,
+    input: usize,
+    us: &'b Script,
+    proof: &'b InputProof,
 }
 
 /// Undo data for one connected block: everything needed to disconnect it
@@ -154,22 +221,34 @@ impl EbvNode {
 
     /// Validate `block` and, if valid, append it (storing the header and
     /// updating the bit-vector set). Returns the per-phase timing.
+    ///
+    /// Per-input work is flattened into one job list and driven through the
+    /// phases in order: EV (parallel), UV (sequential — the duplicate-spend
+    /// scan is order-dependent), per-transaction value + sighash-midstate
+    /// construction (parallel), SV (parallel). Each parallel phase reports
+    /// the failure with the minimum `(tx, input)` coordinate — exactly the
+    /// error a sequential scan in job order would hit first — so parallel
+    /// and sequential configurations are observationally identical.
     pub fn process_block(&mut self, block: &EbvBlock) -> Result<EbvBreakdown, EbvError> {
         let mut breakdown = EbvBreakdown::default();
         let new_height = self.headers.len() as u32;
+        let config = self.config;
 
         // ---- "others": structural checks ------------------------------
         let t_others = Instant::now();
         if block.header.prev_block_hash != self.tip_hash() {
             return Err(EbvError::NotOnTip);
         }
-        if self.config.check_pow && !block.header.meets_target() {
+        if config.check_pow && !block.header.meets_target() {
             return Err(EbvError::InsufficientWork);
         }
         if block.transactions.is_empty() || !block.transactions[0].is_coinbase() {
             return Err(EbvError::BadCoinbase);
         }
-        if block.transactions[1..].iter().any(EbvTransaction::is_coinbase) {
+        if block.transactions[1..]
+            .iter()
+            .any(EbvTransaction::is_coinbase)
+        {
             return Err(EbvError::BadCoinbase);
         }
         let stakes = block.expected_stake_positions();
@@ -181,70 +260,149 @@ impl EbvNode {
                     got: tx.tidy.stake_position,
                 });
             }
-            tx.check_integrity().map_err(|err| EbvError::Integrity { tx: i, err })?;
+            tx.check_integrity()
+                .map_err(|err| EbvError::Integrity { tx: i, err })?;
         }
         if block.compute_merkle_root() != block.header.merkle_root {
             return Err(EbvError::MerkleMismatch);
         }
+        // Flatten every non-coinbase input into the job list the per-input
+        // phases share. Order is (tx, input) lexicographic.
+        let jobs: Vec<InputJob<'_>> = block
+            .transactions
+            .iter()
+            .enumerate()
+            .skip(1)
+            .flat_map(|(i, tx)| {
+                tx.bodies.iter().enumerate().map(move |(j, body)| InputJob {
+                    tx: i,
+                    input: j,
+                    us: &body.us,
+                    proof: body
+                        .proof
+                        .as_ref()
+                        .expect("non-coinbase checked in integrity"),
+                })
+            })
+            .collect();
         breakdown.others += t_others.elapsed();
 
         // ---- EV: Merkle branches against stored headers ----------------
+        // `header_at` already rejects any height >= new_height (the header
+        // chain holds exactly the blocks below the new one), so a
+        // same-block or future reference fails here with `BadHeight`.
         let t_ev = Instant::now();
-        for (i, tx) in block.transactions.iter().enumerate().skip(1) {
-            for (j, body) in tx.bodies.iter().enumerate() {
-                let proof = body.proof.as_ref().expect("non-coinbase checked in integrity");
-                let Some(header) = self.header_at(proof.height) else {
-                    return Err(EbvError::BadHeight { tx: i, input: j, height: proof.height });
-                };
-                if proof.height >= new_height {
-                    return Err(EbvError::BadHeight { tx: i, input: j, height: proof.height });
-                }
-                if !proof.mbr.verify(&proof.els.leaf_hash(), &header.merkle_root) {
-                    return Err(EbvError::EvFailed { tx: i, input: j });
-                }
-                if proof.spent_output().is_none() {
-                    return Err(EbvError::PositionOutOfEls { tx: i, input: j });
-                }
+        let headers = &self.headers;
+        let ev_one = |job: &InputJob<'_>| -> Result<(), EbvError> {
+            let proof = job.proof;
+            let Some(header) = headers.get(proof.height as usize) else {
+                return Err(EbvError::BadHeight {
+                    tx: job.tx,
+                    input: job.input,
+                    height: proof.height,
+                });
+            };
+            // The leaf hash is computed once here and folded straight into
+            // the branch; no other phase rehashes `ELs`.
+            if !proof
+                .mbr
+                .verify(&proof.els.leaf_hash(), &header.merkle_root)
+            {
+                return Err(EbvError::EvFailed {
+                    tx: job.tx,
+                    input: job.input,
+                });
             }
-        }
+            if proof.spent_output().is_none() {
+                return Err(EbvError::PositionOutOfEls {
+                    tx: job.tx,
+                    input: job.input,
+                });
+            }
+            Ok(())
+        };
+        let ev_result: Result<(), EbvError> = if config.parallel_ev {
+            with_workers(config.workers, || jobs.par_iter().map(ev_one).collect())
+        } else {
+            jobs.iter().try_for_each(ev_one)
+        };
+        ev_result?;
         breakdown.ev += t_ev.elapsed();
 
         // ---- UV: bit probes + intra-block duplicate detection ----------
+        // Sequential by design: duplicate detection must see spends in job
+        // order for the first-duplicate error to be deterministic, and a
+        // bit probe is orders of magnitude cheaper than a branch fold.
         let t_uv = Instant::now();
-        let mut spends: Vec<(u32, u32)> = Vec::with_capacity(block.input_count());
+        let mut spends: Vec<(u32, u32)> = Vec::with_capacity(jobs.len());
         {
-            let mut seen = std::collections::HashSet::with_capacity(block.input_count());
-            for (i, tx) in block.transactions.iter().enumerate().skip(1) {
-                for (j, body) in tx.bodies.iter().enumerate() {
-                    let proof = body.proof.as_ref().expect("checked");
-                    let coord = (proof.height, proof.absolute_position());
-                    self.bitvecs
-                        .check_unspent(coord.0, coord.1)
-                        .map_err(|err| EbvError::UvFailed { tx: i, input: j, err })?;
-                    if !seen.insert(coord) {
-                        return Err(EbvError::DuplicateSpend { height: coord.0, position: coord.1 });
-                    }
-                    spends.push(coord);
+            let mut seen = std::collections::HashSet::with_capacity(jobs.len());
+            for job in &jobs {
+                let coord = (job.proof.height, job.proof.absolute_position());
+                self.bitvecs
+                    .check_unspent(coord.0, coord.1)
+                    .map_err(|err| EbvError::UvFailed {
+                        tx: job.tx,
+                        input: job.input,
+                        err,
+                    })?;
+                if !seen.insert(coord) {
+                    return Err(EbvError::DuplicateSpend {
+                        height: coord.0,
+                        position: coord.1,
+                    });
                 }
+                spends.push(coord);
             }
         }
         breakdown.uv += t_uv.elapsed();
 
-        // ---- value conservation (part of "others") ---------------------
+        // ---- value conservation + sighash midstates (part of "others") --
+        // One pass per transaction: sum input/output values and serialize
+        // the sighash prefix every input of that transaction shares. The
+        // midstate is what lets SV below avoid re-serializing the outputs
+        // (O(outputs) work) once per input.
         let t_val = Instant::now();
-        let mut total_fees = 0u64;
-        for (i, tx) in block.transactions.iter().enumerate().skip(1) {
-            let in_value: u64 = tx
-                .bodies
-                .iter()
-                .map(|b| b.proof.as_ref().expect("checked").spent_output().expect("checked").value)
-                .fold(0u64, u64::saturating_add);
-            let out_value = tx.tidy.total_output_value();
-            if in_value < out_value {
-                return Err(EbvError::ValueImbalance { tx: i });
-            }
-            total_fees = total_fees.saturating_add(in_value - out_value);
-        }
+        let spending_txs: Vec<(usize, &EbvTransaction)> =
+            block.transactions.iter().enumerate().skip(1).collect();
+        let tx_one =
+            |&(i, tx): &(usize, &EbvTransaction)| -> Result<(SpendSighashMidstate, u64), EbvError> {
+                let in_value: u64 = tx
+                    .bodies
+                    .iter()
+                    .map(|b| {
+                        b.proof
+                            .as_ref()
+                            .expect("checked")
+                            .spent_output()
+                            .expect("checked")
+                            .value
+                    })
+                    .fold(0u64, u64::saturating_add);
+                let out_value = tx.tidy.total_output_value();
+                if in_value < out_value {
+                    return Err(EbvError::ValueImbalance { tx: i });
+                }
+                let coords = tx.spent_coords().expect("non-coinbase");
+                let midstate = SpendSighashMidstate::new(
+                    tx.tidy.version,
+                    &coords,
+                    &tx.tidy.outputs,
+                    tx.tidy.lock_time,
+                );
+                Ok((midstate, in_value - out_value))
+            };
+        let per_tx: Result<Vec<(SpendSighashMidstate, u64)>, EbvError> = if config.parallel_sv {
+            with_workers(config.workers, || {
+                spending_txs.par_iter().map(tx_one).collect()
+            })
+        } else {
+            spending_txs.iter().map(tx_one).collect()
+        };
+        let per_tx = per_tx?;
+        let total_fees = per_tx
+            .iter()
+            .fold(0u64, |acc, (_, fee)| acc.saturating_add(*fee));
         let coinbase_out = block.transactions[0].tidy.total_output_value();
         if coinbase_out > BLOCK_SUBSIDY.saturating_add(total_fees) {
             return Err(EbvError::ExcessiveCoinbase);
@@ -253,36 +411,27 @@ impl EbvNode {
 
         // ---- SV: scripts, parallel across inputs ------------------------
         let t_sv = Instant::now();
-        let jobs: Vec<(usize, usize, &Script, &Script, Hash256, u32)> = block
-            .transactions
-            .iter()
-            .enumerate()
-            .skip(1)
-            .flat_map(|(i, tx)| {
-                let coords = tx.spent_coords().expect("non-coinbase");
-                tx.bodies.iter().enumerate().map(move |(j, body)| {
-                    let proof = body.proof.as_ref().expect("checked");
-                    let digest = spend_sighash(
-                        tx.tidy.version,
-                        &coords,
-                        &tx.tidy.outputs,
-                        tx.tidy.lock_time,
-                        j as u32,
-                    );
-                    let lock = &proof.spent_output().expect("checked").locking_script;
-                    (i, j, &body.us, lock, digest, tx.tidy.lock_time)
-                })
+        let sv_one = |job: &InputJob<'_>| -> Result<(), EbvError> {
+            // Spending transactions start at index 1; midstates are stored
+            // densely from 0.
+            let digest = per_tx[job.tx - 1].0.input_digest(job.input as u32);
+            let lock = &job.proof.spent_output().expect("checked").locking_script;
+            let lock_time = block.transactions[job.tx].tidy.lock_time;
+            verify_spend(
+                job.us,
+                lock,
+                &DigestChecker::with_lock_time(digest, lock_time),
+            )
+            .map_err(|err| EbvError::SvFailed {
+                tx: job.tx,
+                input: job.input,
+                err,
             })
-            .collect();
-        let run_one =
-            |&(i, j, us, lock, digest, lt): &(usize, usize, &Script, &Script, Hash256, u32)| {
-                verify_spend(us, lock, &DigestChecker::with_lock_time(digest, lt))
-                    .map_err(|err| EbvError::SvFailed { tx: i, input: j, err })
-            };
-        let sv_result: Result<(), EbvError> = if self.config.parallel_sv {
-            jobs.par_iter().map(run_one).collect()
+        };
+        let sv_result: Result<(), EbvError> = if config.parallel_sv {
+            with_workers(config.workers, || jobs.par_iter().map(sv_one).collect())
         } else {
-            jobs.iter().map(run_one).collect()
+            jobs.iter().try_for_each(sv_one)
         };
         sv_result?;
         breakdown.sv += t_sv.elapsed();
@@ -292,8 +441,11 @@ impl EbvNode {
         self.headers.push(block.header);
         let outputs = block.output_count();
         self.bitvecs.insert_block(new_height, outputs);
-        let mut undo =
-            BlockUndo { spends: Vec::with_capacity(spends.len()), deleted_vectors: Vec::new(), outputs };
+        let mut undo = BlockUndo {
+            spends: Vec::with_capacity(spends.len()),
+            deleted_vectors: Vec::new(),
+            outputs,
+        };
         for (height, position) in spends {
             let deleted = self
                 .bitvecs
@@ -305,7 +457,7 @@ impl EbvNode {
             }
         }
         self.undo_stack.push(undo);
-        breakdown.uv += t_commit.elapsed();
+        breakdown.commit += t_commit.elapsed();
 
         self.cumulative += breakdown;
         Ok(breakdown)
@@ -347,7 +499,7 @@ mod tests {
     use crate::pack::{ebv_coinbase, pack_ebv_block};
     use crate::proofs::ProofArchive;
     use crate::tidy::InputBody;
-    use ebv_chain::transaction::TxOut;
+    use ebv_chain::transaction::{spend_sighash, TxOut};
     use ebv_primitives::ec::PrivateKey;
     use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
 
@@ -366,12 +518,21 @@ mod tests {
         // Spend genesis coinbase output (height 0, abs position 0).
         let proof = archive.make_proof(0, 0).expect("genesis output exists");
         let recipient = PrivateKey::from_seed(101).public_key();
-        let outputs = vec![TxOut::new(BLOCK_SUBSIDY - 1000, p2pkh_lock(&recipient.address_hash()))];
+        let outputs = vec![TxOut::new(
+            BLOCK_SUBSIDY - 1000,
+            p2pkh_lock(&recipient.address_hash()),
+        )];
         let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-        let us = p2pkh_unlock(&crate::sighash::sign_input(&sk, &digest), &pk.to_compressed());
+        let us = p2pkh_unlock(
+            &crate::sighash::sign_input(&sk, &digest),
+            &pk.to_compressed(),
+        );
         let spend = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us, proof: Some(proof) }],
+            vec![InputBody {
+                us,
+                proof: Some(proof),
+            }],
             outputs,
             0,
         );
@@ -406,11 +567,22 @@ mod tests {
             &crate::sighash::sign_input(&sk, &digest),
             &sk.public_key().to_compressed(),
         );
-        let double = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+        let double = EbvTransaction::from_parts(
+            1,
+            vec![InputBody {
+                us,
+                proof: Some(proof),
+            }],
+            outputs,
+            0,
+        );
         let cb2 = ebv_coinbase(2, Script::new());
         let block2 = pack_ebv_block(block1.header.hash(), vec![cb2, double], 2, 0);
         match node.process_block(&block2) {
-            Err(EbvError::UvFailed { err: UvError::UnknownHeight(0), .. }) => {}
+            Err(EbvError::UvFailed {
+                err: UvError::UnknownHeight(0),
+                ..
+            }) => {}
             other => panic!("expected UV failure, got {other:?}"),
         }
     }
@@ -429,7 +601,15 @@ mod tests {
                 &crate::sighash::sign_input(&sk, &digest),
                 &sk.public_key().to_compressed(),
             );
-            EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0)
+            EbvTransaction::from_parts(
+                1,
+                vec![InputBody {
+                    us,
+                    proof: Some(proof),
+                }],
+                outputs,
+                0,
+            )
         };
         let cb1 = ebv_coinbase(1, Script::new());
         let block = pack_ebv_block(
@@ -439,7 +619,10 @@ mod tests {
             0,
         );
         match node.process_block(&block) {
-            Err(EbvError::DuplicateSpend { height: 0, position: 0 }) => {}
+            Err(EbvError::DuplicateSpend {
+                height: 0,
+                position: 0,
+            }) => {}
             other => panic!("expected duplicate-spend rejection, got {other:?}"),
         }
     }
@@ -470,8 +653,7 @@ mod tests {
         }
         // Re-link body hashes + merkle so only EV can catch it.
         let bodies = block1.transactions[1].bodies.clone();
-        block1.transactions[1].tidy.input_hashes =
-            bodies.iter().map(InputBody::hash).collect();
+        block1.transactions[1].tidy.input_hashes = bodies.iter().map(InputBody::hash).collect();
         block1.header.merkle_root = block1.compute_merkle_root();
         match node.process_block(&block1) {
             Err(EbvError::EvFailed { tx: 1, input: 0 }) => {}
@@ -487,8 +669,7 @@ mod tests {
             body.proof.as_mut().unwrap().height = 999;
         }
         let bodies = block1.transactions[1].bodies.clone();
-        block1.transactions[1].tidy.input_hashes =
-            bodies.iter().map(InputBody::hash).collect();
+        block1.transactions[1].tidy.input_hashes = bodies.iter().map(InputBody::hash).collect();
         block1.header.merkle_root = block1.compute_merkle_root();
         match node.process_block(&block1) {
             Err(EbvError::BadHeight { height: 999, .. }) => {}
@@ -508,11 +689,12 @@ mod tests {
             &wrong.public_key().to_compressed(),
         );
         let bodies = block1.transactions[1].bodies.clone();
-        block1.transactions[1].tidy.input_hashes =
-            bodies.iter().map(InputBody::hash).collect();
+        block1.transactions[1].tidy.input_hashes = bodies.iter().map(InputBody::hash).collect();
         block1.header.merkle_root = block1.compute_merkle_root();
         match node.process_block(&block1) {
-            Err(EbvError::SvFailed { tx: 1, input: 0, .. }) => {}
+            Err(EbvError::SvFailed {
+                tx: 1, input: 0, ..
+            }) => {}
             other => panic!("expected SV failure, got {other:?}"),
         }
     }
@@ -539,7 +721,35 @@ mod tests {
 
         let mut wrong_merkle = block1.clone();
         wrong_merkle.header.merkle_root = Hash256::ZERO;
-        assert_eq!(node.process_block(&wrong_merkle), Err(EbvError::MerkleMismatch));
+        assert_eq!(
+            node.process_block(&wrong_merkle),
+            Err(EbvError::MerkleMismatch)
+        );
+    }
+
+    #[test]
+    fn rejects_same_block_height_reference() {
+        // A proof claiming the spent output was created *in this very
+        // block* (height == new tip height) must be rejected: the header
+        // chain only holds blocks strictly below the one being validated.
+        // Regression test for a removed redundant `height >= new_height`
+        // guard — `header_at` alone must catch this.
+        let (mut node, mut block1, _) = two_block_fixture();
+        {
+            let body = &mut block1.transactions[1].bodies[0];
+            body.proof.as_mut().unwrap().height = 1; // block1's own height
+        }
+        let bodies = block1.transactions[1].bodies.clone();
+        block1.transactions[1].tidy.input_hashes = bodies.iter().map(InputBody::hash).collect();
+        block1.header.merkle_root = block1.compute_merkle_root();
+        match node.process_block(&block1) {
+            Err(EbvError::BadHeight {
+                tx: 1,
+                input: 0,
+                height: 1,
+            }) => {}
+            other => panic!("expected same-block height rejection, got {other:?}"),
+        }
     }
 
     #[test]
@@ -549,9 +759,29 @@ mod tests {
         let pk = sk.public_key();
         let genesis_cb = ebv_coinbase(0, p2pkh_lock(&pk.address_hash()));
         let genesis = pack_ebv_block(Hash256::ZERO, vec![genesis_cb], 0, 0);
-        let mut seq_node =
-            EbvNode::new(&genesis, EbvConfig { parallel_sv: false, check_pow: true });
-        seq_node.process_block(&block1).expect("sequential SV accepts the same block");
+        let mut seq_node = EbvNode::new(&genesis, EbvConfig::sequential());
+        seq_node
+            .process_block(&block1)
+            .expect("sequential pipeline accepts the same block");
         assert_eq!(seq_node.tip_height(), 1);
+    }
+
+    #[test]
+    fn worker_override_accepts_block() {
+        let (_, block1, _) = two_block_fixture();
+        let sk = PrivateKey::from_seed(100);
+        let pk = sk.public_key();
+        let genesis_cb = ebv_coinbase(0, p2pkh_lock(&pk.address_hash()));
+        let genesis = pack_ebv_block(Hash256::ZERO, vec![genesis_cb], 0, 0);
+        let config = EbvConfig {
+            workers: Some(2),
+            ..EbvConfig::default()
+        };
+        let mut node = EbvNode::new(&genesis, config);
+        node.process_block(&block1)
+            .expect("worker override accepts the same block");
+        assert_eq!(node.tip_height(), 1);
+        let breakdown = node.cumulative_breakdown();
+        assert!(breakdown.commit > std::time::Duration::ZERO);
     }
 }

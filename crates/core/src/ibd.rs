@@ -105,7 +105,13 @@ mod tests {
         let mut blocks = vec![genesis];
         for h in 1..=n as u32 {
             let prev = blocks.last().expect("genesis").header.hash();
-            blocks.push(build_block(prev, coinbase_tx(h, Script::new(), Vec::new()), Vec::new(), h, 0));
+            blocks.push(build_block(
+                prev,
+                coinbase_tx(h, Script::new(), Vec::new()),
+                Vec::new(),
+                h,
+                0,
+            ));
         }
         blocks
     }

@@ -24,7 +24,11 @@ use std::collections::HashMap;
 pub enum ConvertError {
     /// Input references an outpoint the intermediary has never seen (or
     /// already saw spent).
-    UnknownOutpoint { tx: usize, input: usize, outpoint: OutPoint },
+    UnknownOutpoint {
+        tx: usize,
+        input: usize,
+        outpoint: OutPoint,
+    },
     /// The source block is empty or its first transaction is not coinbase.
     BadCoinbase,
 }
@@ -84,11 +88,22 @@ impl Intermediary {
                     None
                 } else {
                     let &(h, pos) = self.outpoint_index.get(&input.prevout).ok_or(
-                        ConvertError::UnknownOutpoint { tx: i, input: j, outpoint: input.prevout },
+                        ConvertError::UnknownOutpoint {
+                            tx: i,
+                            input: j,
+                            outpoint: input.prevout,
+                        },
                     )?;
-                    Some(self.archive.make_proof(h, pos).expect("indexed coordinates exist"))
+                    Some(
+                        self.archive
+                            .make_proof(h, pos)
+                            .expect("indexed coordinates exist"),
+                    )
                 };
-                bodies.push(InputBody { us: input.unlocking_script.clone(), proof });
+                bodies.push(InputBody {
+                    us: input.unlocking_script.clone(),
+                    proof,
+                });
             }
             ebv_txs.push(EbvTransaction::from_parts(
                 tx.version,
@@ -110,7 +125,8 @@ impl Intermediary {
         for tx in &block.transactions {
             let txid = tx.txid();
             for vout in 0..tx.outputs.len() as u32 {
-                self.outpoint_index.insert(OutPoint::new(txid, vout), (height, position));
+                self.outpoint_index
+                    .insert(OutPoint::new(txid, vout), (height, position));
                 position += 1;
             }
         }
@@ -167,13 +183,19 @@ mod tests {
         );
 
         // Block 1: A spends genesis coinbase (coords 0,0) to B.
-        let outputs1 = vec![TxOut::new(BLOCK_SUBSIDY, p2pkh_lock(&b.public_key().address_hash()))];
+        let outputs1 = vec![TxOut::new(
+            BLOCK_SUBSIDY,
+            p2pkh_lock(&b.public_key().address_hash()),
+        )];
         let d1 = spend_sighash(1, &[(0, 0)], &outputs1, 0, 0);
         let tx1 = Transaction {
             version: 1,
             inputs: vec![TxIn::new(
                 OutPoint::new(genesis.transactions[0].txid(), 0),
-                p2pkh_unlock(&crate::sighash::sign_input(&a, &d1), &a.public_key().to_compressed()),
+                p2pkh_unlock(
+                    &crate::sighash::sign_input(&a, &d1),
+                    &a.public_key().to_compressed(),
+                ),
             )],
             outputs: outputs1,
             lock_time: 0,
@@ -188,13 +210,19 @@ mod tests {
 
         // Block 2: B spends tx1's output to C. tx1's output is the second
         // output of block 1 (after the coinbase): coords (1, 1).
-        let outputs2 = vec![TxOut::new(BLOCK_SUBSIDY, p2pkh_lock(&c.public_key().address_hash()))];
+        let outputs2 = vec![TxOut::new(
+            BLOCK_SUBSIDY,
+            p2pkh_lock(&c.public_key().address_hash()),
+        )];
         let d2 = spend_sighash(1, &[(1, 1)], &outputs2, 0, 0);
         let tx2 = Transaction {
             version: 1,
             inputs: vec![TxIn::new(
                 OutPoint::new(tx1.txid(), 0),
-                p2pkh_unlock(&crate::sighash::sign_input(&b, &d2), &b.public_key().to_compressed()),
+                p2pkh_unlock(
+                    &crate::sighash::sign_input(&b, &d2),
+                    &b.public_key().to_compressed(),
+                ),
             )],
             outputs: outputs2,
             lock_time: 0,
@@ -220,7 +248,8 @@ mod tests {
 
         let mut node = EbvNode::new(&ebv_chain[0], EbvConfig::default());
         for block in &ebv_chain[1..] {
-            node.process_block(block).expect("converted block validates");
+            node.process_block(block)
+                .expect("converted block validates");
         }
         assert_eq!(node.tip_height(), 2);
         // Unspent: block1 coinbase, block2 coinbase, tx2's output to C.
@@ -264,7 +293,14 @@ mod tests {
         inter.convert_block(&chain[0]).unwrap();
         // Skip block 1 and feed block 2: its input references tx1, unknown.
         let err = inter.convert_block(&chain[2]).unwrap_err();
-        assert!(matches!(err, ConvertError::UnknownOutpoint { tx: 1, input: 0, .. }));
+        assert!(matches!(
+            err,
+            ConvertError::UnknownOutpoint {
+                tx: 1,
+                input: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -274,9 +310,16 @@ mod tests {
         let ebv_chain = inter.convert_chain(&chain).unwrap();
         // Block 2's spend proof must verify against block 1's EBV header
         // (not the baseline header — the merkle roots differ).
-        let proof = ebv_chain[2].transactions[1].bodies[0].proof.as_ref().unwrap();
+        let proof = ebv_chain[2].transactions[1].bodies[0]
+            .proof
+            .as_ref()
+            .unwrap();
         assert_eq!(proof.height, 1);
-        assert!(proof.mbr.verify(&proof.els.leaf_hash(), &ebv_chain[1].header.merkle_root));
-        assert!(!proof.mbr.verify(&proof.els.leaf_hash(), &chain[1].header.merkle_root));
+        assert!(proof
+            .mbr
+            .verify(&proof.els.leaf_hash(), &ebv_chain[1].header.merkle_root));
+        assert!(!proof
+            .mbr
+            .verify(&proof.els.leaf_hash(), &chain[1].header.merkle_root));
     }
 }

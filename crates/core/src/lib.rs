@@ -24,9 +24,9 @@
 pub mod baseline_node;
 pub mod bitvec;
 pub mod ebv_node;
-pub mod mempool;
 pub mod ibd;
 pub mod intermediary;
+pub mod mempool;
 pub mod metrics;
 pub mod pack;
 pub mod proofs;

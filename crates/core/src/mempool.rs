@@ -8,8 +8,8 @@
 //! and hands miners a ready-to-package batch.
 
 use crate::ebv_node::EbvNode;
-use crate::tidy::{EbvBlock, EbvTransaction, TxIntegrityError};
 use crate::sighash::DigestChecker;
+use crate::tidy::{EbvBlock, EbvTransaction, TxIntegrityError};
 use ebv_chain::transaction::spend_sighash;
 use ebv_primitives::hash::Hash256;
 use ebv_script::{verify_spend, ScriptError};
@@ -99,9 +99,15 @@ impl Mempool {
             let proof = body.proof.as_ref().expect("non-coinbase integrity checked");
             // EV.
             let Some(header) = node.header_at(proof.height) else {
-                return Err(MempoolError::BadHeight { input: j, height: proof.height });
+                return Err(MempoolError::BadHeight {
+                    input: j,
+                    height: proof.height,
+                });
             };
-            if !proof.mbr.verify(&proof.els.leaf_hash(), &header.merkle_root) {
+            if !proof
+                .mbr
+                .verify(&proof.els.leaf_hash(), &header.merkle_root)
+            {
                 return Err(MempoolError::EvFailed { input: j });
             }
             let Some(output) = proof.spent_output() else {
@@ -114,7 +120,10 @@ impl Mempool {
             }
             // …and against other pooled transactions.
             if let Some(other) = self.spent.get(&coord) {
-                return Err(MempoolError::ConflictsWithPool { input: j, other: *other });
+                return Err(MempoolError::ConflictsWithPool {
+                    input: j,
+                    other: *other,
+                });
             }
             in_value = in_value.saturating_add(output.value);
             coords.push(coord);
@@ -170,9 +179,9 @@ impl Mempool {
             .iter()
             .skip(1)
             .flat_map(|tx| {
-                tx.bodies.iter().filter_map(|b| {
-                    b.proof.as_ref().map(|p| (p.height, p.absolute_position()))
-                })
+                tx.bodies
+                    .iter()
+                    .filter_map(|b| b.proof.as_ref().map(|p| (p.height, p.absolute_position())))
             })
             .collect();
         let victims: Vec<Hash256> = block_coords
@@ -209,7 +218,10 @@ mod tests {
         let alice = PrivateKey::from_seed(5);
         let genesis = pack_ebv_block(
             Hash256::ZERO,
-            vec![ebv_coinbase(0, p2pkh_lock(&alice.public_key().address_hash()))],
+            vec![ebv_coinbase(
+                0,
+                p2pkh_lock(&alice.public_key().address_hash()),
+            )],
             0,
             0,
         );
@@ -221,18 +233,33 @@ mod tests {
 
     fn spend(archive: &ProofArchive, signer: &PrivateKey, value: u64) -> EbvTransaction {
         let proof = archive.make_proof(0, 0).expect("coin");
-        let outputs = vec![TxOut::new(value, p2pkh_lock(&signer.public_key().address_hash()))];
+        let outputs = vec![TxOut::new(
+            value,
+            p2pkh_lock(&signer.public_key().address_hash()),
+        )];
         let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-        let us =
-            p2pkh_unlock(&sign_input(signer, &digest), &signer.public_key().to_compressed());
-        EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0)
+        let us = p2pkh_unlock(
+            &sign_input(signer, &digest),
+            &signer.public_key().to_compressed(),
+        );
+        EbvTransaction::from_parts(
+            1,
+            vec![InputBody {
+                us,
+                proof: Some(proof),
+            }],
+            outputs,
+            0,
+        )
     }
 
     #[test]
     fn accepts_valid_transaction() {
         let (node, archive, alice) = world();
         let mut pool = Mempool::new();
-        let id = pool.accept(&node, spend(&archive, &alice, 1000)).expect("valid");
+        let id = pool
+            .accept(&node, spend(&archive, &alice, 1000))
+            .expect("valid");
         assert!(pool.contains(&id));
         assert_eq!(pool.len(), 1);
     }
@@ -272,14 +299,20 @@ mod tests {
         let (mut node, mut archive, alice) = world();
         let mut pool = Mempool::new();
         assert_eq!(
-            pool.accept(&node, ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash()))),
+            pool.accept(
+                &node,
+                ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash()))
+            ),
             Err(MempoolError::Coinbase)
         );
         // Confirm a spend of (0,0) on-chain, then try pooling another.
         let tx = spend(&archive, &alice, BLOCK_SUBSIDY);
         let b1 = pack_ebv_block(
             node.tip_hash(),
-            vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())), tx],
+            vec![
+                ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())),
+                tx,
+            ],
             1,
             0,
         );
@@ -295,29 +328,38 @@ mod tests {
     fn packaged_pool_transactions_form_a_valid_block() {
         let (mut node, archive, alice) = world();
         let mut pool = Mempool::new();
-        pool.accept(&node, spend(&archive, &alice, BLOCK_SUBSIDY)).expect("valid");
+        pool.accept(&node, spend(&archive, &alice, BLOCK_SUBSIDY))
+            .expect("valid");
         let txs = pool.take_for_block(10);
         assert_eq!(txs.len(), 1);
         assert!(pool.is_empty());
 
-        let mut block_txs =
-            vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash()))];
+        let mut block_txs = vec![ebv_coinbase(
+            1,
+            p2pkh_lock(&alice.public_key().address_hash()),
+        )];
         block_txs.extend(txs);
         let b1 = pack_ebv_block(node.tip_hash(), block_txs, 1, 0);
-        node.process_block(&b1).expect("pool transaction packages cleanly");
+        node.process_block(&b1)
+            .expect("pool transaction packages cleanly");
     }
 
     #[test]
     fn remove_confirmed_evicts_conflicts() {
         let (mut node, archive, alice) = world();
         let mut pool = Mempool::new();
-        let id = pool.accept(&node, spend(&archive, &alice, 1234)).expect("valid");
+        let id = pool
+            .accept(&node, spend(&archive, &alice, 1234))
+            .expect("valid");
 
         // A different spend of the same coin is confirmed in a block.
         let confirmed = spend(&archive, &alice, BLOCK_SUBSIDY);
         let b1 = pack_ebv_block(
             node.tip_hash(),
-            vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())), confirmed],
+            vec![
+                ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())),
+                confirmed,
+            ],
             1,
             0,
         );

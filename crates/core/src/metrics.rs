@@ -44,21 +44,29 @@ impl AddAssign for BaselineBreakdown {
 }
 
 /// Phase breakdown for the EBV validator.
+///
+/// `commit` was historically folded into `uv`, which skewed the Fig. 16b /
+/// 17b phase split: UV is supposed to measure *probes only* (the paper's
+/// point is that UV is nearly free), while committing a block mutates the
+/// bit-vector set and the header chain. They are now separate buckets.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EbvBreakdown {
     /// Existence Validation: Merkle-branch folding against headers.
     pub ev: Duration,
-    /// Unspent Validation: bit-vector probes and updates.
+    /// Unspent Validation: bit-vector probes and duplicate detection.
     pub uv: Duration,
     /// Script Validation.
     pub sv: Duration,
-    /// Everything else.
+    /// Post-validation state commit: header append, bit-vector insert,
+    /// spend application, undo recording.
+    pub commit: Duration,
+    /// Everything else (structure checks, Merkle recompute, value checks).
     pub others: Duration,
 }
 
 impl EbvBreakdown {
     pub fn total(&self) -> Duration {
-        self.ev + self.uv + self.sv + self.others
+        self.ev + self.uv + self.sv + self.commit + self.others
     }
 }
 
@@ -67,6 +75,7 @@ impl AddAssign for EbvBreakdown {
         self.ev += rhs.ev;
         self.uv += rhs.uv;
         self.sv += rhs.sv;
+        self.commit += rhs.commit;
         self.others += rhs.others;
     }
 }
@@ -94,11 +103,13 @@ mod tests {
             ev: Duration::from_millis(1),
             uv: Duration::from_millis(2),
             sv: Duration::from_millis(3),
+            commit: Duration::from_millis(5),
             others: Duration::from_millis(4),
         };
         acc += one;
         acc += one;
-        assert_eq!(acc.total(), Duration::from_millis(20));
+        assert_eq!(acc.total(), Duration::from_millis(30));
         assert_eq!(acc.sv, Duration::from_millis(6));
+        assert_eq!(acc.commit, Duration::from_millis(10));
     }
 }

@@ -15,7 +15,12 @@ pub fn ebv_coinbase(height: u32, reward_script: Script) -> EbvTransaction {
         us: Builder::new().push_int(height as i64).into_script(),
         proof: None,
     };
-    EbvTransaction::from_parts(1, vec![body], vec![TxOut::new(BLOCK_SUBSIDY, reward_script)], 0)
+    EbvTransaction::from_parts(
+        1,
+        vec![body],
+        vec![TxOut::new(BLOCK_SUBSIDY, reward_script)],
+        0,
+    )
 }
 
 /// Package transactions into a mined EBV block: stamp stake positions,
@@ -69,7 +74,10 @@ mod tests {
         cb.check_integrity().unwrap();
         assert_eq!(cb.tidy.outputs[0].value, BLOCK_SUBSIDY);
         // Height makes coinbases unique.
-        assert_ne!(cb.tidy.leaf_hash(), ebv_coinbase(8, Script::new()).tidy.leaf_hash());
+        assert_ne!(
+            cb.tidy.leaf_hash(),
+            ebv_coinbase(8, Script::new()).tidy.leaf_hash()
+        );
     }
 
     #[test]
@@ -77,19 +85,29 @@ mod tests {
         let cb = ebv_coinbase(1, Script::new());
         let tx1 = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Script::new(), proof: None }],
+            vec![InputBody {
+                us: Script::new(),
+                proof: None,
+            }],
             vec![output(1), output(2)],
             0,
         );
         let tx2 = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Script::new(), proof: None }],
+            vec![InputBody {
+                us: Script::new(),
+                proof: None,
+            }],
             vec![output(3)],
             0,
         );
         let block = pack_ebv_block(Hash256::ZERO, vec![cb, tx1, tx2], 0, 4);
         assert_eq!(
-            block.transactions.iter().map(|t| t.tidy.stake_position).collect::<Vec<_>>(),
+            block
+                .transactions
+                .iter()
+                .map(|t| t.tidy.stake_position)
+                .collect::<Vec<_>>(),
             vec![0, 1, 3]
         );
         assert_eq!(block.header.merkle_root, block.compute_merkle_root());

@@ -43,13 +43,25 @@ impl ProofArchive {
     /// # Panics
     /// If blocks are added out of order.
     pub fn add_block(&mut self, height: u32, block: &EbvBlock) {
-        assert_eq!(height as usize, self.blocks.len(), "blocks must be archived in order");
-        let tidies: Vec<TidyTransaction> =
-            block.transactions.iter().map(|tx| tx.tidy.clone()).collect();
+        assert_eq!(
+            height as usize,
+            self.blocks.len(),
+            "blocks must be archived in order"
+        );
+        let tidies: Vec<TidyTransaction> = block
+            .transactions
+            .iter()
+            .map(|tx| tx.tidy.clone())
+            .collect();
         let leaves: Vec<Hash256> = tidies.iter().map(TidyTransaction::leaf_hash).collect();
         let stakes: Vec<u32> = tidies.iter().map(|t| t.stake_position).collect();
         let total_outputs = block.output_count();
-        self.blocks.push(ArchiveBlock { tidies, leaves, stakes, total_outputs });
+        self.blocks.push(ArchiveBlock {
+            tidies,
+            leaves,
+            stakes,
+            total_outputs,
+        });
     }
 
     /// Build the [`InputProof`] for the output at `(height,
@@ -112,7 +124,9 @@ mod tests {
                 us: ebv_script::Builder::new().push_data(&[tag]).into_script(),
                 proof: None,
             }],
-            (0..n_outputs).map(|i| TxOut::new(100 + i as u64, Script::new())).collect(),
+            (0..n_outputs)
+                .map(|i| TxOut::new(100 + i as u64, Script::new()))
+                .collect(),
             0,
         )
     }
@@ -134,10 +148,14 @@ mod tests {
     fn proofs_verify_against_header() {
         let (archive, block) = archive_with_block();
         for pos in 0..6u32 {
-            let proof = archive.make_proof(0, pos).unwrap_or_else(|| panic!("pos {pos}"));
+            let proof = archive
+                .make_proof(0, pos)
+                .unwrap_or_else(|| panic!("pos {pos}"));
             assert_eq!(proof.absolute_position(), pos);
             assert!(
-                proof.mbr.verify(&proof.els.leaf_hash(), &block.header.merkle_root),
+                proof
+                    .mbr
+                    .verify(&proof.els.leaf_hash(), &block.header.merkle_root),
                 "pos {pos}"
             );
             assert!(proof.spent_output().is_some());
@@ -154,8 +172,24 @@ mod tests {
         assert_eq!(archive.make_proof(0, 3).unwrap().els.stake_position, 3);
         assert_eq!(archive.make_proof(0, 5).unwrap().els.stake_position, 3);
         // Values confirm the relative indexing.
-        assert_eq!(archive.make_proof(0, 2).unwrap().spent_output().unwrap().value, 101);
-        assert_eq!(archive.make_proof(0, 4).unwrap().spent_output().unwrap().value, 101);
+        assert_eq!(
+            archive
+                .make_proof(0, 2)
+                .unwrap()
+                .spent_output()
+                .unwrap()
+                .value,
+            101
+        );
+        assert_eq!(
+            archive
+                .make_proof(0, 4)
+                .unwrap()
+                .spent_output()
+                .unwrap()
+                .value,
+            101
+        );
     }
 
     #[test]
@@ -180,7 +214,12 @@ mod tests {
         assert!(s1 > 0);
         let mut archive2 = ProofArchive::new();
         archive2.add_block(0, &block);
-        let block1 = pack_ebv_block(block.header.hash(), vec![ebv_coinbase(1, Script::new())], 1, 0);
+        let block1 = pack_ebv_block(
+            block.header.hash(),
+            vec![ebv_coinbase(1, Script::new())],
+            1,
+            0,
+        );
         archive2.add_block(1, &block1);
         assert!(archive2.archive_size() > s1);
     }

@@ -23,12 +23,18 @@ pub struct DigestChecker {
 impl DigestChecker {
     /// Checker with no lock-time context (CLTV scripts fail closed).
     pub fn new(digest: Hash256) -> DigestChecker {
-        DigestChecker { digest: *digest.as_bytes(), lock_time: 0 }
+        DigestChecker {
+            digest: *digest.as_bytes(),
+            lock_time: 0,
+        }
     }
 
     /// Checker carrying the spending transaction's lock time.
     pub fn with_lock_time(digest: Hash256, lock_time: u32) -> DigestChecker {
-        DigestChecker { digest: *digest.as_bytes(), lock_time }
+        DigestChecker {
+            digest: *digest.as_bytes(),
+            lock_time,
+        }
     }
 }
 

@@ -67,15 +67,16 @@ impl BlockSource for Vec<Block> {
 /// Spawn a serving thread for `source`. Returns the channel endpoints the
 /// destination uses. The thread exits on [`Request::Done`] or when the
 /// request channel closes.
-pub fn spawn_source<S: BlockSource + 'static>(
-    source: S,
-) -> (Sender<Request>, Receiver<Response>) {
+pub fn spawn_source<S: BlockSource + 'static>(source: S) -> (Sender<Request>, Receiver<Response>) {
     let (req_tx, req_rx) = bounded::<Request>(1);
     let (resp_tx, resp_rx) = bounded::<Response>(1);
     thread::spawn(move || {
         while let Ok(req) = req_rx.recv() {
             match req {
-                Request::GetBlocks { start_height, count } => {
+                Request::GetBlocks {
+                    start_height,
+                    count,
+                } => {
                     let blocks = source.serve(start_height, count);
                     let msg = if blocks.is_empty() {
                         Response::Exhausted
@@ -125,8 +126,11 @@ pub fn sync_ebv(
     let mut synced = 0u32;
     loop {
         let start_height = node.tip_height() + 1;
-        req.send(Request::GetBlocks { start_height, count: SYNC_BATCH })
-            .map_err(|_| SyncError::SourceClosed)?;
+        req.send(Request::GetBlocks {
+            start_height,
+            count: SYNC_BATCH,
+        })
+        .map_err(|_| SyncError::SourceClosed)?;
         match resp.recv().map_err(|_| SyncError::SourceClosed)? {
             Response::Exhausted => {
                 let _ = req.send(Request::Done);
@@ -152,8 +156,11 @@ pub fn sync_baseline(
     let mut synced = 0u32;
     loop {
         let start_height = node.tip_height() + 1;
-        req.send(Request::GetBlocks { start_height, count: SYNC_BATCH })
-            .map_err(|_| SyncError::SourceClosed)?;
+        req.send(Request::GetBlocks {
+            start_height,
+            count: SYNC_BATCH,
+        })
+        .map_err(|_| SyncError::SourceClosed)?;
         match resp.recv().map_err(|_| SyncError::SourceClosed)? {
             Response::Exhausted => {
                 let _ = req.send(Request::Done);
@@ -181,7 +188,9 @@ mod tests {
 
     fn chains() -> (Vec<Block>, Vec<EbvBlock>) {
         let blocks = ChainGenerator::new(GeneratorParams::tiny(10, 77)).generate();
-        let ebv = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+        let ebv = Intermediary::new(0)
+            .convert_chain(&blocks)
+            .expect("conversion");
         (blocks, ebv)
     }
 
@@ -254,7 +263,9 @@ mod tests {
             ..GeneratorParams::tiny(2 * SYNC_BATCH, 5)
         })
         .generate();
-        let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+        let ebv_blocks = Intermediary::new(0)
+            .convert_chain(&blocks)
+            .expect("conversion");
         let genesis = ebv_blocks[0].clone();
         let tip = ebv_blocks.len() as u32 - 1;
         let (req, resp) = spawn_source(ebv_blocks);

@@ -47,7 +47,9 @@ impl TidyTransaction {
 
     /// Total output value, saturating (callers compare, never trust).
     pub fn total_output_value(&self) -> u64 {
-        self.outputs.iter().fold(0u64, |acc, o| acc.saturating_add(o.value))
+        self.outputs
+            .iter()
+            .fold(0u64, |acc, o| acc.saturating_add(o.value))
     }
 }
 
@@ -160,9 +162,7 @@ impl Encodable for InputBody {
         }
     }
     fn encoded_len(&self) -> usize {
-        self.us.encoded_len()
-            + 1
-            + self.proof.as_ref().map_or(0, Encodable::encoded_len)
+        self.us.encoded_len() + 1 + self.proof.as_ref().map_or(0, Encodable::encoded_len)
     }
 }
 
@@ -217,7 +217,13 @@ impl EbvTransaction {
     ) -> EbvTransaction {
         let input_hashes = bodies.iter().map(InputBody::hash).collect();
         EbvTransaction {
-            tidy: TidyTransaction { version, input_hashes, outputs, stake_position: 0, lock_time },
+            tidy: TidyTransaction {
+                version,
+                input_hashes,
+                outputs,
+                stake_position: 0,
+                lock_time,
+            },
             bodies,
         }
     }
@@ -275,7 +281,10 @@ impl Encodable for EbvTransaction {
 
 impl Decodable for EbvTransaction {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(EbvTransaction { tidy: TidyTransaction::decode(r)?, bodies: Vec::decode(r)? })
+        Ok(EbvTransaction {
+            tidy: TidyTransaction::decode(r)?,
+            bodies: Vec::decode(r)?,
+        })
     }
 }
 
@@ -289,7 +298,10 @@ pub struct EbvBlock {
 impl EbvBlock {
     /// The Merkle leaves (tidy leaf hashes) in transaction order.
     pub fn leaves(&self) -> Vec<Hash256> {
-        self.transactions.iter().map(|tx| tx.tidy.leaf_hash()).collect()
+        self.transactions
+            .iter()
+            .map(|tx| tx.tidy.leaf_hash())
+            .collect()
     }
 
     /// Recompute the Merkle root from the tidy transactions.
@@ -311,12 +323,19 @@ impl EbvBlock {
 
     /// Total outputs in the block (the new bit-vector's width).
     pub fn output_count(&self) -> u32 {
-        self.transactions.iter().map(|tx| tx.tidy.outputs.len() as u32).sum()
+        self.transactions
+            .iter()
+            .map(|tx| tx.tidy.outputs.len() as u32)
+            .sum()
     }
 
     /// Total non-coinbase inputs.
     pub fn input_count(&self) -> usize {
-        self.transactions.iter().skip(1).map(|tx| tx.bodies.len()).sum()
+        self.transactions
+            .iter()
+            .skip(1)
+            .map(|tx| tx.bodies.len())
+            .sum()
     }
 
     /// Serialized block size.
@@ -337,7 +356,10 @@ impl Encodable for EbvBlock {
 
 impl Decodable for EbvBlock {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        Ok(EbvBlock { header: BlockHeader::decode(r)?, transactions: Vec::decode(r)? })
+        Ok(EbvBlock {
+            header: BlockHeader::decode(r)?,
+            transactions: Vec::decode(r)?,
+        })
     }
 }
 
@@ -362,7 +384,10 @@ mod tests {
 
     fn proof() -> InputProof {
         InputProof {
-            mbr: MerkleBranch { leaf_index: 2, siblings: vec![sha256d(b"s0"), sha256d(b"s1")] },
+            mbr: MerkleBranch {
+                leaf_index: 2,
+                siblings: vec![sha256d(b"s0"), sha256d(b"s1")],
+            },
             els: tidy(3, 7),
             height: 42,
             relative_position: 1,
@@ -384,7 +409,11 @@ mod tests {
         let a = tidy(2, 0);
         let mut b = a.clone();
         b.stake_position = 5;
-        assert_ne!(a.leaf_hash(), b.leaf_hash(), "stake must be Merkle-committed");
+        assert_ne!(
+            a.leaf_hash(),
+            b.leaf_hash(),
+            "stake must be Merkle-committed"
+        );
     }
 
     #[test]
@@ -408,14 +437,20 @@ mod tests {
             proof: Some(proof()),
         };
         assert_eq!(InputBody::from_bytes(&with.to_bytes()).unwrap(), with);
-        let without = InputBody { us: Builder::new().push_int(1).into_script(), proof: None };
+        let without = InputBody {
+            us: Builder::new().push_int(1).into_script(),
+            proof: None,
+        };
         assert_eq!(InputBody::from_bytes(&without.to_bytes()).unwrap(), without);
         assert_ne!(with.hash(), without.hash());
     }
 
     #[test]
     fn from_parts_links_hashes() {
-        let body = InputBody { us: Builder::new().push_data(b"sig").into_script(), proof: Some(proof()) };
+        let body = InputBody {
+            us: Builder::new().push_data(b"sig").into_script(),
+            proof: Some(proof()),
+        };
         let tx = EbvTransaction::from_parts(1, vec![body.clone()], vec![output(5)], 0);
         assert_eq!(tx.tidy.input_hashes, vec![body.hash()]);
         tx.check_integrity().unwrap();
@@ -423,18 +458,30 @@ mod tests {
 
     #[test]
     fn integrity_detects_tampered_body() {
-        let body = InputBody { us: Builder::new().push_data(b"sig").into_script(), proof: Some(proof()) };
+        let body = InputBody {
+            us: Builder::new().push_data(b"sig").into_script(),
+            proof: Some(proof()),
+        };
         let mut tx = EbvTransaction::from_parts(1, vec![body], vec![output(5)], 0);
         tx.bodies[0].us = Builder::new().push_data(b"forged").into_script();
-        assert_eq!(tx.check_integrity(), Err(TxIntegrityError::BodyHashMismatch(0)));
+        assert_eq!(
+            tx.check_integrity(),
+            Err(TxIntegrityError::BodyHashMismatch(0))
+        );
     }
 
     #[test]
     fn integrity_detects_count_mismatch() {
-        let body = InputBody { us: Builder::new().push_data(b"sig").into_script(), proof: Some(proof()) };
+        let body = InputBody {
+            us: Builder::new().push_data(b"sig").into_script(),
+            proof: Some(proof()),
+        };
         let mut tx = EbvTransaction::from_parts(1, vec![body.clone()], vec![output(5)], 0);
         tx.bodies.push(body);
-        assert_eq!(tx.check_integrity(), Err(TxIntegrityError::BodyCountMismatch));
+        assert_eq!(
+            tx.check_integrity(),
+            Err(TxIntegrityError::BodyCountMismatch)
+        );
         tx.bodies.clear();
         assert_eq!(tx.check_integrity(), Err(TxIntegrityError::NoInputs));
     }
@@ -450,8 +497,14 @@ mod tests {
         let tx = EbvTransaction::from_parts(
             1,
             vec![
-                InputBody { us: Script::new(), proof: Some(p1) },
-                InputBody { us: Script::new(), proof: Some(p2) },
+                InputBody {
+                    us: Script::new(),
+                    proof: Some(p1),
+                },
+                InputBody {
+                    us: Script::new(),
+                    proof: Some(p2),
+                },
             ],
             vec![output(1)],
             0,
@@ -460,7 +513,10 @@ mod tests {
         // Coinbase-style body yields None.
         let cb = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Script::new(), proof: None }],
+            vec![InputBody {
+                us: Script::new(),
+                proof: None,
+            }],
             vec![output(1)],
             0,
         );
@@ -475,39 +531,57 @@ mod tests {
         // level — not exponentially.
         let tx_k = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Builder::new().push_data(&[1; 64]).into_script(), proof: Some(proof()) }],
+            vec![InputBody {
+                us: Builder::new().push_data(&[1; 64]).into_script(),
+                proof: Some(proof()),
+            }],
             vec![output(1)],
             0,
         );
         // tx_j spends tx_k's output: its proof embeds tx_k.tidy only.
         let p_j = InputProof {
-            mbr: MerkleBranch { leaf_index: 0, siblings: vec![] },
+            mbr: MerkleBranch {
+                leaf_index: 0,
+                siblings: vec![],
+            },
             els: tx_k.tidy.clone(),
             height: 50,
             relative_position: 0,
         };
         let tx_j = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Builder::new().push_data(&[2; 64]).into_script(), proof: Some(p_j) }],
+            vec![InputBody {
+                us: Builder::new().push_data(&[2; 64]).into_script(),
+                proof: Some(p_j),
+            }],
             vec![output(1)],
             0,
         );
         let p_i = InputProof {
-            mbr: MerkleBranch { leaf_index: 0, siblings: vec![] },
+            mbr: MerkleBranch {
+                leaf_index: 0,
+                siblings: vec![],
+            },
             els: tx_j.tidy.clone(),
             height: 51,
             relative_position: 0,
         };
         let tx_i = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Builder::new().push_data(&[3; 64]).into_script(), proof: Some(p_i) }],
+            vec![InputBody {
+                us: Builder::new().push_data(&[3; 64]).into_script(),
+                proof: Some(p_i),
+            }],
             vec![output(1)],
             0,
         );
         // tx_i's size does not include tx_k at all: tidy sizes are equal,
         // so total sizes stay flat across the chain.
         assert_eq!(tx_i.tidy.encoded_len(), tx_j.tidy.encoded_len());
-        assert!(tx_i.total_size() <= tx_j.total_size() + 8, "no inflation across nesting");
+        assert!(
+            tx_i.total_size() <= tx_j.total_size() + 8,
+            "no inflation across nesting"
+        );
     }
 
     #[test]
@@ -515,14 +589,20 @@ mod tests {
         let mk_tx = |n_out: usize| {
             EbvTransaction::from_parts(
                 1,
-                vec![InputBody { us: Script::new(), proof: Some(proof()) }],
+                vec![InputBody {
+                    us: Script::new(),
+                    proof: Some(proof()),
+                }],
                 (0..n_out).map(|i| output(i as u64 + 1)).collect(),
                 0,
             )
         };
         let cb = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Builder::new().push_int(1).into_script(), proof: None }],
+            vec![InputBody {
+                us: Builder::new().push_int(1).into_script(),
+                proof: None,
+            }],
             vec![output(50)],
             0,
         );
@@ -546,7 +626,10 @@ mod tests {
     fn ebv_block_round_trip() {
         let cb = EbvTransaction::from_parts(
             1,
-            vec![InputBody { us: Builder::new().push_int(1).into_script(), proof: None }],
+            vec![InputBody {
+                us: Builder::new().push_int(1).into_script(),
+                proof: None,
+            }],
             vec![output(50)],
             0,
         );

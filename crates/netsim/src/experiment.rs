@@ -95,7 +95,10 @@ mod tests {
         let a = sim(10_000);
         let b = sim(10_000);
         let c = compare(&a, &b, 9, 5);
-        assert!(c.reduction_pct().abs() < 1e-9, "same params, same seeds → tie");
+        assert!(
+            c.reduction_pct().abs() < 1e-9,
+            "same params, same seeds → tie"
+        );
         assert_eq!(c.a_spread_ms, c.b_spread_ms);
     }
 }

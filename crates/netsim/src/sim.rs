@@ -69,8 +69,11 @@ impl SimResult {
     /// Receive times sorted ascending — the x-axis of Fig. 18 is "the
     /// i-th node to receive the block".
     pub fn sorted_ms(&self) -> Vec<f64> {
-        let mut v: Vec<f64> =
-            self.receive_us.iter().map(|&us| us as f64 / 1000.0).collect();
+        let mut v: Vec<f64> = self
+            .receive_us
+            .iter()
+            .map(|&us| us as f64 / 1000.0)
+            .collect();
         v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         v
     }
@@ -135,7 +138,8 @@ impl GossipSim {
             for &next in &topology.neighbors[node] {
                 if receive_us[next] == u64::MAX {
                     let delay =
-                        p.latency.sample_us(topology.regions[node], topology.regions[next], rng);
+                        p.latency
+                            .sample_us(topology.regions[node], topology.regions[next], rng);
                     events.push(Reverse((ready + delay + transmission, next)));
                 }
             }
@@ -146,7 +150,9 @@ impl GossipSim {
     /// Run `repeats` independent propagations (fresh topology each run, as
     /// the paper repeats five times) and return all results.
     pub fn run_many(&self, base_seed: u64, repeats: usize) -> Vec<SimResult> {
-        (0..repeats).map(|i| self.run(base_seed.wrapping_add(i as u64 * 7919))).collect()
+        (0..repeats)
+            .map(|i| self.run(base_seed.wrapping_add(i as u64 * 7919)))
+            .collect()
     }
 
     /// The configured per-hop transmission delay (µs) — exposed for tests
@@ -161,7 +167,10 @@ mod tests {
     use super::*;
 
     fn sim(validation: ValidationModel) -> GossipSim {
-        GossipSim::new(SimParams { validation, ..Default::default() })
+        GossipSim::new(SimParams {
+            validation,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -170,7 +179,11 @@ mod tests {
         for seed in 0..10 {
             let r = s.run(seed);
             assert!(r.fully_propagated(), "seed {seed}");
-            assert_eq!(r.receive_us.iter().filter(|&&t| t == 0).count(), 1, "one origin");
+            assert_eq!(
+                r.receive_us.iter().filter(|&&t| t == 0).count(),
+                1,
+                "one origin"
+            );
         }
     }
 
@@ -198,10 +211,18 @@ mod tests {
         // order strictly.
         let slow = sim(ValidationModel::Constant(50_000));
         let fast = sim(ValidationModel::Constant(2_000));
-        let slow_avg: f64 =
-            slow.run_many(1, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
-        let fast_avg: f64 =
-            fast.run_many(1, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
+        let slow_avg: f64 = slow
+            .run_many(1, 5)
+            .iter()
+            .map(SimResult::last_receive_ms)
+            .sum::<f64>()
+            / 5.0;
+        let fast_avg: f64 = fast
+            .run_many(1, 5)
+            .iter()
+            .map(SimResult::last_receive_ms)
+            .sum::<f64>()
+            / 5.0;
         assert!(
             slow_avg > fast_avg + 40.0,
             "slow {slow_avg} ms should exceed fast {fast_avg} ms by ≫ validation gap"
@@ -221,10 +242,18 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(big.params_transmission_us(), 128_000);
-        let small_avg: f64 =
-            small.run_many(2, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
-        let big_avg: f64 =
-            big.run_many(2, 5).iter().map(SimResult::last_receive_ms).sum::<f64>() / 5.0;
+        let small_avg: f64 = small
+            .run_many(2, 5)
+            .iter()
+            .map(SimResult::last_receive_ms)
+            .sum::<f64>()
+            / 5.0;
+        let big_avg: f64 = big
+            .run_many(2, 5)
+            .iter()
+            .map(SimResult::last_receive_ms)
+            .sum::<f64>()
+            / 5.0;
         assert!(
             big_avg > small_avg + 100.0,
             "transmission cost must show: {small_avg} vs {big_avg}"
@@ -246,7 +275,10 @@ mod tests {
         // time is at least the validation delay.
         let s = GossipSim::new(SimParams {
             validation: ValidationModel::Constant(100_000),
-            latency: LatencyMatrix { scale: 0.001, jitter: 0.0 },
+            latency: LatencyMatrix {
+                scale: 0.001,
+                jitter: 0.0,
+            },
             ..Default::default()
         });
         let r = s.run(9);

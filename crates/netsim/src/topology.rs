@@ -10,11 +10,11 @@ pub const N_REGIONS: usize = 5;
 /// One-way inter-region latencies in milliseconds (≈ half typical AWS
 /// RTTs). Symmetric; the diagonal is intra-region.
 pub const REGION_RTT_MS: [[f64; N_REGIONS]; N_REGIONS] = [
-    [1.0, 32.0, 40.0, 110.0, 80.0],  // us-east
-    [32.0, 1.0, 70.0, 85.0, 55.0],   // us-west
-    [40.0, 70.0, 1.0, 90.0, 120.0],  // eu-west
-    [110.0, 85.0, 90.0, 1.0, 35.0],  // ap-southeast
-    [80.0, 55.0, 120.0, 35.0, 1.0],  // ap-northeast
+    [1.0, 32.0, 40.0, 110.0, 80.0], // us-east
+    [32.0, 1.0, 70.0, 85.0, 55.0],  // us-west
+    [40.0, 70.0, 1.0, 90.0, 120.0], // eu-west
+    [110.0, 85.0, 90.0, 1.0, 35.0], // ap-southeast
+    [80.0, 55.0, 120.0, 35.0, 1.0], // ap-northeast
 ];
 
 /// Link-latency model between nodes.
@@ -28,7 +28,10 @@ pub struct LatencyMatrix {
 
 impl Default for LatencyMatrix {
     fn default() -> Self {
-        LatencyMatrix { scale: 1.0, jitter: 0.2 }
+        LatencyMatrix {
+            scale: 1.0,
+            jitter: 0.2,
+        }
     }
 }
 
@@ -162,14 +165,20 @@ mod tests {
                 seen[v] = true;
                 stack.extend(t.neighbors[v].iter().copied());
             }
-            assert!(seen.iter().all(|&s| s), "seed {seed} gave disconnected topology");
+            assert!(
+                seen.iter().all(|&s| s),
+                "seed {seed} gave disconnected topology"
+            );
         }
     }
 
     #[test]
     fn latency_sampling_bounds() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let m = LatencyMatrix { scale: 1.0, jitter: 0.2 };
+        let m = LatencyMatrix {
+            scale: 1.0,
+            jitter: 0.2,
+        };
         for _ in 0..100 {
             let us = m.sample_us(0, 3, &mut rng);
             // base 110 ms ± 20 %.

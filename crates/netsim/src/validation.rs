@@ -20,7 +20,12 @@ pub enum ValidationModel {
     /// Baseline-shaped: `base` µs, uniform ±`spread` fraction, plus with
     /// probability `spike_p` a spike multiplying the draw by `spike_mul`
     /// (a cold cache forcing disk reads).
-    CacheDependent { base_us: u64, spread: f64, spike_p: f64, spike_mul: f64 },
+    CacheDependent {
+        base_us: u64,
+        spread: f64,
+        spike_p: f64,
+        spike_mul: f64,
+    },
     /// EBV-shaped: `base` µs with small uniform ±`spread` fraction.
     Tight { base_us: u64, spread: f64 },
 }
@@ -30,9 +35,18 @@ impl ValidationModel {
     pub fn sample_us(&self, rng: &mut SmallRng) -> u64 {
         match *self {
             ValidationModel::Constant(us) => us,
-            ValidationModel::CacheDependent { base_us, spread, spike_p, spike_mul } => {
+            ValidationModel::CacheDependent {
+                base_us,
+                spread,
+                spike_p,
+                spike_mul,
+            } => {
                 let v = base_us as f64 * (1.0 + spread * (rng.gen::<f64>() * 2.0 - 1.0));
-                let v = if rng.gen_bool(spike_p) { v * spike_mul } else { v };
+                let v = if rng.gen_bool(spike_p) {
+                    v * spike_mul
+                } else {
+                    v
+                };
                 v.max(1.0) as u64
             }
             ValidationModel::Tight { base_us, spread } => {
@@ -56,7 +70,10 @@ impl ValidationModel {
 
     /// The paper-shaped EBV model around a measured mean.
     pub fn ebv_from_mean_us(mean_us: u64) -> ValidationModel {
-        ValidationModel::Tight { base_us: mean_us, spread: 0.1 }
+        ValidationModel::Tight {
+            base_us: mean_us,
+            spread: 0.1,
+        }
     }
 }
 
@@ -83,7 +100,10 @@ mod tests {
     #[test]
     fn calibrated_means_land_near_target() {
         let (mean, _) = stats(ValidationModel::baseline_from_mean_us(100_000), 20_000);
-        assert!((mean - 100_000.0).abs() / 100_000.0 < 0.1, "baseline mean {mean}");
+        assert!(
+            (mean - 100_000.0).abs() / 100_000.0 < 0.1,
+            "baseline mean {mean}"
+        );
         let (mean, _) = stats(ValidationModel::ebv_from_mean_us(10_000), 20_000);
         assert!((mean - 10_000.0).abs() / 10_000.0 < 0.05, "ebv mean {mean}");
     }

@@ -31,7 +31,7 @@ pub fn encode(data: &[u8]) -> String {
         }
     }
     let mut out = String::with_capacity(zeros + digits.len());
-    out.extend(std::iter::repeat('1').take(zeros));
+    out.extend(std::iter::repeat_n('1', zeros));
     out.extend(digits.iter().rev().map(|&d| ALPHABET[d as usize] as char));
     out
 }
@@ -76,7 +76,7 @@ pub fn decode(s: &str) -> Result<Vec<u8>, Base58Error> {
             carry >>= 8;
         }
     }
-    out.extend(std::iter::repeat(0).take(ones));
+    out.extend(std::iter::repeat_n(0, ones));
     out.reverse();
     Ok(out)
 }

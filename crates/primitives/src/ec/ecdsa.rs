@@ -91,7 +91,10 @@ pub fn sign(z: &[u8; 32], sk: &Scalar) -> Signature {
             h1 = crate::hash::sha256(&h1);
             continue;
         }
-        return Signature { r, s: s.normalize_s() };
+        return Signature {
+            r,
+            s: s.normalize_s(),
+        };
     }
 }
 
@@ -205,7 +208,10 @@ mod tests {
 
     #[test]
     fn compact_rejects_bad_encodings() {
-        assert_eq!(Signature::from_compact(&[0u8; 63]), Err(SigError::BadLength));
+        assert_eq!(
+            Signature::from_compact(&[0u8; 63]),
+            Err(SigError::BadLength)
+        );
         // All zero: r = s = 0.
         assert_eq!(
             Signature::from_compact(&[0u8; 64]),

@@ -26,9 +26,9 @@ pub struct Fe(pub U256);
 fn mul_u256_u64(a: &U256, m: u64) -> (U256, u64) {
     let mut out = [0u64; 4];
     let mut carry = 0u128;
-    for i in 0..4 {
+    for (i, o) in out.iter_mut().enumerate() {
         let t = (a.limbs[i] as u128) * (m as u128) + carry;
-        out[i] = t as u64;
+        *o = t as u64;
         carry = t >> 64;
     }
     (U256 { limbs: out }, carry as u64)
@@ -36,8 +36,12 @@ fn mul_u256_u64(a: &U256, m: u64) -> (U256, u64) {
 
 /// Reduce a 512-bit little-endian product modulo `p`.
 fn reduce512(w: &[u64; 8]) -> Fe {
-    let l = U256 { limbs: [w[0], w[1], w[2], w[3]] };
-    let h = U256 { limbs: [w[4], w[5], w[6], w[7]] };
+    let l = U256 {
+        limbs: [w[0], w[1], w[2], w[3]],
+    };
+    let h = U256 {
+        limbs: [w[4], w[5], w[6], w[7]],
+    };
 
     // First fold: value ≡ l + h·C, with h·C < 2^(256+33).
     let (hc, hc_top) = mul_u256_u64(&h, C);
@@ -46,7 +50,9 @@ fn reduce512(w: &[u64; 8]) -> Fe {
 
     // Second fold: top·C < 2^67.
     let t = (top as u128) * (C as u128);
-    let addend = U256 { limbs: [t as u64, (t >> 64) as u64, 0, 0] };
+    let addend = U256 {
+        limbs: [t as u64, (t >> 64) as u64, 0, 0],
+    };
     let (mut r, carry2) = sum.overflowing_add(&addend);
     if carry2 {
         // Wrapped past 2^256: 2^256 ≡ C (mod p); r is tiny so this cannot
@@ -261,9 +267,6 @@ mod tests {
     fn from_be_bytes_rejects_ge_p() {
         assert!(Fe::from_be_bytes(&P.to_be_bytes()).is_none());
         assert!(Fe::from_be_bytes(&[0xff; 32]).is_none());
-        assert_eq!(
-            Fe::from_be_bytes(&U256::ONE.to_be_bytes()),
-            Some(Fe::ONE)
-        );
+        assert_eq!(Fe::from_be_bytes(&U256::ONE.to_be_bytes()), Some(Fe::ONE));
     }
 }

@@ -169,7 +169,10 @@ mod tests {
         // 0x02 prefix but x ≥ p.
         let mut bad = [0xffu8; 33];
         bad[0] = 0x02;
-        assert_eq!(PublicKey::from_compressed(&bad), Err(PubKeyError::NotOnCurve));
+        assert_eq!(
+            PublicKey::from_compressed(&bad),
+            Err(PubKeyError::NotOnCurve)
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ const GY: U256 = U256::from_be_limbs([
 impl Affine {
     /// The standard generator `G`.
     pub fn generator() -> Affine {
-        Affine::Point { x: Fe(GX), y: Fe(GY) }
+        Affine::Point {
+            x: Fe(GX),
+            y: Fe(GY),
+        }
     }
 
     pub fn is_infinity(&self) -> bool {
@@ -85,7 +88,11 @@ impl Affine {
     pub fn to_jacobian(&self) -> Jacobian {
         match self {
             Affine::Infinity => Jacobian::infinity(),
-            Affine::Point { x, y } => Jacobian { x: *x, y: *y, z: Fe::ONE },
+            Affine::Point { x, y } => Jacobian {
+                x: *x,
+                y: *y,
+                z: Fe::ONE,
+            },
         }
     }
 
@@ -107,13 +114,19 @@ impl Affine {
 
     /// `a + b` in affine terms (used by verification: `u1·G + u2·Q`).
     pub fn add(&self, other: &Affine) -> Affine {
-        self.to_jacobian().add_jacobian(&other.to_jacobian()).to_affine()
+        self.to_jacobian()
+            .add_jacobian(&other.to_jacobian())
+            .to_affine()
     }
 }
 
 impl Jacobian {
     pub fn infinity() -> Jacobian {
-        Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+        Jacobian {
+            x: Fe::ONE,
+            y: Fe::ONE,
+            z: Fe::ZERO,
+        }
     }
 
     pub fn is_infinity(&self) -> bool {
@@ -132,7 +145,11 @@ impl Jacobian {
         let y4_8 = y2.square().mul(&Fe::from_u64(8));
         let y3 = m.mul(&s.sub(&x3)).sub(&y4_8);
         let z3 = self.y.mul(&self.z).mul(&Fe::from_u64(2));
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian addition.
@@ -163,7 +180,11 @@ impl Jacobian {
         let x3 = r.square().sub(&h3).sub(&u1h2).sub(&u1h2);
         let y3 = r.mul(&u1h2.sub(&x3)).sub(&s1.mul(&h3));
         let z3 = h.mul(&self.z).mul(&other.z);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// `k * self`, MSB-first double-and-add.
@@ -206,7 +227,10 @@ impl Jacobian {
         let zinv = self.z.invert().expect("nonzero z");
         let zinv2 = zinv.square();
         let zinv3 = zinv2.mul(&zinv);
-        Affine::Point { x: self.x.mul(&zinv2), y: self.y.mul(&zinv3) }
+        Affine::Point {
+            x: self.x.mul(&zinv2),
+            y: self.y.mul(&zinv3),
+        }
     }
 }
 

@@ -53,7 +53,9 @@ fn reduce512(w: &[u64; 8]) -> Scalar {
     // Each fold replaces H·2^256 + L with H·Δ + L; since Δ < 2^129, the high
     // half shrinks from 256 → 129+ε → 3 bits → 0 in three folds.
     loop {
-        let h = U256 { limbs: [v[4], v[5], v[6], v[7]] };
+        let h = U256 {
+            limbs: [v[4], v[5], v[6], v[7]],
+        };
         if h.is_zero() {
             break;
         }
@@ -61,7 +63,9 @@ fn reduce512(w: &[u64; 8]) -> Scalar {
         let hd = h.widening_mul(&DELTA);
         v = add512(&l, &hd);
     }
-    let mut r = U256 { limbs: [v[0], v[1], v[2], v[3]] };
+    let mut r = U256 {
+        limbs: [v[0], v[1], v[2], v[3]],
+    };
     while r >= N {
         r = r.overflowing_sub(&N).0;
     }

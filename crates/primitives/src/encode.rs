@@ -76,15 +76,21 @@ impl<'a> Reader<'a> {
     }
 
     pub fn read_u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.read_bytes(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.read_bytes(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.read_bytes(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.read_bytes(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.read_bytes(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.read_bytes(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a `CompactSize` varint, rejecting non-minimal encodings.
@@ -97,7 +103,7 @@ impl<'a> Reader<'a> {
             0xff => self.read_u64()?,
         };
         let minimal = match first {
-            0xfd => value >= 0xfd && value <= 0xffff,
+            0xfd => (0xfd..=0xffff).contains(&value),
             0xfe => value > 0xffff && value <= 0xffff_ffff,
             _ => value > 0xffff_ffff,
         };
@@ -360,7 +366,10 @@ mod tests {
     #[test]
     fn truncated_input_errors() {
         let buf = [0xfd, 0x05];
-        assert_eq!(Reader::new(&buf).read_varint(), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(
+            Reader::new(&buf).read_varint(),
+            Err(DecodeError::UnexpectedEnd)
+        );
         assert_eq!(Reader::new(&[]).read_u32(), Err(DecodeError::UnexpectedEnd));
         assert_eq!(
             <Hash256 as Decodable>::from_bytes(&[0u8; 31]),

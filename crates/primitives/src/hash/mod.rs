@@ -146,7 +146,10 @@ mod tests {
     fn merkle_parent_is_order_sensitive() {
         let a = sha256d(b"a");
         let b = sha256d(b"b");
-        assert_ne!(Hash256::merkle_parent(&a, &b), Hash256::merkle_parent(&b, &a));
+        assert_ne!(
+            Hash256::merkle_parent(&a, &b),
+            Hash256::merkle_parent(&b, &a)
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ pub fn ripemd160(data: &[u8]) -> [u8; 20] {
     let blocks = if rem.len() >= 56 { 2 } else { 1 };
     last[blocks * 64 - 8..blocks * 64].copy_from_slice(&bit_len.to_le_bytes());
     for i in 0..blocks {
-        compress(&mut state, last[i * 64..(i + 1) * 64].try_into().expect("64 bytes"));
+        compress(
+            &mut state,
+            last[i * 64..(i + 1) * 64].try_into().expect("64 bytes"),
+        );
     }
 
     let mut out = [0u8; 20];
@@ -137,7 +140,10 @@ mod tests {
             (b"", "9c1185a5c5e9fc54612808977ee8f548b2258d31"),
             (b"a", "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe"),
             (b"abc", "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc"),
-            (b"message digest", "5d0689ef49d2fae572b881b123a85ffa21595f36"),
+            (
+                b"message digest",
+                "5d0689ef49d2fae572b881b123a85ffa21595f36",
+            ),
             (
                 b"abcdefghijklmnopqrstuvwxyz",
                 "f71c27109c692c1b56bbdceb5b9d2865b3708dbc",
@@ -181,7 +187,10 @@ mod tests {
         let mut digests = std::collections::HashSet::new();
         for len in 50..70 {
             let data = vec![0xabu8; len];
-            assert!(digests.insert(ripemd160(&data)), "collision at length {len}");
+            assert!(
+                digests.insert(ripemd160(&data)),
+                "collision at length {len}"
+            );
         }
     }
 }

@@ -21,7 +21,10 @@ pub fn sha1(data: &[u8]) -> [u8; 20] {
     let blocks = if rem.len() >= 56 { 2 } else { 1 };
     last[blocks * 64 - 8..blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
     for i in 0..blocks {
-        compress(&mut state, last[i * 64..(i + 1) * 64].try_into().expect("64 bytes"));
+        compress(
+            &mut state,
+            last[i * 64..(i + 1) * 64].try_into().expect("64 bytes"),
+        );
     }
 
     let mut out = [0u8; 20];
@@ -84,7 +87,9 @@ mod tests {
             "a9993e364706816aba3e25717850c26c9cd0d89d"
         );
         assert_eq!(
-            hex::encode(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex::encode(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }

@@ -43,7 +43,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Create a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorb `data`.
@@ -66,7 +71,10 @@ impl Sha256 {
         }
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            compress(&mut self.state, block.try_into().expect("chunk is 64 bytes"));
+            compress(
+                &mut self.state,
+                block.try_into().expect("chunk is 64 bytes"),
+            );
         }
         let rem = chunks.remainder();
         self.buf[..rem.len()].copy_from_slice(rem);

@@ -46,7 +46,7 @@ fn nibble(c: u8, pos: usize) -> Result<u8, HexError> {
 /// Decode a hex string into bytes.
 pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
     let b = s.as_bytes();
-    if b.len() % 2 != 0 {
+    if !b.len().is_multiple_of(2) {
         return Err(HexError::OddLength);
     }
     let mut out = Vec::with_capacity(b.len() / 2);

@@ -13,17 +13,23 @@ pub struct U256 {
 
 impl U256 {
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
 
     /// Construct from a small integer.
     pub const fn from_u64(v: u64) -> U256 {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Construct from limbs given most-significant first (matches the way
     /// curve constants are written in standards documents).
     pub const fn from_be_limbs(l: [u64; 4]) -> U256 {
-        U256 { limbs: [l[3], l[2], l[1], l[0]] }
+        U256 {
+            limbs: [l[3], l[2], l[1], l[0]],
+        }
     }
 
     /// Parse 32 big-endian bytes.
@@ -68,10 +74,10 @@ impl U256 {
     pub fn overflowing_add(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256 { limbs: out }, carry != 0)
@@ -81,10 +87,10 @@ impl U256 {
     pub fn overflowing_sub(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256 { limbs: out }, borrow != 0)
@@ -96,9 +102,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let t = out[i + j] as u128
-                    + (self.limbs[i] as u128) * (other.limbs[j] as u128)
-                    + carry;
+                let t =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (other.limbs[j] as u128) + carry;
                 out[i + j] = t as u64;
                 carry = t >> 64;
             }
@@ -162,7 +167,9 @@ mod tests {
 
     #[test]
     fn add_carries_across_limbs() {
-        let a = U256 { limbs: [u64::MAX, u64::MAX, 0, 0] };
+        let a = U256 {
+            limbs: [u64::MAX, u64::MAX, 0, 0],
+        };
         let (s, c) = a.overflowing_add(&U256::ONE);
         assert!(!c);
         assert_eq!(s.limbs, [0, 0, 1, 0]);
@@ -170,7 +177,9 @@ mod tests {
 
     #[test]
     fn add_overflow_flag() {
-        let max = U256 { limbs: [u64::MAX; 4] };
+        let max = U256 {
+            limbs: [u64::MAX; 4],
+        };
         let (s, c) = max.overflowing_add(&U256::ONE);
         assert!(c);
         assert!(s.is_zero());
@@ -193,7 +202,9 @@ mod tests {
     #[test]
     fn widening_mul_max() {
         // (2^256 - 1)^2 = 2^512 - 2^257 + 1
-        let max = U256 { limbs: [u64::MAX; 4] };
+        let max = U256 {
+            limbs: [u64::MAX; 4],
+        };
         let p = max.widening_mul(&max);
         assert_eq!(p[0], 1);
         assert_eq!(p[1], 0);
@@ -208,14 +219,22 @@ mod tests {
     #[test]
     fn ordering() {
         assert!(u(1) < u(2));
-        assert!(U256 { limbs: [0, 0, 0, 1] } > U256 { limbs: [u64::MAX, u64::MAX, u64::MAX, 0] });
+        assert!(
+            U256 {
+                limbs: [0, 0, 0, 1]
+            } > U256 {
+                limbs: [u64::MAX, u64::MAX, u64::MAX, 0]
+            }
+        );
     }
 
     #[test]
     fn bits_and_bit() {
         assert_eq!(U256::ZERO.bits(), 0);
         assert_eq!(U256::ONE.bits(), 1);
-        let x = U256 { limbs: [0, 1, 0, 0] };
+        let x = U256 {
+            limbs: [0, 1, 0, 0],
+        };
         assert_eq!(x.bits(), 65);
         assert!(x.bit(64));
         assert!(!x.bit(63));

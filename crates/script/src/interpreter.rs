@@ -69,7 +69,12 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_script_size: 10_000, max_ops: 201, max_stack: 1000, max_element: 520 }
+        ExecLimits {
+            max_script_size: 10_000,
+            max_ops: 201,
+            max_stack: 1000,
+            max_element: 520,
+        }
     }
 }
 
@@ -102,7 +107,12 @@ impl<'a> Engine<'a> {
     }
 
     pub fn with_limits(checker: &'a dyn SignatureChecker, limits: ExecLimits) -> Engine<'a> {
-        Engine { checker, limits, stack: Vec::new(), alt_stack: Vec::new() }
+        Engine {
+            checker,
+            limits,
+            stack: Vec::new(),
+            alt_stack: Vec::new(),
+        }
     }
 
     /// The current main stack (top = last).
@@ -559,13 +569,44 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        expect_top_num(Builder::new().push_int(2).push_int(3).push_op(OP_ADD).into_script(), 5);
-        expect_top_num(Builder::new().push_int(2).push_int(3).push_op(OP_SUB).into_script(), -1);
+        expect_top_num(
+            Builder::new()
+                .push_int(2)
+                .push_int(3)
+                .push_op(OP_ADD)
+                .into_script(),
+            5,
+        );
+        expect_top_num(
+            Builder::new()
+                .push_int(2)
+                .push_int(3)
+                .push_op(OP_SUB)
+                .into_script(),
+            -1,
+        );
         expect_top_num(Builder::new().push_int(7).push_op(OP_1ADD).into_script(), 8);
-        expect_top_num(Builder::new().push_int(7).push_op(OP_NEGATE).into_script(), -7);
+        expect_top_num(
+            Builder::new().push_int(7).push_op(OP_NEGATE).into_script(),
+            -7,
+        );
         expect_top_num(Builder::new().push_int(-7).push_op(OP_ABS).into_script(), 7);
-        expect_top_num(Builder::new().push_int(3).push_int(9).push_op(OP_MIN).into_script(), 3);
-        expect_top_num(Builder::new().push_int(3).push_int(9).push_op(OP_MAX).into_script(), 9);
+        expect_top_num(
+            Builder::new()
+                .push_int(3)
+                .push_int(9)
+                .push_op(OP_MIN)
+                .into_script(),
+            3,
+        );
+        expect_top_num(
+            Builder::new()
+                .push_int(3)
+                .push_int(9)
+                .push_op(OP_MAX)
+                .into_script(),
+            9,
+        );
     }
 
     #[test]
@@ -578,7 +619,11 @@ mod tests {
             (2, 2, OP_NUMEQUAL, true),
             (2, 3, OP_NUMNOTEQUAL, true),
         ] {
-            let s = Builder::new().push_int(a).push_int(b).push_op(op).into_script();
+            let s = Builder::new()
+                .push_int(a)
+                .push_int(b)
+                .push_op(op)
+                .into_script();
             let stack = run(s).unwrap();
             assert_eq!(ScriptNum::is_truthy(stack.last().unwrap()), want);
         }
@@ -606,7 +651,11 @@ mod tests {
             .into_script();
         expect_top_num(s, -7);
         // DEPTH
-        let s = Builder::new().push_int(1).push_int(1).push_op(OP_DEPTH).into_script();
+        let s = Builder::new()
+            .push_int(1)
+            .push_int(1)
+            .push_op(OP_DEPTH)
+            .into_script();
         expect_top_num(s, 2);
         // ROT: [a b c] -> [b c a]
         let s = Builder::new()
@@ -718,21 +767,36 @@ mod tests {
 
     #[test]
     fn hashing_opcodes() {
-        let s = Builder::new().push_data(b"x").push_op(OP_SHA256).into_script();
+        let s = Builder::new()
+            .push_data(b"x")
+            .push_op(OP_SHA256)
+            .into_script();
         assert_eq!(run(s).unwrap().last().unwrap(), &sha256(b"x").to_vec());
-        let s = Builder::new().push_data(b"x").push_op(OP_HASH160).into_script();
+        let s = Builder::new()
+            .push_data(b"x")
+            .push_op(OP_HASH160)
+            .into_script();
         assert_eq!(
             run(s).unwrap().last().unwrap(),
             &hash160(b"x").as_bytes().to_vec()
         );
-        let s = Builder::new().push_data(b"x").push_op(OP_HASH256).into_script();
+        let s = Builder::new()
+            .push_data(b"x")
+            .push_op(OP_HASH256)
+            .into_script();
         assert_eq!(
             run(s).unwrap().last().unwrap(),
             &sha256d(b"x").as_bytes().to_vec()
         );
-        let s = Builder::new().push_data(b"x").push_op(OP_RIPEMD160).into_script();
+        let s = Builder::new()
+            .push_data(b"x")
+            .push_op(OP_RIPEMD160)
+            .into_script();
         assert_eq!(run(s).unwrap().last().unwrap(), &ripemd160(b"x").to_vec());
-        let s = Builder::new().push_data(b"x").push_op(OP_SHA1).into_script();
+        let s = Builder::new()
+            .push_data(b"x")
+            .push_op(OP_SHA1)
+            .into_script();
         assert_eq!(
             run(s).unwrap().last().unwrap(),
             &ebv_primitives::hash::sha1(b"x").to_vec()
@@ -813,7 +877,10 @@ mod tests {
 
     #[test]
     fn stack_overflow_enforced() {
-        let limits = ExecLimits { max_stack: 10, ..ExecLimits::default() };
+        let limits = ExecLimits {
+            max_stack: 10,
+            ..ExecLimits::default()
+        };
         let mut b = Builder::new();
         for _ in 0..11 {
             b = b.push_int(1);
@@ -852,7 +919,10 @@ mod tests {
                 required <= self.0 as i64
             }
         }
-        let script = Builder::new().push_int(500).push_op(OP_CHECKLOCKTIMEVERIFY).into_script();
+        let script = Builder::new()
+            .push_int(500)
+            .push_op(OP_CHECKLOCKTIMEVERIFY)
+            .into_script();
         // Satisfied lock time: value stays on the stack (peek semantics).
         let mut e = Engine::new(&LockTimeChecker(600));
         e.execute(&script).expect("lock time satisfied");
@@ -861,7 +931,10 @@ mod tests {
         let mut e = Engine::new(&LockTimeChecker(400));
         assert_eq!(e.execute(&script), Err(ScriptError::VerifyFailed));
         // Negative requirement always fails.
-        let neg = Builder::new().push_int(-1).push_op(OP_CHECKLOCKTIMEVERIFY).into_script();
+        let neg = Builder::new()
+            .push_int(-1)
+            .push_op(OP_CHECKLOCKTIMEVERIFY)
+            .into_script();
         let mut e = Engine::new(&LockTimeChecker(400));
         assert_eq!(e.execute(&neg), Err(ScriptError::VerifyFailed));
         // Default checker (no context) fails closed.

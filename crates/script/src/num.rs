@@ -22,10 +22,8 @@ impl ScriptNum {
         // Minimal encoding: the most significant byte must not be a bare
         // sign byte unless required by the preceding byte's high bit.
         let last = bytes[bytes.len() - 1];
-        if last & 0x7f == 0 {
-            if bytes.len() == 1 || bytes[bytes.len() - 2] & 0x80 == 0 {
-                return Err(ScriptError::NonMinimalNumber);
-            }
+        if last & 0x7f == 0 && (bytes.len() == 1 || bytes[bytes.len() - 2] & 0x80 == 0) {
+            return Err(ScriptError::NonMinimalNumber);
         }
         let mut value: i64 = 0;
         for (i, &b) in bytes.iter().enumerate() {
@@ -98,8 +96,24 @@ mod tests {
     #[test]
     fn round_trips() {
         for v in [
-            1i64, -1, 16, -16, 127, -127, 128, -128, 255, -255, 256, 0x7fff, -0x7fff, 0x8000,
-            0x7fff_ffff, -0x7fff_ffff, 0x8000_0000, -0x8000_0000,
+            1i64,
+            -1,
+            16,
+            -16,
+            127,
+            -127,
+            128,
+            -128,
+            255,
+            -255,
+            256,
+            0x7fff,
+            -0x7fff,
+            0x8000,
+            0x7fff_ffff,
+            -0x7fff_ffff,
+            0x8000_0000,
+            -0x8000_0000,
         ] {
             round_trip(v);
         }

@@ -42,7 +42,10 @@ impl Script {
 
     /// Iterate instructions, validating push lengths.
     pub fn instructions(&self) -> Instructions<'_> {
-        Instructions { bytes: &self.0, pos: 0 }
+        Instructions {
+            bytes: &self.0,
+            pos: 0,
+        }
     }
 }
 
@@ -219,7 +222,10 @@ mod tests {
     #[test]
     fn push_int_forms() {
         assert_eq!(Builder::new().push_int(0).into_script().0, vec![OP_0]);
-        assert_eq!(Builder::new().push_int(-1).into_script().0, vec![OP_1NEGATE]);
+        assert_eq!(
+            Builder::new().push_int(-1).into_script().0,
+            vec![OP_1NEGATE]
+        );
         assert_eq!(Builder::new().push_int(16).into_script().0, vec![OP_16]);
         assert_eq!(Builder::new().push_int(17).into_script().0, vec![0x01, 17]);
         assert_eq!(
@@ -230,7 +236,10 @@ mod tests {
 
     #[test]
     fn encode_round_trip() {
-        let s = Builder::new().push_data(b"abc").push_op(OP_DUP).into_script();
+        let s = Builder::new()
+            .push_data(b"abc")
+            .push_op(OP_DUP)
+            .into_script();
         let bytes = s.to_bytes();
         assert_eq!(<Script as Decodable>::from_bytes(&bytes).unwrap(), s);
     }

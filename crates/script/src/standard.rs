@@ -20,12 +20,18 @@ pub fn p2pkh_lock(pubkey_hash: &Hash160) -> Script {
 
 /// `<sig> <pubkey>` — the P2PKH unlocking script.
 pub fn p2pkh_unlock(sig: &[u8], pubkey: &[u8]) -> Script {
-    Builder::new().push_data(sig).push_data(pubkey).into_script()
+    Builder::new()
+        .push_data(sig)
+        .push_data(pubkey)
+        .into_script()
 }
 
 /// `<pubkey> OP_CHECKSIG` — pay-to-pubkey locking script.
 pub fn p2pk_lock(pubkey: &[u8]) -> Script {
-    Builder::new().push_data(pubkey).push_op(OP_CHECKSIG).into_script()
+    Builder::new()
+        .push_data(pubkey)
+        .push_op(OP_CHECKSIG)
+        .into_script()
 }
 
 /// `<sig>` — pay-to-pubkey unlocking script.
@@ -39,12 +45,17 @@ pub fn p2pk_unlock(sig: &[u8]) -> Script {
 /// If `m` is 0, `m > keys.len()`, or more than 16 keys are given (the
 /// small-int encoding limit for bare multisig).
 pub fn multisig_lock(m: usize, keys: &[&[u8]]) -> Script {
-    assert!(m >= 1 && m <= keys.len() && keys.len() <= 16, "invalid m-of-n");
+    assert!(
+        m >= 1 && m <= keys.len() && keys.len() <= 16,
+        "invalid m-of-n"
+    );
     let mut b = Builder::new().push_int(m as i64);
     for key in keys {
         b = b.push_data(key);
     }
-    b.push_int(keys.len() as i64).push_op(OP_CHECKMULTISIG).into_script()
+    b.push_int(keys.len() as i64)
+        .push_op(OP_CHECKMULTISIG)
+        .into_script()
 }
 
 /// `OP_0 <sig1> ... <sigm>` — bare multisig unlocking script (the leading

@@ -1,49 +1,71 @@
 //! Robustness: the interpreter must never panic, hang, or blow the stack
 //! on arbitrary byte strings — malicious peers control script contents.
+//!
+//! Previously proptest-driven; the offline build environment has no
+//! registry, so the same fuzzing now runs off the local deterministic
+//! `rand` shim with fixed seeds and explicit case loops.
 
 use ebv_script::{verify_spend, AcceptAllChecker, Engine, RejectAllChecker, Script};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: usize = 512;
 
-    #[test]
-    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
-        let script = Script::from_bytes(bytes);
+fn random_bytes(rng: &mut SmallRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0usize..max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xf422_0001);
+    for _ in 0..CASES {
+        let script = Script::from_bytes(random_bytes(&mut rng, 512));
         let mut engine = Engine::new(&RejectAllChecker);
         // Errors are fine; panics are not.
         let _ = engine.execute(&script);
     }
+}
 
-    #[test]
-    fn random_spend_pairs_never_panic(
-        unlocking in prop::collection::vec(any::<u8>(), 0..256),
-        locking in prop::collection::vec(any::<u8>(), 0..256),
-    ) {
+#[test]
+fn random_spend_pairs_never_panic() {
+    let mut rng = SmallRng::seed_from_u64(0xf422_0002);
+    for _ in 0..CASES {
+        let unlocking = random_bytes(&mut rng, 256);
+        let locking = random_bytes(&mut rng, 256);
         let _ = verify_spend(
             &Script::from_bytes(unlocking),
             &Script::from_bytes(locking),
             &AcceptAllChecker,
         );
     }
+}
 
-    #[test]
-    fn push_only_scripts_execute(pushes in prop::collection::vec(
-        prop::collection::vec(any::<u8>(), 0..75), 0..50,
-    )) {
+#[test]
+fn push_only_scripts_execute() {
+    let mut rng = SmallRng::seed_from_u64(0xf422_0003);
+    for case in 0..CASES {
+        let pushes: Vec<Vec<u8>> = (0..rng.gen_range(0usize..50))
+            .map(|_| random_bytes(&mut rng, 75))
+            .collect();
         let mut b = ebv_script::Builder::new();
         for p in &pushes {
             b = b.push_data(p);
         }
         let script = b.into_script();
         let mut engine = Engine::new(&RejectAllChecker);
-        engine.execute(&script).expect("push-only scripts always succeed");
-        assert_eq!(engine.stack().len(), pushes.len());
+        engine
+            .execute(&script)
+            .expect("push-only scripts always succeed");
+        assert_eq!(engine.stack().len(), pushes.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn instruction_iterator_terminates(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
-        let script = Script::from_bytes(bytes);
+#[test]
+fn instruction_iterator_terminates() {
+    let mut rng = SmallRng::seed_from_u64(0xf422_0004);
+    for _ in 0..CASES {
+        let script = Script::from_bytes(random_bytes(&mut rng, 2048));
         // The iterator must always make progress: bounded by input length.
         let mut count = 0usize;
         for ins in script.instructions() {

@@ -116,7 +116,15 @@ impl LruCache {
         self.used += charge;
         self.order.insert(tick, key.clone());
         // A re-dirtied entry stays dirty even if the new write is clean.
-        self.slots.insert(key, Slot { value, dirty, tick, charge });
+        self.slots.insert(
+            key,
+            Slot {
+                value,
+                dirty,
+                tick,
+                charge,
+            },
+        );
         self.evict_to_budget()
     }
 
@@ -135,7 +143,11 @@ impl LruCache {
             let key = self.order.remove(&tick).expect("tick present");
             let slot = self.slots.remove(&key).expect("slot present");
             self.used -= slot.charge;
-            evicted.push(Evicted { key, value: slot.value, dirty: slot.dirty });
+            evicted.push(Evicted {
+                key,
+                value: slot.value,
+                dirty: slot.dirty,
+            });
         }
         evicted
     }

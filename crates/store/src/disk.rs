@@ -226,7 +226,8 @@ impl DiskLog {
             self.live_bytes -= *old_len as u64;
         }
         self.live_bytes += value.len() as u64;
-        self.index.insert(key.to_vec(), (value_offset, value.len() as u32));
+        self.index
+            .insert(key.to_vec(), (value_offset, value.len() as u32));
         self.end += rec.len() as u64;
         Ok(())
     }
@@ -279,7 +280,10 @@ impl DiskLog {
             self.end = new_end;
         }
         std::fs::rename(&tmp_path, &self.path)?;
-        self.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
         Ok(old_size.saturating_sub(self.end))
     }
 
@@ -379,7 +383,10 @@ mod tests {
         drop(log);
         let mut log = DiskLog::open(&path, LatencyModel::none()).unwrap();
         assert_eq!(log.len(), 10);
-        assert_eq!(log.get(&95u32.to_le_bytes()).unwrap().unwrap(), vec![0u8; 100]);
+        assert_eq!(
+            log.get(&95u32.to_le_bytes()).unwrap().unwrap(),
+            vec![0u8; 100]
+        );
     }
 
     #[test]

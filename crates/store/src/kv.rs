@@ -28,14 +28,21 @@ pub struct StoreConfig {
 
 impl Default for StoreConfig {
     fn default() -> Self {
-        StoreConfig { cache_budget: 64 << 20, latency: LatencyModel::none(), path: None }
+        StoreConfig {
+            cache_budget: 64 << 20,
+            latency: LatencyModel::none(),
+            path: None,
+        }
     }
 }
 
 impl StoreConfig {
     /// Budget-only config with no injected latency.
     pub fn with_budget(cache_budget: usize) -> StoreConfig {
-        StoreConfig { cache_budget, ..Default::default() }
+        StoreConfig {
+            cache_budget,
+            ..Default::default()
+        }
     }
 }
 
@@ -67,7 +74,11 @@ impl KvStore {
     }
 
     /// Open with default config at a specific path.
-    pub fn open_at(path: &Path, cache_budget: usize, latency: LatencyModel) -> Result<KvStore, DiskError> {
+    pub fn open_at(
+        path: &Path,
+        cache_budget: usize,
+        latency: LatencyModel,
+    ) -> Result<KvStore, DiskError> {
         KvStore::open(StoreConfig {
             cache_budget,
             latency,
@@ -94,7 +105,9 @@ impl KvStore {
                 self.stats.disk_reads += 1;
                 let from_disk = self.disk.get(key)?;
                 if let Some(v) = &from_disk {
-                    let evicted = self.cache.put(key.to_vec(), CacheValue::Present(v.clone()), false);
+                    let evicted =
+                        self.cache
+                            .put(key.to_vec(), CacheValue::Present(v.clone()), false);
                     self.flush_evicted(evicted)?;
                 }
                 from_disk
@@ -109,7 +122,9 @@ impl KvStore {
     pub fn put(&mut self, key: &[u8], value: Vec<u8>) -> Result<(), DiskError> {
         let start = Instant::now();
         self.stats.inserts += 1;
-        let evicted = self.cache.put(key.to_vec(), CacheValue::Present(value), true);
+        let evicted = self
+            .cache
+            .put(key.to_vec(), CacheValue::Present(value), true);
         self.flush_evicted(evicted)?;
         self.stats.time += start.elapsed();
         Ok(())
@@ -232,7 +247,11 @@ mod tests {
         }
         // All values must still be readable (via disk).
         for i in 0..100u32 {
-            assert_eq!(s.get(&i.to_le_bytes()).unwrap().unwrap(), vec![i as u8; 50], "i={i}");
+            assert_eq!(
+                s.get(&i.to_le_bytes()).unwrap().unwrap(),
+                vec![i as u8; 50],
+                "i={i}"
+            );
         }
         let st = s.stats();
         assert!(st.cache_misses > 0, "expected misses with tiny budget");

@@ -59,14 +59,26 @@ mod tests {
     #[test]
     fn hit_ratio_handles_zero() {
         assert_eq!(DboStats::default().hit_ratio(), 1.0);
-        let s = DboStats { fetches: 4, cache_hits: 3, ..Default::default() };
+        let s = DboStats {
+            fetches: 4,
+            cache_hits: 3,
+            ..Default::default()
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 
     #[test]
     fn since_subtracts() {
-        let early = DboStats { fetches: 10, time: Duration::from_millis(5), ..Default::default() };
-        let late = DboStats { fetches: 25, time: Duration::from_millis(9), ..Default::default() };
+        let early = DboStats {
+            fetches: 10,
+            time: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let late = DboStats {
+            fetches: 25,
+            time: Duration::from_millis(9),
+            ..Default::default()
+        };
         let d = late.since(&early);
         assert_eq!(d.fetches, 15);
         assert_eq!(d.time, Duration::from_millis(4));

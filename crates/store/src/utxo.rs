@@ -104,7 +104,10 @@ impl std::error::Error for UtxoError {}
 impl UtxoSet {
     /// Wrap a status database.
     pub fn new(kv: KvStore) -> UtxoSet {
-        UtxoSet { kv, size: UtxoSetSize::default() }
+        UtxoSet {
+            kv,
+            size: UtxoSetSize::default(),
+        }
     }
 
     /// Fetch the entry for `outpoint` — the combined EV+UV lookup. `None`
@@ -114,7 +117,9 @@ impl UtxoSet {
         let Some(bytes) = self.kv.get(&outpoint.to_key())? else {
             return Ok(None);
         };
-        UtxoEntry::from_bytes(&bytes).map(Some).map_err(UtxoError::Corrupt)
+        UtxoEntry::from_bytes(&bytes)
+            .map(Some)
+            .map_err(UtxoError::Corrupt)
     }
 
     /// Insert a new unspent output.
@@ -130,7 +135,10 @@ impl UtxoSet {
     /// does); the entry size is needed to keep [`UtxoSet::size`] exact.
     pub fn delete(&mut self, outpoint: &OutPoint, entry: &UtxoEntry) -> Result<(), UtxoError> {
         self.size.count = self.size.count.saturating_sub(1);
-        self.size.bytes = self.size.bytes.saturating_sub(36 + entry.encoded_len() as u64);
+        self.size.bytes = self
+            .size
+            .bytes
+            .saturating_sub(36 + entry.encoded_len() as u64);
         self.kv.delete(&outpoint.to_key())?;
         Ok(())
     }

@@ -56,7 +56,13 @@ impl ChainGenerator {
     pub fn new(params: GeneratorParams) -> ChainGenerator {
         let keys = KeyPool::new(params.seed, params.key_pool);
         let rng = SmallRng::seed_from_u64(params.seed ^ 0x9e37_79b9_7f4a_7c15);
-        ChainGenerator { params, keys, rng, scheduled: BTreeMap::new(), dormant: Vec::new() }
+        ChainGenerator {
+            params,
+            keys,
+            rng,
+            scheduled: BTreeMap::new(),
+            dormant: Vec::new(),
+        }
     }
 
     /// Generate the full chain, genesis included (height = index).
@@ -98,13 +104,15 @@ impl ChainGenerator {
     fn generate_block(&mut self, height: u32, prev_hash: Hash256) -> Block {
         // Coins whose death height has arrived.
         let mut due: Vec<Coin> = Vec::new();
-        let due_heights: Vec<u32> =
-            self.scheduled.range(..=height).map(|(&h, _)| h).collect();
+        let due_heights: Vec<u32> = self.scheduled.range(..=height).map(|(&h, _)| h).collect();
         for h in due_heights {
             due.extend(self.scheduled.remove(&h).expect("key from range"));
         }
 
-        let target_txs = self.params.txs_per_block.at(height, self.params.n_blocks + 1);
+        let target_txs = self
+            .params
+            .txs_per_block
+            .at(height, self.params.n_blocks + 1);
         let target_txs = target_txs.round().max(0.0) as usize;
 
         let mut txs = Vec::new();
@@ -157,7 +165,11 @@ impl ChainGenerator {
         let share = total / n_outputs as u64;
         let outputs: Vec<TxOut> = (0..n_outputs)
             .map(|i| {
-                let value = if i == 0 { total - share * (n_outputs as u64 - 1) } else { share };
+                let value = if i == 0 {
+                    total - share * (n_outputs as u64 - 1)
+                } else {
+                    share
+                };
                 let key = self.rng.gen_range(0..self.keys.len());
                 TxOut::new(value, self.keys.entry(key).lock.clone())
             })
@@ -179,7 +191,12 @@ impl ChainGenerator {
             })
             .collect();
 
-        Transaction { version: 1, inputs, outputs, lock_time: 0 }
+        Transaction {
+            version: 1,
+            inputs,
+            outputs,
+            lock_time: 0,
+        }
     }
 
     /// Register every output of a freshly built block: schedule its death

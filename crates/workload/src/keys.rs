@@ -42,7 +42,12 @@ impl KeyPool {
                     digest = sha256(&digest);
                 };
                 let pk = sk.public_key();
-                KeyEntry { sk, pk, pk_bytes: pk.to_compressed(), lock: p2pkh_lock(&pk.address_hash()) }
+                KeyEntry {
+                    sk,
+                    pk,
+                    pk_bytes: pk.to_compressed(),
+                    lock: p2pkh_lock(&pk.address_hash()),
+                }
             })
             .collect();
         KeyPool { entries }

@@ -103,7 +103,10 @@ impl GeneratorParams {
             seed,
             n_blocks,
             key_pool: 128,
-            txs_per_block: Ramp { start: 10.0, end: 30.0 },
+            txs_per_block: Ramp {
+                start: 10.0,
+                end: 30.0,
+            },
             max_inputs_per_tx: 4,
             // Uniform 1..=6 outputs (mean 3.5) gives blocks of ~36–106
             // outputs — wide enough that old, mostly-spent bit-vectors
@@ -122,8 +125,12 @@ impl GeneratorParams {
     /// Kept gentle (one 12-input sweep per block) so the epoch's own extra
     /// inputs don't swamp the per-period totals at laptop scale.
     pub fn with_consolidation(mut self, start: u32, end: u32) -> GeneratorParams {
-        self.consolidation =
-            Some(Consolidation { start, end, inputs_per_tx: 12, txs_per_block: 1 });
+        self.consolidation = Some(Consolidation {
+            start,
+            end,
+            inputs_per_tx: 12,
+            txs_per_block: 1,
+        });
         self
     }
 }
@@ -134,7 +141,10 @@ mod tests {
 
     #[test]
     fn ramp_interpolates() {
-        let r = Ramp { start: 2.0, end: 12.0 };
+        let r = Ramp {
+            start: 2.0,
+            end: 12.0,
+        };
         assert_eq!(r.at(0, 11), 2.0);
         assert_eq!(r.at(10, 11), 12.0);
         assert_eq!(r.at(5, 11), 7.0);

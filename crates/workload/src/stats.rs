@@ -104,8 +104,7 @@ mod tests {
 
     #[test]
     fn mainnet_like_ramps_up() {
-        let blocks =
-            ChainGenerator::new(GeneratorParams::mainnet_like(120, 9)).generate();
+        let blocks = ChainGenerator::new(GeneratorParams::mainnet_like(120, 9)).generate();
         let p = ChainProfile::measure(&blocks);
         assert!(
             p.activity_ramp() > 1.5,

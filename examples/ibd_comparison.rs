@@ -17,16 +17,20 @@ fn main() {
     let latency = LatencyModel::scaled_hdd(60, 15);
 
     println!("generating {n_blocks}-block chain…");
-    let blocks =
-        ChainGenerator::new(GeneratorParams::mainnet_like(n_blocks, 11)).generate();
+    let blocks = ChainGenerator::new(GeneratorParams::mainnet_like(n_blocks, 11)).generate();
     let mut intermediary = Intermediary::new(0);
     let ebv_blocks = intermediary.convert_chain(&blocks).expect("conversion");
 
     // Baseline IBD.
-    let store = KvStore::open(StoreConfig { cache_budget: budget, latency, path: None })
-        .expect("store");
-    let mut baseline = BaselineNode::new(&blocks[0], UtxoSet::new(store), BaselineConfig::default())
-        .expect("genesis");
+    let store = KvStore::open(StoreConfig {
+        cache_budget: budget,
+        latency,
+        path: None,
+    })
+    .expect("store");
+    let mut baseline =
+        BaselineNode::new(&blocks[0], UtxoSet::new(store), BaselineConfig::default())
+            .expect("genesis");
     let periods = baseline_ibd(&mut baseline, &blocks[1..], 50).expect("ibd");
     let base_total: f64 = periods.iter().map(|p| p.wall.as_secs_f64()).sum();
     let bb = baseline.cumulative_breakdown();
@@ -45,10 +49,11 @@ fn main() {
     let ebv_total: f64 = periods.iter().map(|p| p.wall.as_secs_f64()).sum();
     let eb = ebv.cumulative_breakdown();
     println!(
-        "EBV IBD:           {ebv_total:.2} s (ev {:.2} s, uv {:.2} s, sv {:.2} s, others {:.2} s)",
+        "EBV IBD:           {ebv_total:.2} s (ev {:.2} s, uv {:.2} s, sv {:.2} s, commit {:.2} s, others {:.2} s)",
         eb.ev.as_secs_f64(),
         eb.uv.as_secs_f64(),
         eb.sv.as_secs_f64(),
+        eb.commit.as_secs_f64(),
         eb.others.as_secs_f64(),
     );
 

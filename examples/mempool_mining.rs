@@ -23,7 +23,10 @@ fn main() {
     let mut archive = ProofArchive::new();
     let genesis = pack_ebv_block(
         Hash256::ZERO,
-        vec![ebv_coinbase(0, p2pkh_lock(&users[0].public_key().address_hash()))],
+        vec![ebv_coinbase(
+            0,
+            p2pkh_lock(&users[0].public_key().address_hash()),
+        )],
         0,
         0,
     );
@@ -32,14 +35,20 @@ fn main() {
     for (i, user) in users.iter().enumerate().skip(1) {
         let block = pack_ebv_block(
             node.tip_hash(),
-            vec![ebv_coinbase(i as u32, p2pkh_lock(&user.public_key().address_hash()))],
+            vec![ebv_coinbase(
+                i as u32,
+                p2pkh_lock(&user.public_key().address_hash()),
+            )],
             i as u32,
             0,
         );
         node.process_block(&block).expect("bootstrap block");
         archive.add_block(i as u32, &block);
     }
-    println!("bootstrapped {} blocks; every user owns one coinbase", node.tip_height() + 1);
+    println!(
+        "bootstrapped {} blocks; every user owns one coinbase",
+        node.tip_height() + 1
+    );
 
     // Users broadcast payments; the node validates each on receipt.
     let mut pool = Mempool::new();
@@ -48,10 +57,24 @@ fn main() {
         let proof = archive.make_proof(coords.0, coords.1).expect("owned coin");
         let value = proof.spent_output().expect("in range").value;
         let payee = &users[(i + 1) % users.len()];
-        let outputs = vec![TxOut::new(value, p2pkh_lock(&payee.public_key().address_hash()))];
+        let outputs = vec![TxOut::new(
+            value,
+            p2pkh_lock(&payee.public_key().address_hash()),
+        )];
         let digest = spend_sighash(1, &[coords], &outputs, 0, 0);
-        let us = p2pkh_unlock(&sign_input(user, &digest), &user.public_key().to_compressed());
-        let tx = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+        let us = p2pkh_unlock(
+            &sign_input(user, &digest),
+            &user.public_key().to_compressed(),
+        );
+        let tx = EbvTransaction::from_parts(
+            1,
+            vec![InputBody {
+                us,
+                proof: Some(proof),
+            }],
+            outputs,
+            0,
+        );
         let id = pool.accept(&node, tx).expect("valid payment admitted");
         println!("pooled payment {} → {} (id {id})", i, (i + 1) % users.len());
     }
@@ -59,19 +82,34 @@ fn main() {
     // A conflicting double spend is refused at admission.
     {
         let proof = archive.make_proof(0, 0).expect("coin");
-        let outputs = vec![TxOut::new(1, p2pkh_lock(&miner.public_key().address_hash()))];
+        let outputs = vec![TxOut::new(
+            1,
+            p2pkh_lock(&miner.public_key().address_hash()),
+        )];
         let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-        let us =
-            p2pkh_unlock(&sign_input(&users[0], &digest), &users[0].public_key().to_compressed());
-        let conflict =
-            EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+        let us = p2pkh_unlock(
+            &sign_input(&users[0], &digest),
+            &users[0].public_key().to_compressed(),
+        );
+        let conflict = EbvTransaction::from_parts(
+            1,
+            vec![InputBody {
+                us,
+                proof: Some(proof),
+            }],
+            outputs,
+            0,
+        );
         let err = pool.accept(&node, conflict).expect_err("conflict refused");
         println!("conflicting spend refused: {err}");
     }
 
     // The miner packages the pool into a block.
     let height = node.tip_height() + 1;
-    let mut txs = vec![ebv_coinbase(height, p2pkh_lock(&miner.public_key().address_hash()))];
+    let mut txs = vec![ebv_coinbase(
+        height,
+        p2pkh_lock(&miner.public_key().address_hash()),
+    )];
     txs.extend(pool.take_for_block(100));
     let block = pack_ebv_block(node.tip_hash(), txs, height, 0);
     let breakdown = node.process_block(&block).expect("mined block validates");

@@ -18,7 +18,7 @@ fn main() {
     });
     let ebv = GossipSim::new(SimParams {
         validation: ValidationModel::ebv_from_mean_us(60_000), // 60 ms
-        block_bytes: 3_000_000, // proof-carrying blocks are larger
+        block_bytes: 3_000_000,                                // proof-carrying blocks are larger
         ..Default::default()
     });
 

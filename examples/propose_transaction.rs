@@ -24,7 +24,10 @@ fn main() {
     let bob = PrivateKey::from_seed(2);
     let genesis = pack_ebv_block(
         Hash256::ZERO,
-        vec![ebv_coinbase(0, p2pkh_lock(&alice.public_key().address_hash()))],
+        vec![ebv_coinbase(
+            0,
+            p2pkh_lock(&alice.public_key().address_hash()),
+        )],
         0,
         0,
     );
@@ -49,17 +52,33 @@ fn main() {
     );
     // 3. Outputs and signature over the shared spend digest.
     let value = proof.spent_output().expect("in range").value;
-    let outputs = vec![TxOut::new(value, p2pkh_lock(&bob.public_key().address_hash()))];
+    let outputs = vec![TxOut::new(
+        value,
+        p2pkh_lock(&bob.public_key().address_hash()),
+    )];
     let digest = spend_sighash(1, &[(height, position)], &outputs, 0, 0);
-    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+    let us = p2pkh_unlock(
+        &sign_input(&alice, &digest),
+        &alice.public_key().to_compressed(),
+    );
     // 4. Assemble the transaction: the tidy part carries hash(body) only.
-    let tx =
-        EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+    let tx = EbvTransaction::from_parts(
+        1,
+        vec![InputBody {
+            us,
+            proof: Some(proof),
+        }],
+        outputs,
+        0,
+    );
 
     // A miner packages it (stamping the stake position).
     let block1 = pack_ebv_block(
         genesis.header.hash(),
-        vec![ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())), tx.clone()],
+        vec![
+            ebv_coinbase(1, p2pkh_lock(&alice.public_key().address_hash())),
+            tx.clone(),
+        ],
         1,
         0,
     );
@@ -72,45 +91,79 @@ fn main() {
 
     // --- Attacks (paper §V) ---------------------------------------------
     // (a) double spend: same coin again.
-    let proof2 = archive.make_proof(0, 0).expect("coordinates still resolvable");
-    let outputs2 = vec![TxOut::new(value, p2pkh_lock(&alice.public_key().address_hash()))];
+    let proof2 = archive
+        .make_proof(0, 0)
+        .expect("coordinates still resolvable");
+    let outputs2 = vec![TxOut::new(
+        value,
+        p2pkh_lock(&alice.public_key().address_hash()),
+    )];
     let digest2 = spend_sighash(1, &[(0, 0)], &outputs2, 0, 0);
-    let us2 = p2pkh_unlock(&sign_input(&alice, &digest2), &alice.public_key().to_compressed());
+    let us2 = p2pkh_unlock(
+        &sign_input(&alice, &digest2),
+        &alice.public_key().to_compressed(),
+    );
     let double = EbvTransaction::from_parts(
         1,
-        vec![InputBody { us: us2, proof: Some(proof2) }],
+        vec![InputBody {
+            us: us2,
+            proof: Some(proof2),
+        }],
         outputs2,
         0,
     );
     let bad_block = pack_ebv_block(
         block1.header.hash(),
-        vec![ebv_coinbase(2, p2pkh_lock(&alice.public_key().address_hash())), double],
+        vec![
+            ebv_coinbase(2, p2pkh_lock(&alice.public_key().address_hash())),
+            double,
+        ],
         2,
         0,
     );
-    let err = node.process_block(&bad_block).expect_err("double spend must fail");
+    let err = node
+        .process_block(&bad_block)
+        .expect_err("double spend must fail");
     println!("double spend rejected: {err}");
 
     // (b) forged value inside ELs: EV catches the tampered leaf.
     let mut forged_proof = archive.make_proof(1, 1).expect("bob's coin");
     forged_proof.els.outputs[0].value *= 10;
-    let outputs3 = vec![TxOut::new(value * 10, p2pkh_lock(&bob.public_key().address_hash()))];
+    let outputs3 = vec![TxOut::new(
+        value * 10,
+        p2pkh_lock(&bob.public_key().address_hash()),
+    )];
     let digest3 = spend_sighash(1, &[(1, forged_proof.absolute_position())], &outputs3, 0, 0);
-    let us3 = p2pkh_unlock(&sign_input(&bob, &digest3), &bob.public_key().to_compressed());
+    let us3 = p2pkh_unlock(
+        &sign_input(&bob, &digest3),
+        &bob.public_key().to_compressed(),
+    );
     let forged = EbvTransaction::from_parts(
         1,
-        vec![InputBody { us: us3, proof: Some(forged_proof) }],
+        vec![InputBody {
+            us: us3,
+            proof: Some(forged_proof),
+        }],
         outputs3,
         0,
     );
     let bad_block = pack_ebv_block(
         block1.header.hash(),
-        vec![ebv_coinbase(2, p2pkh_lock(&alice.public_key().address_hash())), forged],
+        vec![
+            ebv_coinbase(2, p2pkh_lock(&alice.public_key().address_hash())),
+            forged,
+        ],
         2,
         0,
     );
-    let err = node.process_block(&bad_block).expect_err("forged ELs must fail");
+    let err = node
+        .process_block(&bad_block)
+        .expect_err("forged ELs must fail");
     println!("forged ELs rejected:  {err}");
 
-    println!("tip height: {}, unspent outputs: {}", node.tip_height(), node.total_unspent());
+    println!(
+        "tip height: {}, unspent outputs: {}",
+        node.tip_height(),
+        node.total_unspent()
+    );
 }

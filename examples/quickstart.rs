@@ -47,11 +47,12 @@ fn main() {
     }
     let b = ebv.cumulative_breakdown();
     println!(
-        "EBV validated to height {}: ev {:?}, uv {:?}, sv {:?}, others {:?}",
+        "EBV validated to height {}: ev {:?}, uv {:?}, sv {:?}, commit {:?}, others {:?}",
         ebv.tip_height(),
         b.ev,
         b.uv,
         b.sv,
+        b.commit,
         b.others
     );
 
@@ -75,5 +76,8 @@ fn main() {
         (1.0 - ebv_mem.optimized as f64 / utxo_mem.bytes as f64) * 100.0
     );
     assert_eq!(baseline.utxos().size().count, ebv.total_unspent());
-    println!("both nodes agree on {} unspent outputs", ebv.total_unspent());
+    println!(
+        "both nodes agree on {} unspent outputs",
+        ebv.total_unspent()
+    );
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate. Run from the repository root:
+#
+#   scripts/ci.sh
+#
+# Mirrors .github/workflows/ci.yml exactly so a green local run implies a
+# green CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

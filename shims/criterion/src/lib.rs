@@ -1,0 +1,197 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! A plain timing harness: each `bench_function` runs a short warmup, then
+//! `sample_size` timed samples, and prints min/median/mean per iteration.
+//! No statistics beyond that, no plots, no baselines — just enough for
+//! `cargo bench` to keep producing comparable numbers in an offline
+//! environment.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost is amortized in [`Bencher::iter_batched`].
+/// Only the variants the workspace uses exist; both run one routine call
+/// per setup here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+/// The benchmark driver handed to each target function.
+pub struct Criterion {
+    sample_size: usize,
+    warmup_iters: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            warmup_iters: 3,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Also accepted post-construction (upstream allows both orders).
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        // Warmup: run the body a few times, discarding measurements.
+        for _ in 0..self.warmup_iters {
+            bencher.samples.clear();
+            bencher.target_samples = 1;
+            f(&mut bencher);
+        }
+        bencher.samples.clear();
+        bencher.target_samples = self.sample_size;
+        f(&mut bencher);
+        report(name, &mut bencher.samples);
+        self
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} no samples recorded");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} min {:>12?}   median {:>12?}   mean {:>12?}   ({} samples)",
+        min,
+        median,
+        mean,
+        samples.len()
+    );
+}
+
+/// Collects timed samples of the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; one sample per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh `setup()` product per sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Upstream-compatible group macro, both forms:
+/// `criterion_group!(name, target_a, target_b)` and
+/// `criterion_group! { name = n; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Runs each group from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(5);
+        target(&mut c);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert!(setups >= 4);
+    }
+
+    criterion_group!(simple_group, target);
+    criterion_group! {
+        name = configured_group;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn macros_expand() {
+        simple_group();
+        configured_group();
+    }
+}

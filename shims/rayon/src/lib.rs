@@ -1,0 +1,346 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Implements the slice/range parallel iterators this workspace uses with
+//! `std::thread::scope` and contiguous index chunks. Two deliberate
+//! differences from upstream:
+//!
+//! * `collect::<Result<_, E>>()` is **deterministic**: when several items
+//!   fail, the error of the lowest-index item is returned (upstream rayon
+//!   short-circuits on whichever failure a worker sees first). The EBV
+//!   validation pipeline depends on this for sequential/parallel error
+//!   equivalence.
+//! * Work is split into one contiguous chunk per worker rather than
+//!   work-stolen; with the hash/signature-bound workloads here the items
+//!   are statistically uniform, so static splitting loses little.
+//!
+//! Worker count defaults to `std::thread::available_parallelism()` and can
+//! be overridden per-call-site with `ThreadPoolBuilder::build` +
+//! `ThreadPool::install`, mirroring the upstream API.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+
+thread_local! {
+    /// Per-thread worker-count override installed by [`ThreadPool::install`].
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    WORKER_OVERRIDE.with(|w| w.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; only `num_threads` is
+/// honored.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error type kept for API compatibility; building never fails here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// `0` means "use the default", as in upstream rayon.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes a worker-count override; threads are spawned per
+/// operation (scoped), not pooled.
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count governing any parallel
+    /// iterators it executes.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = WORKER_OVERRIDE.with(|w| w.replace(self.num_threads));
+        let result = op();
+        WORKER_OVERRIDE.with(|w| w.set(prev));
+        result
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(current_num_threads)
+    }
+}
+
+/// An indexed source of items: the executable core of every parallel
+/// iterator here.
+pub trait IndexedSource: Sync + Sized {
+    type Item: Send;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `i`. Called at most once per index.
+    fn item_at(&self, i: usize) -> Self::Item;
+}
+
+/// Run `src` over all indices, in parallel when beneficial, returning the
+/// items in index order.
+fn execute<S: IndexedSource>(src: &S) -> Vec<S::Item> {
+    let n = src.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(|i| src.item_at(i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<S::Item>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let base = start;
+            start += take;
+            scope.spawn(move || {
+                for (off, slot) in head.iter_mut().enumerate() {
+                    *slot = Some(src.item_at(base + off));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+// ---- concrete sources --------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn item_at(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl IndexedSource for RangeIter {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+    fn item_at(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Lazy `map` adapter.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, R> IndexedSource for Map<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn item_at(&self, i: usize) -> R {
+        (self.f)(self.base.item_at(i))
+    }
+}
+
+// ---- user-facing traits ------------------------------------------------
+
+/// The subset of `rayon::iter::ParallelIterator` the workspace uses.
+pub trait ParallelIterator: IndexedSource {
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = self.map(f).drive();
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_items(self.drive())
+    }
+
+    /// Execute eagerly, preserving index order.
+    fn drive(self) -> Vec<Self::Item> {
+        execute(&self)
+    }
+}
+
+impl<S: IndexedSource> ParallelIterator for S {}
+
+/// Collection from an index-ordered item vector.
+pub trait FromParallelIterator<T>: Sized {
+    fn from_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_items(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+impl<E> FromParallelIterator<Result<(), E>> for Result<(), E> {
+    /// Deterministic: the lowest-index failure wins.
+    fn from_items(items: Vec<Result<(), E>>) -> Result<(), E> {
+        items.into_iter().collect()
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    /// Deterministic: the lowest-index failure wins.
+    fn from_items(items: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+        items.into_iter().collect()
+    }
+}
+
+/// `.par_iter()` entry point.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: ParallelIterator;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `.into_par_iter()` entry point.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+pub mod iter {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+pub mod prelude {
+    pub use super::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        let from_range: Vec<usize> = (0..100).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(from_range, (1..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_returns_lowest_index_error() {
+        let v: Vec<usize> = (0..100).collect();
+        let r: Result<(), usize> = v
+            .par_iter()
+            .map(|&x| if x >= 40 { Err(x) } else { Ok(()) })
+            .collect();
+        assert_eq!(r, Err(40));
+        let ok: Result<(), usize> = v.par_iter().map(|_| Ok(())).collect();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn install_overrides_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(super::current_num_threads(), 3);
+            let v: Vec<usize> = (0..10).into_par_iter().map(|x| x).collect();
+            assert_eq!(v.len(), 10);
+        });
+        // Restored afterwards.
+        assert_ne!(super::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&b| b).collect();
+        assert!(out.is_empty());
+        let r: Result<(), ()> = v.par_iter().map(|_| Ok(())).collect();
+        assert!(r.is_ok());
+    }
+}

@@ -187,7 +187,8 @@ fn validate(flags: &HashMap<String, String>) {
         let chain: Vec<EbvBlock> = read_chain(&bytes);
         let mut node = EbvNode::new(&chain[0], EbvConfig::default());
         for (h, block) in chain.iter().enumerate().skip(1) {
-            node.process_block(block).unwrap_or_else(die(&format!("block {h} invalid")));
+            node.process_block(block)
+                .unwrap_or_else(die(&format!("block {h} invalid")));
         }
         let b = node.cumulative_breakdown();
         println!(
@@ -197,11 +198,12 @@ fn validate(flags: &HashMap<String, String>) {
             node.status_memory().optimized
         );
         println!(
-            "validation {:.2}s (ev {:.3}s, uv {:.3}s, sv {:.2}s, others {:.3}s); wall {:.2}s",
+            "validation {:.2}s (ev {:.3}s, uv {:.3}s, sv {:.2}s, commit {:.3}s, others {:.3}s); wall {:.2}s",
             b.total().as_secs_f64(),
             b.ev.as_secs_f64(),
             b.uv.as_secs_f64(),
             b.sv.as_secs_f64(),
+            b.commit.as_secs_f64(),
             b.others.as_secs_f64(),
             started.elapsed().as_secs_f64()
         );
@@ -216,7 +218,8 @@ fn validate(flags: &HashMap<String, String>) {
         let mut node = BaselineNode::new(&chain[0], UtxoSet::new(store), BaselineConfig::default())
             .unwrap_or_else(die("booting node"));
         for (h, block) in chain.iter().enumerate().skip(1) {
-            node.process_block(block).unwrap_or_else(die(&format!("block {h} invalid")));
+            node.process_block(block)
+                .unwrap_or_else(die(&format!("block {h} invalid")));
         }
         let b = node.cumulative_breakdown();
         println!(

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-46dc9ac3657e4eac.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-46dc9ac3657e4eac: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-66397df214788d0d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-66397df214788d0d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

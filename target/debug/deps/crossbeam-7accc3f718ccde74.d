@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-7accc3f718ccde74.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-7accc3f718ccde74: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-ca33a435dddaa122.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ca33a435dddaa122.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-ca33a435dddaa122.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f9a093dbb904f65b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f9a093dbb904f65b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebv-0fcdb7ad4e1e68c8.d: src/lib.rs
+
+/root/repo/target/debug/deps/ebv-0fcdb7ad4e1e68c8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ebv-2c48f61bc9f6e76a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libebv-2c48f61bc9f6e76a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libebv-2c48f61bc9f6e76a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebv-94243d4a9bf4a6dd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv-94243d4a9bf4a6dd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

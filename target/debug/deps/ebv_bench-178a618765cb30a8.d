@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebv_bench-178a618765cb30a8.d: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/ebv_bench-178a618765cb30a8: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/apply.rs:
+crates/bench/src/args.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

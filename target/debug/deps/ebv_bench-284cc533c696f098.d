@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ebv_bench-284cc533c696f098.d: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libebv_bench-284cc533c696f098.rlib: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libebv_bench-284cc533c696f098.rmeta: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/apply.rs:
+crates/bench/src/args.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

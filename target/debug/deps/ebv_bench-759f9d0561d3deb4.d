@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ebv_bench-759f9d0561d3deb4.d: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_bench-759f9d0561d3deb4.rmeta: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/apply.rs:
+crates/bench/src/args.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ebv_chain-0cf66990fa86cd11.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+/root/repo/target/debug/deps/ebv_chain-0cf66990fa86cd11: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/chainstore.rs:
+crates/chain/src/merkle.rs:
+crates/chain/src/transaction.rs:

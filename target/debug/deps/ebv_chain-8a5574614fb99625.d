@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ebv_chain-8a5574614fb99625.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_chain-8a5574614fb99625.rmeta: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs Cargo.toml
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/chainstore.rs:
+crates/chain/src/merkle.rs:
+crates/chain/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ebv_chain-c7d06fb6923c0f94.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+/root/repo/target/debug/deps/libebv_chain-c7d06fb6923c0f94.rlib: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+/root/repo/target/debug/deps/libebv_chain-c7d06fb6923c0f94.rmeta: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/chainstore.rs:
+crates/chain/src/merkle.rs:
+crates/chain/src/transaction.rs:

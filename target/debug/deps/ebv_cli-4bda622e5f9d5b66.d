@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebv_cli-4bda622e5f9d5b66.d: src/bin/ebv-cli.rs
+
+/root/repo/target/debug/deps/ebv_cli-4bda622e5f9d5b66: src/bin/ebv-cli.rs
+
+src/bin/ebv-cli.rs:

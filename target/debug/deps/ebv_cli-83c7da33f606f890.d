@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebv_cli-83c7da33f606f890.d: src/bin/ebv-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_cli-83c7da33f606f890.rmeta: src/bin/ebv-cli.rs Cargo.toml
+
+src/bin/ebv-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

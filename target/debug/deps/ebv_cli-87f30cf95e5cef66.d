@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ebv_cli-87f30cf95e5cef66.d: src/bin/ebv-cli.rs
+
+/root/repo/target/debug/deps/ebv_cli-87f30cf95e5cef66: src/bin/ebv-cli.rs
+
+src/bin/ebv-cli.rs:

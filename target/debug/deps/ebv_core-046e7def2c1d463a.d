@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ebv_core-046e7def2c1d463a.d: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_core-046e7def2c1d463a.rmeta: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_node.rs:
+crates/core/src/bitvec.rs:
+crates/core/src/ebv_node.rs:
+crates/core/src/ibd.rs:
+crates/core/src/intermediary.rs:
+crates/core/src/mempool.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pack.rs:
+crates/core/src/proofs.rs:
+crates/core/src/sighash.rs:
+crates/core/src/sync.rs:
+crates/core/src/tidy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ebv_core-b227b87c340ee2ce.d: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs
+
+/root/repo/target/debug/deps/libebv_core-b227b87c340ee2ce.rlib: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs
+
+/root/repo/target/debug/deps/libebv_core-b227b87c340ee2ce.rmeta: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_node.rs:
+crates/core/src/bitvec.rs:
+crates/core/src/ebv_node.rs:
+crates/core/src/ibd.rs:
+crates/core/src/intermediary.rs:
+crates/core/src/mempool.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pack.rs:
+crates/core/src/proofs.rs:
+crates/core/src/sighash.rs:
+crates/core/src/sync.rs:
+crates/core/src/tidy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebv_netsim-030a3f939e4b760c.d: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+/root/repo/target/debug/deps/ebv_netsim-030a3f939e4b760c: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/validation.rs:

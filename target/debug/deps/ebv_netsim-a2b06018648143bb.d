@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ebv_netsim-a2b06018648143bb.d: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_netsim-a2b06018648143bb.rmeta: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ebv_netsim-f45603410fe48bd2.d: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+/root/repo/target/debug/deps/libebv_netsim-f45603410fe48bd2.rlib: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+/root/repo/target/debug/deps/libebv_netsim-f45603410fe48bd2.rmeta: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/validation.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/ebv_primitives-b1d1310885a6d67a.d: crates/primitives/src/lib.rs crates/primitives/src/base58.rs crates/primitives/src/ec/mod.rs crates/primitives/src/ec/ecdsa.rs crates/primitives/src/ec/field.rs crates/primitives/src/ec/keys.rs crates/primitives/src/ec/point.rs crates/primitives/src/ec/rfc6979.rs crates/primitives/src/ec/scalar.rs crates/primitives/src/encode.rs crates/primitives/src/hash/mod.rs crates/primitives/src/hash/hmac.rs crates/primitives/src/hash/ripemd160.rs crates/primitives/src/hash/sha1.rs crates/primitives/src/hash/sha256.rs crates/primitives/src/hex.rs crates/primitives/src/u256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_primitives-b1d1310885a6d67a.rmeta: crates/primitives/src/lib.rs crates/primitives/src/base58.rs crates/primitives/src/ec/mod.rs crates/primitives/src/ec/ecdsa.rs crates/primitives/src/ec/field.rs crates/primitives/src/ec/keys.rs crates/primitives/src/ec/point.rs crates/primitives/src/ec/rfc6979.rs crates/primitives/src/ec/scalar.rs crates/primitives/src/encode.rs crates/primitives/src/hash/mod.rs crates/primitives/src/hash/hmac.rs crates/primitives/src/hash/ripemd160.rs crates/primitives/src/hash/sha1.rs crates/primitives/src/hash/sha256.rs crates/primitives/src/hex.rs crates/primitives/src/u256.rs Cargo.toml
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/base58.rs:
+crates/primitives/src/ec/mod.rs:
+crates/primitives/src/ec/ecdsa.rs:
+crates/primitives/src/ec/field.rs:
+crates/primitives/src/ec/keys.rs:
+crates/primitives/src/ec/point.rs:
+crates/primitives/src/ec/rfc6979.rs:
+crates/primitives/src/ec/scalar.rs:
+crates/primitives/src/encode.rs:
+crates/primitives/src/hash/mod.rs:
+crates/primitives/src/hash/hmac.rs:
+crates/primitives/src/hash/ripemd160.rs:
+crates/primitives/src/hash/sha1.rs:
+crates/primitives/src/hash/sha256.rs:
+crates/primitives/src/hex.rs:
+crates/primitives/src/u256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

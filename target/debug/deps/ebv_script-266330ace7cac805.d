@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ebv_script-266330ace7cac805.d: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+/root/repo/target/debug/deps/libebv_script-266330ace7cac805.rlib: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+/root/repo/target/debug/deps/libebv_script-266330ace7cac805.rmeta: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+crates/script/src/lib.rs:
+crates/script/src/interpreter.rs:
+crates/script/src/num.rs:
+crates/script/src/opcodes.rs:
+crates/script/src/script.rs:
+crates/script/src/standard.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ebv_script-36bceacc79d5052a.d: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_script-36bceacc79d5052a.rmeta: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs Cargo.toml
+
+crates/script/src/lib.rs:
+crates/script/src/interpreter.rs:
+crates/script/src/num.rs:
+crates/script/src/opcodes.rs:
+crates/script/src/script.rs:
+crates/script/src/standard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ebv_script-b87531728d6c651e.d: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+/root/repo/target/debug/deps/ebv_script-b87531728d6c651e: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+crates/script/src/lib.rs:
+crates/script/src/interpreter.rs:
+crates/script/src/num.rs:
+crates/script/src/opcodes.rs:
+crates/script/src/script.rs:
+crates/script/src/standard.rs:

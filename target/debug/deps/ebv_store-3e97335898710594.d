@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ebv_store-3e97335898710594.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_store-3e97335898710594.rmeta: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/disk.rs:
+crates/store/src/kv.rs:
+crates/store/src/stats.rs:
+crates/store/src/utxo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

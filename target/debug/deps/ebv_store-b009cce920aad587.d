@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ebv_store-b009cce920aad587.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+/root/repo/target/debug/deps/libebv_store-b009cce920aad587.rlib: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+/root/repo/target/debug/deps/libebv_store-b009cce920aad587.rmeta: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/disk.rs:
+crates/store/src/kv.rs:
+crates/store/src/stats.rs:
+crates/store/src/utxo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ebv_store-ff9d99f6360c1d46.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+/root/repo/target/debug/deps/ebv_store-ff9d99f6360c1d46: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/disk.rs:
+crates/store/src/kv.rs:
+crates/store/src/stats.rs:
+crates/store/src/utxo.rs:

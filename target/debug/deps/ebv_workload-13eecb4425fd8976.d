@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ebv_workload-13eecb4425fd8976.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebv_workload-13eecb4425fd8976.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/params.rs:
+crates/workload/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ebv_workload-b618fe21a61460c0.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libebv_workload-b618fe21a61460c0.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libebv_workload-b618fe21a61460c0.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/params.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebv_workload-fdcb6b3dfc7ef21e.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/ebv_workload-fdcb6b3dfc7ef21e: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/params.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-abafcf6237e87a4c.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-abafcf6237e87a4c: tests/end_to_end.rs
+
+tests/end_to_end.rs:

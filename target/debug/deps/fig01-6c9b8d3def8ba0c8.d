@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-6c9b8d3def8ba0c8.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-6c9b8d3def8ba0c8: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

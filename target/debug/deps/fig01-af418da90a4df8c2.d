@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-af418da90a4df8c2.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-af418da90a4df8c2: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-839a5fc837f1616a.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-839a5fc837f1616a: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

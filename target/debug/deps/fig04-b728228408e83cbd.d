@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04-b728228408e83cbd.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/debug/deps/fig04-b728228408e83cbd: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-27c3d33b818c851d.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-27c3d33b818c851d: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05-871d9bb1862b6fc1.d: crates/bench/src/bin/fig05.rs
+
+/root/repo/target/debug/deps/fig05-871d9bb1862b6fc1: crates/bench/src/bin/fig05.rs
+
+crates/bench/src/bin/fig05.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-76a9686caa7ca63a.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-76a9686caa7ca63a: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

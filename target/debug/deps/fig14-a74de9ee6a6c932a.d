@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-a74de9ee6a6c932a.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-a74de9ee6a6c932a: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-3a04a08e34211e03.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-3a04a08e34211e03: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

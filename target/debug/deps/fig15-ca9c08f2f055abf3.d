@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15-ca9c08f2f055abf3.d: crates/bench/src/bin/fig15.rs
+
+/root/repo/target/debug/deps/fig15-ca9c08f2f055abf3: crates/bench/src/bin/fig15.rs
+
+crates/bench/src/bin/fig15.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-78082261bda35131.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-78082261bda35131: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16-fb139101d93ced89.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/debug/deps/fig16-fb139101d93ced89: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

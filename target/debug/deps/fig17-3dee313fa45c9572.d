@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-3dee313fa45c9572.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-3dee313fa45c9572: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17-4031c490245161c1.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/debug/deps/fig17-4031c490245161c1: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

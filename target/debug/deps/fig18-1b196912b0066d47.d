@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-1b196912b0066d47.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-1b196912b0066d47: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18-9afeb16bd709132d.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/debug/deps/fig18-9afeb16bd709132d: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

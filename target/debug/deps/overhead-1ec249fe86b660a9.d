@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-1ec249fe86b660a9.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-1ec249fe86b660a9: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

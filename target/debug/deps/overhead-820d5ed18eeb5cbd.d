@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-820d5ed18eeb5cbd.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-820d5ed18eeb5cbd: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

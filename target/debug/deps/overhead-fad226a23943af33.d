@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-fad226a23943af33.d: crates/bench/src/bin/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-fad226a23943af33.rmeta: crates/bench/src/bin/overhead.rs Cargo.toml
+
+crates/bench/src/bin/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-79e56833587847a5.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-79e56833587847a5: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-907f825955a2d473.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-907f825955a2d473: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-a3125c3c6be5e890.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-a3125c3c6be5e890: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ded1d87b5863aeba.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ded1d87b5863aeba.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ded1d87b5863aeba.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-4a9d55a369d6b770.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-4a9d55a369d6b770.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-4a9d55a369d6b770.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-664c647edd3306d3.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-664c647edd3306d3: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reorg-4e0018ec18cb9301.d: tests/reorg.rs
+
+/root/repo/target/debug/deps/reorg-4e0018ec18cb9301: tests/reorg.rs
+
+tests/reorg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-88a737516f2a758a.d: crates/script/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-88a737516f2a758a: crates/script/tests/robustness.rs
+
+crates/script/tests/robustness.rs:

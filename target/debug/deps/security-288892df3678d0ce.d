@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-288892df3678d0ce.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-288892df3678d0ce: tests/security.rs
+
+tests/security.rs:

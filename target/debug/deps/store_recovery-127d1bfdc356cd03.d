@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_recovery-127d1bfdc356cd03.d: tests/store_recovery.rs
+
+/root/repo/target/debug/deps/store_recovery-127d1bfdc356cd03: tests/store_recovery.rs
+
+tests/store_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_all-4e087f54ef9e3811.d: crates/bench/src/bin/table_all.rs
+
+/root/repo/target/debug/deps/table_all-4e087f54ef9e3811: crates/bench/src/bin/table_all.rs
+
+crates/bench/src/bin/table_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_all-7fcf4383f9f2b45f.d: crates/bench/src/bin/table_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_all-7fcf4383f9f2b45f.rmeta: crates/bench/src/bin/table_all.rs Cargo.toml
+
+crates/bench/src/bin/table_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

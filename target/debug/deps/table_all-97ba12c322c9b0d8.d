@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_all-97ba12c322c9b0d8.d: crates/bench/src/bin/table_all.rs
+
+/root/repo/target/debug/deps/table_all-97ba12c322c9b0d8: crates/bench/src/bin/table_all.rs
+
+crates/bench/src/bin/table_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ibd_comparison-8b7ae550622de215.d: examples/ibd_comparison.rs
+
+/root/repo/target/debug/examples/ibd_comparison-8b7ae550622de215: examples/ibd_comparison.rs
+
+examples/ibd_comparison.rs:

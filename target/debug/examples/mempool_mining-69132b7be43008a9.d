@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mempool_mining-69132b7be43008a9.d: examples/mempool_mining.rs
+
+/root/repo/target/debug/examples/mempool_mining-69132b7be43008a9: examples/mempool_mining.rs
+
+examples/mempool_mining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/propagation-001c1f2392b17268.d: examples/propagation.rs
+
+/root/repo/target/debug/examples/propagation-001c1f2392b17268: examples/propagation.rs
+
+examples/propagation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/propose_transaction-70634af6e741f5b6.d: examples/propose_transaction.rs
+
+/root/repo/target/debug/examples/propose_transaction-70634af6e741f5b6: examples/propose_transaction.rs
+
+examples/propose_transaction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4ff880b628cd4483.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4ff880b628cd4483: examples/quickstart.rs
+
+examples/quickstart.rs:

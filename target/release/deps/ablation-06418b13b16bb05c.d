@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-06418b13b16bb05c.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-06418b13b16bb05c: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ebv-44ea1f6a87086ea4.d: src/lib.rs
+
+/root/repo/target/release/deps/libebv-44ea1f6a87086ea4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libebv-44ea1f6a87086ea4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ebv_bench-072b626fac994662.d: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libebv_bench-072b626fac994662.rlib: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libebv_bench-072b626fac994662.rmeta: crates/bench/src/lib.rs crates/bench/src/apply.rs crates/bench/src/args.rs crates/bench/src/scenario.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/apply.rs:
+crates/bench/src/args.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ebv_chain-23b3e760ff9367ee.d: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+/root/repo/target/release/deps/libebv_chain-23b3e760ff9367ee.rlib: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+/root/repo/target/release/deps/libebv_chain-23b3e760ff9367ee.rmeta: crates/chain/src/lib.rs crates/chain/src/block.rs crates/chain/src/builder.rs crates/chain/src/chainstore.rs crates/chain/src/merkle.rs crates/chain/src/transaction.rs
+
+crates/chain/src/lib.rs:
+crates/chain/src/block.rs:
+crates/chain/src/builder.rs:
+crates/chain/src/chainstore.rs:
+crates/chain/src/merkle.rs:
+crates/chain/src/transaction.rs:

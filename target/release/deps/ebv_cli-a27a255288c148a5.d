@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ebv_cli-a27a255288c148a5.d: src/bin/ebv-cli.rs
+
+/root/repo/target/release/deps/ebv_cli-a27a255288c148a5: src/bin/ebv-cli.rs
+
+src/bin/ebv-cli.rs:

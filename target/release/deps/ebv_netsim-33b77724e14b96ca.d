@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ebv_netsim-33b77724e14b96ca.d: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+/root/repo/target/release/deps/libebv_netsim-33b77724e14b96ca.rlib: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+/root/repo/target/release/deps/libebv_netsim-33b77724e14b96ca.rmeta: crates/netsim/src/lib.rs crates/netsim/src/experiment.rs crates/netsim/src/sim.rs crates/netsim/src/topology.rs crates/netsim/src/validation.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/validation.rs:

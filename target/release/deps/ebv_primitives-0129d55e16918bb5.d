@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/ebv_primitives-0129d55e16918bb5.d: crates/primitives/src/lib.rs crates/primitives/src/base58.rs crates/primitives/src/ec/mod.rs crates/primitives/src/ec/ecdsa.rs crates/primitives/src/ec/field.rs crates/primitives/src/ec/keys.rs crates/primitives/src/ec/point.rs crates/primitives/src/ec/rfc6979.rs crates/primitives/src/ec/scalar.rs crates/primitives/src/encode.rs crates/primitives/src/hash/mod.rs crates/primitives/src/hash/hmac.rs crates/primitives/src/hash/ripemd160.rs crates/primitives/src/hash/sha1.rs crates/primitives/src/hash/sha256.rs crates/primitives/src/hex.rs crates/primitives/src/u256.rs
+
+/root/repo/target/release/deps/libebv_primitives-0129d55e16918bb5.rlib: crates/primitives/src/lib.rs crates/primitives/src/base58.rs crates/primitives/src/ec/mod.rs crates/primitives/src/ec/ecdsa.rs crates/primitives/src/ec/field.rs crates/primitives/src/ec/keys.rs crates/primitives/src/ec/point.rs crates/primitives/src/ec/rfc6979.rs crates/primitives/src/ec/scalar.rs crates/primitives/src/encode.rs crates/primitives/src/hash/mod.rs crates/primitives/src/hash/hmac.rs crates/primitives/src/hash/ripemd160.rs crates/primitives/src/hash/sha1.rs crates/primitives/src/hash/sha256.rs crates/primitives/src/hex.rs crates/primitives/src/u256.rs
+
+/root/repo/target/release/deps/libebv_primitives-0129d55e16918bb5.rmeta: crates/primitives/src/lib.rs crates/primitives/src/base58.rs crates/primitives/src/ec/mod.rs crates/primitives/src/ec/ecdsa.rs crates/primitives/src/ec/field.rs crates/primitives/src/ec/keys.rs crates/primitives/src/ec/point.rs crates/primitives/src/ec/rfc6979.rs crates/primitives/src/ec/scalar.rs crates/primitives/src/encode.rs crates/primitives/src/hash/mod.rs crates/primitives/src/hash/hmac.rs crates/primitives/src/hash/ripemd160.rs crates/primitives/src/hash/sha1.rs crates/primitives/src/hash/sha256.rs crates/primitives/src/hex.rs crates/primitives/src/u256.rs
+
+crates/primitives/src/lib.rs:
+crates/primitives/src/base58.rs:
+crates/primitives/src/ec/mod.rs:
+crates/primitives/src/ec/ecdsa.rs:
+crates/primitives/src/ec/field.rs:
+crates/primitives/src/ec/keys.rs:
+crates/primitives/src/ec/point.rs:
+crates/primitives/src/ec/rfc6979.rs:
+crates/primitives/src/ec/scalar.rs:
+crates/primitives/src/encode.rs:
+crates/primitives/src/hash/mod.rs:
+crates/primitives/src/hash/hmac.rs:
+crates/primitives/src/hash/ripemd160.rs:
+crates/primitives/src/hash/sha1.rs:
+crates/primitives/src/hash/sha256.rs:
+crates/primitives/src/hex.rs:
+crates/primitives/src/u256.rs:

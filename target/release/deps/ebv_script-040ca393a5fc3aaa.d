@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ebv_script-040ca393a5fc3aaa.d: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+/root/repo/target/release/deps/libebv_script-040ca393a5fc3aaa.rlib: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+/root/repo/target/release/deps/libebv_script-040ca393a5fc3aaa.rmeta: crates/script/src/lib.rs crates/script/src/interpreter.rs crates/script/src/num.rs crates/script/src/opcodes.rs crates/script/src/script.rs crates/script/src/standard.rs
+
+crates/script/src/lib.rs:
+crates/script/src/interpreter.rs:
+crates/script/src/num.rs:
+crates/script/src/opcodes.rs:
+crates/script/src/script.rs:
+crates/script/src/standard.rs:

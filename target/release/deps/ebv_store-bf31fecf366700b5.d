@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ebv_store-bf31fecf366700b5.d: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+/root/repo/target/release/deps/libebv_store-bf31fecf366700b5.rlib: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+/root/repo/target/release/deps/libebv_store-bf31fecf366700b5.rmeta: crates/store/src/lib.rs crates/store/src/cache.rs crates/store/src/disk.rs crates/store/src/kv.rs crates/store/src/stats.rs crates/store/src/utxo.rs
+
+crates/store/src/lib.rs:
+crates/store/src/cache.rs:
+crates/store/src/disk.rs:
+crates/store/src/kv.rs:
+crates/store/src/stats.rs:
+crates/store/src/utxo.rs:

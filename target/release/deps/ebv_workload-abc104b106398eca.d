@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ebv_workload-abc104b106398eca.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libebv_workload-abc104b106398eca.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libebv_workload-abc104b106398eca.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/keys.rs crates/workload/src/params.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/keys.rs:
+crates/workload/src/params.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-b8283ea4cf7b9702.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-b8283ea4cf7b9702: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

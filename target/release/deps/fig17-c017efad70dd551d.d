@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-c017efad70dd551d.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-c017efad70dd551d: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f8e40f3f44c4bc33.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f8e40f3f44c4bc33.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f8e40f3f44c4bc33.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

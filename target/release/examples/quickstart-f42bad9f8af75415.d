@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f42bad9f8af75415.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f42bad9f8af75415: examples/quickstart.rs
+
+examples/quickstart.rs:

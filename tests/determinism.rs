@@ -9,7 +9,9 @@ use ebv::workload::{ChainGenerator, ChainProfile, GeneratorParams};
 fn identical_seeds_produce_identical_everything() {
     let run = |seed: u64| {
         let blocks = ChainGenerator::new(GeneratorParams::tiny(10, seed)).generate();
-        let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+        let ebv_blocks = Intermediary::new(0)
+            .convert_chain(&blocks)
+            .expect("conversion");
         let mut node = EbvNode::new(&ebv_blocks[0], EbvConfig::default());
         for b in &ebv_blocks[1..] {
             node.process_block(b).expect("valid");

@@ -14,12 +14,16 @@ fn utxo_set(budget: usize) -> UtxoSet {
 #[test]
 fn generated_chain_validates_on_both_nodes() {
     let blocks = ChainGenerator::new(GeneratorParams::tiny(15, 21)).generate();
-    let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+    let ebv_blocks = Intermediary::new(0)
+        .convert_chain(&blocks)
+        .expect("conversion");
 
     let mut baseline =
         BaselineNode::new(&blocks[0], utxo_set(8 << 20), BaselineConfig::default()).expect("boot");
     for b in &blocks[1..] {
-        baseline.process_block(b).expect("baseline accepts generated block");
+        baseline
+            .process_block(b)
+            .expect("baseline accepts generated block");
     }
 
     let mut ebv = EbvNode::new(&ebv_blocks[0], EbvConfig::default());
@@ -55,9 +59,8 @@ fn tight_budget_changes_performance_not_results() {
         path: None,
     })
     .expect("store");
-    let mut starved =
-        BaselineNode::new(&blocks[0], UtxoSet::new(store), BaselineConfig::default())
-            .expect("boot");
+    let mut starved = BaselineNode::new(&blocks[0], UtxoSet::new(store), BaselineConfig::default())
+        .expect("boot");
 
     for b in &blocks[1..] {
         roomy.process_block(b).expect("roomy accepts");
@@ -72,7 +75,9 @@ fn tight_budget_changes_performance_not_results() {
 #[test]
 fn ibd_drivers_cover_whole_chain() {
     let blocks = ChainGenerator::new(GeneratorParams::tiny(20, 8)).generate();
-    let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+    let ebv_blocks = Intermediary::new(0)
+        .convert_chain(&blocks)
+        .expect("conversion");
 
     let mut baseline =
         BaselineNode::new(&blocks[0], utxo_set(8 << 20), BaselineConfig::default()).expect("boot");
@@ -94,7 +99,9 @@ fn proof_overhead_is_logarithmic_in_block_size() {
     // The EBV proof carries ~32·log2(n_tx) bytes of Merkle branch; check
     // branches in converted blocks have the expected length.
     let blocks = ChainGenerator::new(GeneratorParams::mainnet_like(30, 13)).generate();
-    let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+    let ebv_blocks = Intermediary::new(0)
+        .convert_chain(&blocks)
+        .expect("conversion");
     for eb in &ebv_blocks {
         let n_tx = eb.transactions.len();
         let max_height = (n_tx as f64).log2().ceil() as usize;
@@ -117,7 +124,9 @@ fn proof_overhead_is_logarithmic_in_block_size() {
 fn ebv_blocks_round_trip_through_wire_format() {
     use ebv::primitives::encode::{Decodable, Encodable};
     let blocks = ChainGenerator::new(GeneratorParams::tiny(6, 2)).generate();
-    let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+    let ebv_blocks = Intermediary::new(0)
+        .convert_chain(&blocks)
+        .expect("conversion");
     for eb in &ebv_blocks {
         let bytes = eb.to_bytes();
         let decoded = ebv_core::EbvBlock::from_bytes(&bytes).expect("decodes");

@@ -1,0 +1,176 @@
+//! End-to-end properties of the EBV validation pipeline:
+//!
+//! * the sequential and parallel configurations are observationally
+//!   identical — same accept/reject decision and the same `EbvError` on
+//!   every block, valid or tampered, over a ~1k-block random chain;
+//! * `disconnect_tip` restores the bit-vector set exactly (connect /
+//!   disconnect round trip).
+
+use ebv_core::tidy::{EbvBlock, InputBody};
+use ebv_core::{BlockBitVector, EbvConfig, EbvNode, Intermediary};
+use ebv_primitives::hash::sha256d;
+use ebv_script::Script;
+use ebv_workload::{ChainGenerator, GeneratorParams};
+
+/// Generate a chain and convert it to EBV form (genesis included).
+fn build_ebv_chain(params: GeneratorParams) -> Vec<EbvBlock> {
+    let blocks = ChainGenerator::new(params).generate();
+    Intermediary::new(0)
+        .convert_chain(&blocks)
+        .expect("generated chains always convert")
+}
+
+/// Recompute the hash links after mutating transaction `tx`'s bodies.
+fn relink(block: &mut EbvBlock, tx: usize) {
+    let hashes: Vec<_> = block.transactions[tx]
+        .bodies
+        .iter()
+        .map(InputBody::hash)
+        .collect();
+    block.transactions[tx].tidy.input_hashes = hashes;
+    block.header.merkle_root = block.compute_merkle_root();
+}
+
+/// A deterministically corrupted copy of `block`; `mode` selects which
+/// validation phase the corruption targets.
+fn tamper(block: &EbvBlock, mode: usize) -> EbvBlock {
+    let mut b = block.clone();
+    let has_spend = b.transactions.len() > 1 && b.transactions[1].bodies[0].proof.is_some();
+    match if has_spend { mode % 6 } else { 5 } {
+        0 => {
+            // Proof claims a nonexistent height → BadHeight (EV).
+            b.transactions[1].bodies[0].proof.as_mut().unwrap().height = 1_000_000;
+            relink(&mut b, 1);
+        }
+        1 => {
+            // Forged ELs value → the leaf no longer folds to the stored
+            // root → EvFailed.
+            let p = b.transactions[1].bodies[0].proof.as_mut().unwrap();
+            let rel = p.relative_position as usize;
+            p.els.outputs[rel].value += 1;
+            relink(&mut b, 1);
+        }
+        2 => {
+            // Outputs worth more than the inputs → ValueImbalance.
+            b.transactions[1].tidy.outputs[0].value = u64::MAX / 2;
+            b.header.merkle_root = b.compute_merkle_root();
+        }
+        3 => {
+            // Unlocking script emptied → SvFailed.
+            b.transactions[1].bodies[0].us = Script::new();
+            relink(&mut b, 1);
+        }
+        4 => {
+            // Lying stake position → StakeMismatch.
+            b.transactions[1].tidy.stake_position += 1;
+            b.header.merkle_root = b.compute_merkle_root();
+        }
+        _ => {
+            // Bogus Merkle root → MerkleMismatch.
+            b.header.merkle_root = sha256d(b"bogus root");
+        }
+    }
+    b
+}
+
+#[test]
+fn sequential_and_parallel_pipelines_agree() {
+    let chain = build_ebv_chain(GeneratorParams::tiny(1000, 0xd1ff));
+    let mut par = EbvNode::new(&chain[0], EbvConfig::default());
+    let mut seq = EbvNode::new(&chain[0], EbvConfig::sequential());
+    let mut two = EbvNode::new(
+        &chain[0],
+        EbvConfig {
+            workers: Some(2),
+            ..EbvConfig::default()
+        },
+    );
+
+    for (h, block) in chain.iter().enumerate().skip(1) {
+        // Every 7th block, feed all nodes a tampered copy first and
+        // require the identical rejection (cycling through corruption
+        // targets so every phase's error selection is exercised).
+        if h % 7 == 0 {
+            let bad = tamper(block, h / 7);
+            let e_par = par
+                .process_block(&bad)
+                .expect_err("tampered block rejected");
+            let e_seq = seq
+                .process_block(&bad)
+                .expect_err("tampered block rejected");
+            let e_two = two
+                .process_block(&bad)
+                .expect_err("tampered block rejected");
+            assert_eq!(e_par, e_seq, "height {h}: parallel vs sequential error");
+            assert_eq!(e_par, e_two, "height {h}: default vs 2-worker error");
+        }
+        // `Ok` carries wall-clock timings, so compare decisions + errors.
+        let r_par = par.process_block(block);
+        let r_seq = seq.process_block(block);
+        let r_two = two.process_block(block);
+        assert_eq!(
+            r_par.as_ref().err(),
+            r_seq.as_ref().err(),
+            "height {h}: par vs seq error"
+        );
+        assert_eq!(
+            r_par.as_ref().err(),
+            r_two.as_ref().err(),
+            "height {h}: 2-worker error"
+        );
+        assert!(r_par.is_ok(), "height {h}: generated block must validate");
+    }
+
+    // Identical decisions must leave identical state.
+    assert_eq!(par.tip_height(), seq.tip_height());
+    assert_eq!(par.tip_hash(), seq.tip_hash());
+    assert_eq!(par.total_unspent(), seq.total_unspent());
+    assert_eq!(par.status_memory(), seq.status_memory());
+    for h in 0..=par.tip_height() {
+        assert_eq!(
+            par.bitvecs().vector(h),
+            seq.bitvecs().vector(h),
+            "vector at height {h}"
+        );
+    }
+}
+
+#[test]
+fn connect_disconnect_round_trip_restores_bitvectors() {
+    let chain = build_ebv_chain(GeneratorParams::mainnet_like(120, 0xabc));
+    let mut node = EbvNode::new(&chain[0], EbvConfig::default());
+    let split = 80usize;
+    for block in &chain[1..split] {
+        node.process_block(block).expect("valid block");
+    }
+
+    // Snapshot the full bit-vector state at the split point.
+    let snap_tip = node.tip_hash();
+    let snap_unspent = node.total_unspent();
+    let snapshot: Vec<Option<BlockBitVector>> = (0..chain.len() as u32)
+        .map(|h| node.bitvecs().vector(h).cloned())
+        .collect();
+
+    for block in &chain[split..] {
+        node.process_block(block).expect("valid block");
+    }
+    assert_eq!(node.tip_height() as usize, chain.len() - 1);
+
+    while node.tip_height() as usize >= split {
+        node.disconnect_tip().expect("undo data present");
+    }
+
+    assert_eq!(node.tip_hash(), snap_tip);
+    assert_eq!(node.total_unspent(), snap_unspent);
+    let restored = (0..chain.len() as u32)
+        .filter(|&h| node.bitvecs().vector(h).is_some())
+        .count();
+    assert_eq!(restored, snapshot.iter().filter(|v| v.is_some()).count());
+    for (h, expect) in snapshot.iter().enumerate() {
+        assert_eq!(
+            node.bitvecs().vector(h as u32),
+            expect.as_ref(),
+            "bit vector at height {h} must be restored exactly"
+        );
+    }
+}

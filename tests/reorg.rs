@@ -7,7 +7,9 @@ use ebv::workload::{ChainGenerator, GeneratorParams};
 
 fn chain_pair() -> (Vec<ebv::chain::Block>, Vec<ebv_core::EbvBlock>) {
     let blocks = ChainGenerator::new(GeneratorParams::tiny(12, 31)).generate();
-    let ebv_blocks = Intermediary::new(0).convert_chain(&blocks).expect("conversion");
+    let ebv_blocks = Intermediary::new(0)
+        .convert_chain(&blocks)
+        .expect("conversion");
     (blocks, ebv_blocks)
 }
 
@@ -63,8 +65,7 @@ fn ebv_disconnect_to_genesis_then_stop() {
 fn baseline_disconnect_restores_utxo_set() {
     let (blocks, _) = chain_pair();
     let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(8 << 20)).expect("store"));
-    let mut node =
-        BaselineNode::new(&blocks[0], utxos, BaselineConfig::default()).expect("boot");
+    let mut node = BaselineNode::new(&blocks[0], utxos, BaselineConfig::default()).expect("boot");
 
     for b in &blocks[1..=6] {
         node.process_block(b).expect("valid");

@@ -18,7 +18,10 @@ fn world() -> (EbvNode, ProofArchive, PrivateKey, EbvBlock) {
     let alice = PrivateKey::from_seed(50);
     let genesis = pack_ebv_block(
         Hash256::ZERO,
-        vec![ebv_coinbase(0, p2pkh_lock(&alice.public_key().address_hash()))],
+        vec![ebv_coinbase(
+            0,
+            p2pkh_lock(&alice.public_key().address_hash()),
+        )],
         0,
         0,
     );
@@ -29,15 +32,39 @@ fn world() -> (EbvNode, ProofArchive, PrivateKey, EbvBlock) {
 }
 
 fn spend_with(proof: InputProof, signer: &PrivateKey, out_value: u64) -> EbvTransaction {
-    let outputs = vec![TxOut::new(out_value, p2pkh_lock(&signer.public_key().address_hash()))];
-    let digest =
-        spend_sighash(1, &[(proof.height, proof.absolute_position())], &outputs, 0, 0);
-    let us = p2pkh_unlock(&sign_input(signer, &digest), &signer.public_key().to_compressed());
-    EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0)
+    let outputs = vec![TxOut::new(
+        out_value,
+        p2pkh_lock(&signer.public_key().address_hash()),
+    )];
+    let digest = spend_sighash(
+        1,
+        &[(proof.height, proof.absolute_position())],
+        &outputs,
+        0,
+        0,
+    );
+    let us = p2pkh_unlock(
+        &sign_input(signer, &digest),
+        &signer.public_key().to_compressed(),
+    );
+    EbvTransaction::from_parts(
+        1,
+        vec![InputBody {
+            us,
+            proof: Some(proof),
+        }],
+        outputs,
+        0,
+    )
 }
 
 fn block_with(node: &EbvNode, height: u32, tx: EbvTransaction) -> EbvBlock {
-    pack_ebv_block(node.tip_hash(), vec![ebv_coinbase(height, ebv::script::Script::new()), tx], height, 0)
+    pack_ebv_block(
+        node.tip_hash(),
+        vec![ebv_coinbase(height, ebv::script::Script::new()), tx],
+        height,
+        0,
+    )
 }
 
 #[test]
@@ -68,11 +95,19 @@ fn spending_an_already_spent_output_fails_uv() {
     archive.add_block(1, &b1);
 
     // Second spend of the same coordinates.
-    let proof = archive.make_proof(0, 0).expect("coordinates still derivable");
+    let proof = archive
+        .make_proof(0, 0)
+        .expect("coordinates still derivable");
     let tx = spend_with(proof, &alice, 500);
     let err = node.process_block(&block_with(&node, 2, tx)).unwrap_err();
     assert!(
-        matches!(err, EbvError::UvFailed { err: UvError::UnknownHeight(0), .. }),
+        matches!(
+            err,
+            EbvError::UvFailed {
+                err: UvError::UnknownHeight(0),
+                ..
+            }
+        ),
         "fully-spent block's vector was deleted, so UV reports unknown height: {err:?}"
     );
 }
@@ -86,7 +121,10 @@ fn fake_position_is_caught() {
     proof.relative_position = 1;
     let tx = spend_with(proof, &alice, 1000);
     let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
-    assert!(matches!(err, EbvError::PositionOutOfEls { .. }), "got {err:?}");
+    assert!(
+        matches!(err, EbvError::PositionOutOfEls { .. }),
+        "got {err:?}"
+    );
 }
 
 #[test]
@@ -129,12 +167,29 @@ fn replayed_signature_on_different_outputs_fails_sv() {
 fn inflating_value_beyond_inputs_fails() {
     let (mut node, archive, alice, _) = world();
     let proof = archive.make_proof(0, 0).expect("exists");
-    let outputs = vec![TxOut::new(BLOCK_SUBSIDY * 2, p2pkh_lock(&alice.public_key().address_hash()))];
+    let outputs = vec![TxOut::new(
+        BLOCK_SUBSIDY * 2,
+        p2pkh_lock(&alice.public_key().address_hash()),
+    )];
     let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
-    let tx = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+    let us = p2pkh_unlock(
+        &sign_input(&alice, &digest),
+        &alice.public_key().to_compressed(),
+    );
+    let tx = EbvTransaction::from_parts(
+        1,
+        vec![InputBody {
+            us,
+            proof: Some(proof),
+        }],
+        outputs,
+        0,
+    );
     let err = node.process_block(&block_with(&node, 1, tx)).unwrap_err();
-    assert!(matches!(err, EbvError::ValueImbalance { .. }), "got {err:?}");
+    assert!(
+        matches!(err, EbvError::ValueImbalance { .. }),
+        "got {err:?}"
+    );
 }
 
 #[test]
@@ -190,8 +245,19 @@ fn timelocked_output_respects_cltv() {
     let proof = archive.make_proof(0, 0).expect("genesis coin");
     let outputs = vec![TxOut::new(BLOCK_SUBSIDY, lock)];
     let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
-    let fund = EbvTransaction::from_parts(1, vec![InputBody { us, proof: Some(proof) }], outputs, 0);
+    let us = p2pkh_unlock(
+        &sign_input(&alice, &digest),
+        &alice.public_key().to_compressed(),
+    );
+    let fund = EbvTransaction::from_parts(
+        1,
+        vec![InputBody {
+            us,
+            proof: Some(proof),
+        }],
+        outputs,
+        0,
+    );
     let b1 = block_with(&node, 1, fund);
     node.process_block(&b1).expect("funding block valid");
     archive.add_block(1, &b1);
@@ -199,14 +265,21 @@ fn timelocked_output_respects_cltv() {
     // Spend attempt with lock_time 0: CLTV fails.
     let build_spend = |archive: &ProofArchive, lock_time: u32| {
         let proof = archive.make_proof(1, 1).expect("timelocked coin");
-        let outputs =
-            vec![TxOut::new(1000, p2pkh_lock(&alice.public_key().address_hash()))];
+        let outputs = vec![TxOut::new(
+            1000,
+            p2pkh_lock(&alice.public_key().address_hash()),
+        )];
         let digest = spend_sighash(1, &[(1, 1)], &outputs, lock_time, 0);
-        let us =
-            p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+        let us = p2pkh_unlock(
+            &sign_input(&alice, &digest),
+            &alice.public_key().to_compressed(),
+        );
         EbvTransaction::from_parts(
             1,
-            vec![InputBody { us, proof: Some(proof) }],
+            vec![InputBody {
+                us,
+                proof: Some(proof),
+            }],
             outputs,
             lock_time,
         )
@@ -235,7 +308,11 @@ fn baseline_rejects_the_same_attacks() {
     let alice = PrivateKey::from_seed(50);
     let genesis = build_block(
         Hash256::ZERO,
-        coinbase_tx(0, p2pkh_lock(&alice.public_key().address_hash()), Vec::new()),
+        coinbase_tx(
+            0,
+            p2pkh_lock(&alice.public_key().address_hash()),
+            Vec::new(),
+        ),
         Vec::new(),
         0,
         0,
@@ -245,7 +322,10 @@ fn baseline_rejects_the_same_attacks() {
 
     let outputs = vec![TxOut::new(1, ebv::script::Script::new())];
     let digest = spend_sighash(1, &[(0, 0)], &outputs, 0, 0);
-    let us = p2pkh_unlock(&sign_input(&alice, &digest), &alice.public_key().to_compressed());
+    let us = p2pkh_unlock(
+        &sign_input(&alice, &digest),
+        &alice.public_key().to_compressed(),
+    );
     let ghost = Transaction {
         version: 1,
         inputs: vec![TxIn::new(OutPoint::new(sha256d(b"ghost"), 0), us)],
@@ -260,5 +340,8 @@ fn baseline_rejects_the_same_attacks() {
         0,
     );
     let err = node.process_block(&block).unwrap_err();
-    assert!(matches!(err, BaselineError::MissingUtxo { .. }), "got {err:?}");
+    assert!(
+        matches!(err, BaselineError::MissingUtxo { .. }),
+        "got {err:?}"
+    );
 }

@@ -79,18 +79,30 @@ fn crash_mid_append_loses_only_the_torn_record() {
     // record header.
     {
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).expect("open raw");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open raw");
         f.write_all(&[1u8, 90, 0, 0]).expect("torn tail");
     }
     let mut kv = KvStore::open_at(&path, 1 << 20, LatencyModel::none()).expect("recovers");
-    assert_eq!(kv.get(b"durable-1").expect("io").expect("present"), vec![1; 40]);
-    assert_eq!(kv.get(b"durable-2").expect("io").expect("present"), vec![2; 40]);
+    assert_eq!(
+        kv.get(b"durable-1").expect("io").expect("present"),
+        vec![1; 40]
+    );
+    assert_eq!(
+        kv.get(b"durable-2").expect("io").expect("present"),
+        vec![2; 40]
+    );
     // And the store keeps working after recovery.
     kv.put(b"post-crash", vec![3; 8]).expect("put");
     kv.flush().expect("flush");
     drop(kv);
     let mut kv = KvStore::open_at(&path, 1 << 20, LatencyModel::none()).expect("reopen");
-    assert_eq!(kv.get(b"post-crash").expect("io").expect("present"), vec![3; 8]);
+    assert_eq!(
+        kv.get(b"post-crash").expect("io").expect("present"),
+        vec![3; 8]
+    );
 }
 
 #[test]
@@ -111,9 +123,15 @@ fn compaction_preserves_contents_across_restart() {
     }
     let mut kv = KvStore::open_at(&path, 1 << 20, LatencyModel::none()).expect("reopen");
     for i in 0..80u32 {
-        assert!(kv.get(&i.to_le_bytes()).expect("io").is_none(), "{i} deleted");
+        assert!(
+            kv.get(&i.to_le_bytes()).expect("io").is_none(),
+            "{i} deleted"
+        );
     }
     for i in 80..100u32 {
-        assert_eq!(kv.get(&i.to_le_bytes()).expect("io").expect("kept"), vec![0xee; 64]);
+        assert_eq!(
+            kv.get(&i.to_le_bytes()).expect("io").expect("kept"),
+            vec![0xee; 64]
+        );
     }
 }

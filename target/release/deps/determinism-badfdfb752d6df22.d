@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-badfdfb752d6df22.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-badfdfb752d6df22: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ebv_core-3da712d338e848f2.d: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs
+
+/root/repo/target/release/deps/ebv_core-3da712d338e848f2: crates/core/src/lib.rs crates/core/src/baseline_node.rs crates/core/src/bitvec.rs crates/core/src/ebv_node.rs crates/core/src/ibd.rs crates/core/src/intermediary.rs crates/core/src/mempool.rs crates/core/src/metrics.rs crates/core/src/pack.rs crates/core/src/proofs.rs crates/core/src/sighash.rs crates/core/src/sync.rs crates/core/src/tidy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline_node.rs:
+crates/core/src/bitvec.rs:
+crates/core/src/ebv_node.rs:
+crates/core/src/ibd.rs:
+crates/core/src/intermediary.rs:
+crates/core/src/mempool.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pack.rs:
+crates/core/src/proofs.rs:
+crates/core/src/sighash.rs:
+crates/core/src/sync.rs:
+crates/core/src/tidy.rs:

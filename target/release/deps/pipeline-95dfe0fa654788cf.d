@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-95dfe0fa654788cf.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-95dfe0fa654788cf: tests/pipeline.rs
+
+tests/pipeline.rs:

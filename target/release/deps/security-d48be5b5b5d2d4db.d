@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security-d48be5b5b5d2d4db.d: tests/security.rs
+
+/root/repo/target/release/deps/security-d48be5b5b5d2d4db: tests/security.rs
+
+tests/security.rs:

@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ebv_chain::merkle::{merkle_root, MerkleBranch};
 use ebv_core::sighash::{sign_input, DigestChecker};
-use ebv_primitives::ec::PrivateKey;
+use ebv_primitives::ec::{ecdsa, lincomb_gen, Affine, PointTable, PrivateKey};
 use ebv_primitives::hash::{sha256, sha256d, Hash256};
 use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
 use ebv_script::{verify_spend, Builder, RejectAllChecker};
@@ -26,6 +26,51 @@ fn bench_ecdsa(c: &mut Criterion) {
     c.bench_function("ecdsa/sign", |b| b.iter(|| sk.sign(black_box(&digest))));
     c.bench_function("ecdsa/verify", |b| {
         b.iter(|| assert!(pk.verify(black_box(&digest), black_box(&sig))))
+    });
+    // The pre-fast-path ladder, kept as the correctness oracle; the gap to
+    // ecdsa/verify is the tentpole speedup this crate's PR chain tracks.
+    c.bench_function("ecdsa/verify_reference", |b| {
+        b.iter(|| {
+            assert!(ecdsa::verify_reference(
+                black_box(&digest),
+                black_box(&sig),
+                black_box(pk.point()),
+            ))
+        })
+    });
+    // Amortized path: the per-key table is built once (what the per-block
+    // pubkey cache does for repeated signers).
+    let prepared = pk.prepare();
+    c.bench_function("ecdsa/verify_prepared", |b| {
+        b.iter(|| assert!(prepared.verify(black_box(&digest), black_box(&sig))))
+    });
+}
+
+fn bench_ec_ops(c: &mut Criterion) {
+    let k = *PrivateKey::from_seed(3).scalar();
+    let u1 = *PrivateKey::from_seed(4).scalar();
+    let u2 = *PrivateKey::from_seed(5).scalar();
+    let q = *PrivateKey::from_seed(6).public_key().point();
+    c.bench_function("ec/mul_gen", |b| {
+        b.iter(|| Affine::mul_gen(black_box(&k)).to_affine())
+    });
+    c.bench_function("ec/mul_reference", |b| {
+        b.iter(|| Affine::generator().mul(black_box(&k)))
+    });
+    c.bench_function("ec/point_table_build", |b| {
+        b.iter(|| PointTable::new(black_box(&q)))
+    });
+    let table = PointTable::new(&q);
+    c.bench_function("ec/lincomb_gen", |b| {
+        b.iter(|| lincomb_gen(black_box(&u1), black_box(&table), black_box(&u2)).to_affine())
+    });
+    let qj = q.to_jacobian();
+    let gj = Affine::generator().to_jacobian();
+    c.bench_function("ec/shamir_reference", |b| {
+        b.iter(|| {
+            gj.shamir_mul(black_box(&u1), black_box(&qj), black_box(&u2))
+                .to_affine()
+        })
     });
 }
 
@@ -74,6 +119,6 @@ fn bench_script(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_hashing, bench_ecdsa, bench_merkle, bench_script
+    targets = bench_hashing, bench_ecdsa, bench_ec_ops, bench_merkle, bench_script
 }
 criterion_main!(benches);

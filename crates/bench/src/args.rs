@@ -3,7 +3,7 @@
 use ebv_core::EbvConfig;
 
 /// Common knobs; each binary overrides the defaults that matter to it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CommonArgs {
     pub blocks: u32,
     pub seed: u64,
@@ -19,6 +19,9 @@ pub struct CommonArgs {
     pub parallel_sv: bool,
     /// Worker-thread override for the parallel phases (`None` = all cores).
     pub workers: Option<usize>,
+    /// Write machine-readable results (per-phase ns, verifies/sec) to this
+    /// path, for figures that support it.
+    pub json: Option<String>,
 }
 
 impl CommonArgs {
@@ -26,7 +29,7 @@ impl CommonArgs {
     ///
     /// Exits with a usage message on `--help` or a malformed flag.
     pub fn parse(defaults: CommonArgs) -> CommonArgs {
-        let mut out = defaults;
+        let mut out = defaults.clone();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -70,10 +73,14 @@ impl CommonArgs {
                     out.workers = Some(parse_num::<u64>(value(i), flag) as usize);
                     i += 2;
                 }
+                "--json" => {
+                    out.json = Some(value(i).to_string());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
-                         --seq-ev --seq-sv --workers W\n\
+                         --seq-ev --seq-sv --workers W --json PATH\n\
                          defaults: {defaults:?}"
                     );
                     std::process::exit(0);
@@ -110,6 +117,7 @@ impl Default for CommonArgs {
             parallel_ev: true,
             parallel_sv: true,
             workers: None,
+            json: None,
         }
     }
 }

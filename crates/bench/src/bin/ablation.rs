@@ -30,7 +30,10 @@ fn main() {
     table::header(&cols);
     for shift in [3usize, 4, 5, 6, 8, 10] {
         let budget = 1usize << (shift + 10);
-        let run_args = CommonArgs { budget, ..args };
+        let run_args = CommonArgs {
+            budget,
+            ..args.clone()
+        };
         let mut node = scenario.baseline_node(&run_args);
         let periods = baseline_ibd(&mut node, &scenario.blocks[1..], 1 << 20).expect("ibd");
         let total: f64 = periods.iter().map(|p| p.wall.as_secs_f64()).sum();
@@ -58,7 +61,10 @@ fn main() {
     ];
     table::header(&cols);
     for latency_us in [0u64, 50, 200, 500, 1000] {
-        let run_args = CommonArgs { latency_us, ..args };
+        let run_args = CommonArgs {
+            latency_us,
+            ..args.clone()
+        };
         let mut node = scenario.baseline_node(&run_args);
         let periods = baseline_ibd(&mut node, &scenario.blocks[1..], 1 << 20).expect("ibd");
         let total: f64 = periods.iter().map(|p| p.wall.as_secs_f64()).sum();

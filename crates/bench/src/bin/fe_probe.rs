@@ -1,0 +1,72 @@
+//! Dependency-chained latency probe for the field/scalar substrate.
+//!
+//! Criterion's `ecdsa/*` benches report end-to-end cost; when those move,
+//! this probe answers *which primitive* moved. Each loop feeds the previous
+//! result into the next operation, so it measures serial latency — the
+//! regime the doubling ladder actually runs in — rather than throughput.
+//! Run with `cargo run --release -p ebv-bench --bin fe_probe`.
+
+use std::time::Instant;
+
+use ebv_primitives::ec::field::Fe;
+use ebv_primitives::ec::scalar::Scalar;
+use ebv_primitives::hash::sha256;
+
+fn fe_from_hash(tag: &[u8]) -> Fe {
+    let mut b = sha256(tag);
+    b[0] &= 0x7f; // keep it below p
+    Fe::from_be_bytes(&b).expect("masked hash is a valid field element")
+}
+
+fn main() {
+    let a = fe_from_hash(b"a");
+    let b = fe_from_hash(b"b");
+    const N: u32 = 3_000_000;
+
+    // The `is_zero`/`acc` prints keep the chains observable so the loops
+    // cannot be optimized away.
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..N {
+        x = x.mul(&b);
+    }
+    println!(
+        "fe mul:     {:>7.1} ns  (zero: {:?})",
+        t.elapsed().as_nanos() as f64 / N as f64,
+        x.is_zero()
+    );
+
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..N {
+        x = x.square();
+    }
+    println!(
+        "fe sqr:     {:>7.1} ns  (zero: {:?})",
+        t.elapsed().as_nanos() as f64 / N as f64,
+        x.is_zero()
+    );
+
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..N {
+        x = x.add(&b);
+    }
+    println!(
+        "fe add:     {:>7.1} ns  (zero: {:?})",
+        t.elapsed().as_nanos() as f64 / N as f64,
+        x.is_zero()
+    );
+
+    const INVS: u32 = 20_000;
+    let t = Instant::now();
+    let mut acc = 0u64;
+    let s = Scalar::from_be_bytes_reduced(&sha256(b"s"));
+    for _ in 0..INVS {
+        acc ^= s.invert().expect("nonzero").0.limbs[0];
+    }
+    println!(
+        "scalar inv: {:>7.1} ns  (acc: {acc:#x})",
+        t.elapsed().as_nanos() as f64 / INVS as f64
+    );
+}

@@ -48,6 +48,7 @@ fn main() {
     let mut worst = (0.0f64, 0.0f64, 0.0f64); // (reduction, bitcoin, ebv)
     let mut ebv_breakdowns = Vec::new();
     let mut seq_breakdowns = Vec::new();
+    let mut baseline_totals = Vec::new();
     for (base_block, ebv_block) in scenario.blocks[split..]
         .iter()
         .zip(&scenario.ebv_blocks[split..])
@@ -61,6 +62,7 @@ fn main() {
             .expect("sequential ebv validates");
         ebv_breakdowns.push((ebv.tip_height(), ebv_block.input_count(), eb));
         seq_breakdowns.push(sb);
+        baseline_totals.push(bb.total());
         let b_ms = bb.total().as_secs_f64() * 1000.0;
         let e_ms = eb.total().as_secs_f64() * 1000.0;
         let red = (1.0 - e_ms / b_ms) * 100.0;
@@ -129,4 +131,52 @@ fn main() {
     println!(
         "\nboth pipelines return identical accept/reject decisions; only the wall time differs"
     );
+
+    if let Some(path) = &args.json {
+        // Machine-readable SV record: per-block phase times in nanoseconds
+        // plus the aggregate signature-verification throughput (the tail
+        // blocks are single-input-per-tx P2PKH spends, so inputs ≈
+        // signature checks).
+        let mut blocks = String::new();
+        let mut sv_ns_total = 0u128;
+        let mut inputs_total = 0usize;
+        for (((height, inputs, b), sb), base_total) in ebv_breakdowns
+            .iter()
+            .zip(&seq_breakdowns)
+            .zip(&baseline_totals)
+        {
+            sv_ns_total += b.sv.as_nanos();
+            inputs_total += inputs;
+            if !blocks.is_empty() {
+                blocks.push(',');
+            }
+            blocks.push_str(&format!(
+                "\n    {{\"height\": {height}, \"inputs\": {inputs}, \
+                 \"ev_ns\": {}, \"uv_ns\": {}, \"sv_ns\": {}, \
+                 \"commit_ns\": {}, \"others_ns\": {}, \"total_ns\": {}, \
+                 \"seq_total_ns\": {}, \"baseline_total_ns\": {}}}",
+                b.ev.as_nanos(),
+                b.uv.as_nanos(),
+                b.sv.as_nanos(),
+                b.commit.as_nanos(),
+                b.others.as_nanos(),
+                b.total().as_nanos(),
+                sb.total().as_nanos(),
+                base_total.as_nanos(),
+            ));
+        }
+        let verifies_per_sec = if sv_ns_total > 0 {
+            inputs_total as f64 / (sv_ns_total as f64 / 1e9)
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"figure\": \"fig16\",\n  \"seed\": {},\n  \"blocks\": [{blocks}\n  ],\n  \
+             \"sv_ns_total\": {sv_ns_total},\n  \"inputs_total\": {inputs_total},\n  \
+             \"verifies_per_sec\": {verifies_per_sec:.1}\n}}\n",
+            args.seed
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
 }

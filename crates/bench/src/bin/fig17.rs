@@ -28,11 +28,12 @@ fn main() {
     let mut ebv_cum: Vec<Vec<f64>> = Vec::new();
     let mut ebv_break = EbvBreakdown::default();
     let mut ebv_periods_acc: Vec<EbvBreakdown> = Vec::new();
+    let mut inputs_total = 0usize;
 
     for run in 0..args.runs {
         let run_args = CommonArgs {
             seed: args.seed + run as u64,
-            ..args
+            ..args.clone()
         };
         let scenario = Scenario::mainnet_like(&run_args);
 
@@ -41,6 +42,10 @@ fn main() {
         base_cum.push(cumulative(periods.iter().map(|p| p.wall)));
 
         let mut ebv = scenario.ebv_node_with(run_args.ebv_config());
+        inputs_total += scenario.ebv_blocks[1..]
+            .iter()
+            .map(|b| b.input_count())
+            .sum::<usize>();
         let periods = ebv_ibd(&mut ebv, &scenario.ebv_blocks[1..], period_len).expect("ibd");
         ebv_cum.push(cumulative(periods.iter().map(|p| p.wall)));
         if ebv_periods_acc.is_empty() {
@@ -103,6 +108,41 @@ fn main() {
             "\nEV+UV share of EBV IBD: {:.1}%  (paper shape: a very small fraction; SV dominates)",
             (ebv_break.ev + ebv_break.uv).as_secs_f64() / total * 100.0
         );
+    }
+
+    if let Some(path) = &args.json {
+        // Machine-readable SV record: per-period phase times (summed over
+        // runs) in nanoseconds plus aggregate verification throughput.
+        let mut periods = String::new();
+        for (i, b) in ebv_periods_acc.iter().enumerate() {
+            if !periods.is_empty() {
+                periods.push(',');
+            }
+            periods.push_str(&format!(
+                "\n    {{\"period\": {}, \"ev_ns\": {}, \"uv_ns\": {}, \"sv_ns\": {}, \
+                 \"commit_ns\": {}, \"others_ns\": {}}}",
+                i + 1,
+                b.ev.as_nanos(),
+                b.uv.as_nanos(),
+                b.sv.as_nanos(),
+                b.commit.as_nanos(),
+                b.others.as_nanos(),
+            ));
+        }
+        let sv_ns_total = ebv_break.sv.as_nanos();
+        let verifies_per_sec = if sv_ns_total > 0 {
+            inputs_total as f64 / (sv_ns_total as f64 / 1e9)
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"figure\": \"fig17\",\n  \"runs\": {},\n  \"periods\": [{periods}\n  ],\n  \
+             \"sv_ns_total\": {sv_ns_total},\n  \"inputs_total\": {inputs_total},\n  \
+             \"verifies_per_sec\": {verifies_per_sec:.1}\n}}\n",
+            args.runs
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
     }
 }
 

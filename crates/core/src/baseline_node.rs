@@ -7,7 +7,7 @@
 //! outgrows the cache budget.
 
 use crate::metrics::BaselineBreakdown;
-use crate::sighash::DigestChecker;
+use crate::sighash::{DigestChecker, PubkeyCache};
 use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{Block, BlockHeader, BlockStructureError, OutPoint, BLOCK_SUBSIDY};
 use ebv_primitives::hash::Hash256;
@@ -257,14 +257,20 @@ impl BaselineNode {
                 })
             })
             .collect();
+        // One pubkey cache per block: inputs signed by the same key share a
+        // single parse + odd-multiples table across all SV workers.
+        let pubkey_cache = PubkeyCache::new();
         let run_one =
             |&(i, j, us, lock, digest, lt): &(usize, usize, &Script, &Script, Hash256, u32)| {
-                verify_spend(us, lock, &DigestChecker::with_lock_time(digest, lt)).map_err(|err| {
-                    BaselineError::SvFailed {
-                        tx: i,
-                        input: j,
-                        err,
-                    }
+                verify_spend(
+                    us,
+                    lock,
+                    &DigestChecker::with_context(digest, lt, &pubkey_cache),
+                )
+                .map_err(|err| BaselineError::SvFailed {
+                    tx: i,
+                    input: j,
+                    err,
                 })
             };
         let sv_result: Result<(), BaselineError> = if self.config.parallel_sv {

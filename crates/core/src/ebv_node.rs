@@ -23,7 +23,7 @@
 
 use crate::bitvec::{BitVectorSet, BitVectorSetSize, UvError};
 use crate::metrics::EbvBreakdown;
-use crate::sighash::DigestChecker;
+use crate::sighash::{DigestChecker, PubkeyCache};
 use crate::tidy::{EbvBlock, EbvTransaction, InputProof, TxIntegrityError};
 use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{BlockHeader, BLOCK_SUBSIDY};
@@ -411,6 +411,9 @@ impl EbvNode {
 
         // ---- SV: scripts, parallel across inputs ------------------------
         let t_sv = Instant::now();
+        // One pubkey cache per block: inputs signed by the same key share a
+        // single parse + odd-multiples table across all SV workers.
+        let pubkey_cache = PubkeyCache::new();
         let sv_one = |job: &InputJob<'_>| -> Result<(), EbvError> {
             // Spending transactions start at index 1; midstates are stored
             // densely from 0.
@@ -420,7 +423,7 @@ impl EbvNode {
             verify_spend(
                 job.us,
                 lock,
-                &DigestChecker::with_lock_time(digest, lock_time),
+                &DigestChecker::with_context(digest, lock_time, &pubkey_cache),
             )
             .map_err(|err| EbvError::SvFailed {
                 tx: job.tx,

@@ -43,6 +43,6 @@ pub use mempool::{Mempool, MempoolError};
 pub use metrics::{BaselineBreakdown, EbvBreakdown};
 pub use pack::{ebv_coinbase, pack_ebv_block};
 pub use proofs::ProofArchive;
-pub use sighash::{sign_input, DigestChecker};
+pub use sighash::{sign_input, DigestChecker, PubkeyCache};
 pub use sync::{spawn_source, sync_baseline, sync_ebv, BlockSource, SyncError};
 pub use tidy::{EbvBlock, EbvTransaction, InputBody, InputProof, TidyTransaction};

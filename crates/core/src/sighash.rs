@@ -5,7 +5,10 @@
 //! coordinates come from — the database in the baseline, the input proof
 //! in EBV.
 
-use ebv_primitives::ec::PublicKey;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use ebv_primitives::ec::{PreparedPublicKey, PublicKey};
 use ebv_primitives::hash::Hash256;
 use ebv_script::SignatureChecker;
 
@@ -13,35 +16,106 @@ use ebv_script::SignatureChecker;
 /// byte.
 pub const SIG_PUSH_LEN: usize = 65;
 
-/// A [`SignatureChecker`] bound to one spend digest (and, for
-/// `OP_CHECKLOCKTIMEVERIFY`, the spending transaction's lock time).
-pub struct DigestChecker {
-    digest: [u8; 32],
-    lock_time: u32,
+/// Per-block cache of parsed-and-prepared public keys, keyed by the 33-byte
+/// SEC compressed encoding.
+///
+/// Workloads reuse signer keys heavily across a block's inputs, so without
+/// a cache every input re-parses its pubkey (a field `sqrt` for `lift_x`)
+/// and rebuilds the odd-multiples table. `None` entries memoize parse
+/// *failures* so malformed keys are also rejected at HashMap speed on
+/// repeat sightings. Shared read-mostly across the rayon verification
+/// workers; first insert wins on a race, which is harmless because both
+/// racers computed the same value.
+#[derive(Default)]
+pub struct PubkeyCache {
+    map: RwLock<HashMap<[u8; 33], Option<Arc<PreparedPublicKey>>>>,
 }
 
-impl DigestChecker {
+impl PubkeyCache {
+    pub fn new() -> PubkeyCache {
+        PubkeyCache::default()
+    }
+
+    /// Parse and prepare `pubkey`, consulting the cache first. Returns
+    /// `None` for keys that fail SEC decoding (wrong length/prefix or not
+    /// on the curve).
+    pub fn get_or_prepare(&self, pubkey: &[u8]) -> Option<Arc<PreparedPublicKey>> {
+        let key: [u8; 33] = pubkey.try_into().ok()?;
+        if let Some(cached) = self.map.read().expect("cache lock").get(&key) {
+            return cached.clone();
+        }
+        let prepared = PublicKey::from_compressed(&key)
+            .ok()
+            .map(|pk| Arc::new(pk.prepare()));
+        let mut map = self.map.write().expect("cache lock");
+        map.entry(key).or_insert_with(|| prepared.clone());
+        map.get(&key).expect("just inserted").clone()
+    }
+
+    /// Number of distinct pubkey encodings seen (tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache lock").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A [`SignatureChecker`] bound to one spend digest (and, for
+/// `OP_CHECKLOCKTIMEVERIFY`, the spending transaction's lock time),
+/// optionally sharing a per-block [`PubkeyCache`].
+pub struct DigestChecker<'a> {
+    digest: [u8; 32],
+    lock_time: u32,
+    cache: Option<&'a PubkeyCache>,
+}
+
+impl<'a> DigestChecker<'a> {
     /// Checker with no lock-time context (CLTV scripts fail closed).
-    pub fn new(digest: Hash256) -> DigestChecker {
+    pub fn new(digest: Hash256) -> DigestChecker<'a> {
         DigestChecker {
             digest: *digest.as_bytes(),
             lock_time: 0,
+            cache: None,
         }
     }
 
     /// Checker carrying the spending transaction's lock time.
-    pub fn with_lock_time(digest: Hash256, lock_time: u32) -> DigestChecker {
+    pub fn with_lock_time(digest: Hash256, lock_time: u32) -> DigestChecker<'a> {
         DigestChecker {
             digest: *digest.as_bytes(),
             lock_time,
+            cache: None,
+        }
+    }
+
+    /// Checker carrying lock time and a shared per-block pubkey cache.
+    pub fn with_context(
+        digest: Hash256,
+        lock_time: u32,
+        cache: &'a PubkeyCache,
+    ) -> DigestChecker<'a> {
+        DigestChecker {
+            digest: *digest.as_bytes(),
+            lock_time,
+            cache: Some(cache),
         }
     }
 }
 
-impl SignatureChecker for DigestChecker {
+impl SignatureChecker for DigestChecker<'_> {
     fn check_sig(&self, sig: &[u8], pubkey: &[u8]) -> bool {
         if sig.len() != SIG_PUSH_LEN || sig[SIG_PUSH_LEN - 1] != ebv_chain::SIGHASH_ALL {
             return false;
+        }
+        if let Some(cache) = self.cache {
+            let Some(prepared) = cache.get_or_prepare(pubkey) else {
+                return false;
+            };
+            return prepared
+                .verify_compact(&self.digest, &sig[..64])
+                .unwrap_or(false);
         }
         let Ok(pk) = PublicKey::from_compressed(pubkey) else {
             return false;
@@ -96,5 +170,51 @@ mod tests {
         assert!(!checker.check_sig(&bad_type, &sk.public_key().to_compressed()));
         // Garbage pubkey.
         assert!(!checker.check_sig(&sig, &[0u8; 33]));
+    }
+
+    #[test]
+    fn cached_checker_matches_uncached() {
+        let sk = PrivateKey::from_seed(11);
+        let digest = sha256d(b"spend");
+        let sig = sign_input(&sk, &digest);
+        let pk = sk.public_key().to_compressed();
+
+        let cache = PubkeyCache::new();
+        let cached = DigestChecker::with_context(digest, 0, &cache);
+        assert!(cached.check_sig(&sig, &pk));
+        // Second check hits the cache; still one distinct key.
+        assert!(cached.check_sig(&sig, &pk));
+        assert_eq!(cache.len(), 1);
+
+        // Wrong key still rejected through the cache.
+        let other = PrivateKey::from_seed(12).public_key().to_compressed();
+        assert!(!cached.check_sig(&sig, &other));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_memoizes_parse_failures() {
+        let cache = PubkeyCache::new();
+        // Bad prefix byte: parse fails, and the failure is cached.
+        assert!(cache.get_or_prepare(&[0u8; 33]).is_none());
+        assert!(cache.get_or_prepare(&[0u8; 33]).is_none());
+        assert_eq!(cache.len(), 1);
+        // Wrong length never enters the cache.
+        assert!(cache.get_or_prepare(&[2u8; 10]).is_none());
+        assert_eq!(cache.len(), 1);
+        // A good key round-trips.
+        let pk = PrivateKey::from_seed(3).public_key();
+        let prepared = cache.get_or_prepare(&pk.to_compressed()).unwrap();
+        assert_eq!(prepared.public_key(), &pk);
+    }
+
+    #[test]
+    fn cltv_respects_lock_time() {
+        let digest = sha256d(b"cltv");
+        let cache = PubkeyCache::new();
+        let checker = DigestChecker::with_context(digest, 500, &cache);
+        assert!(checker.check_lock_time(500));
+        assert!(!checker.check_lock_time(501));
+        assert!(!checker.check_lock_time(-1));
     }
 }

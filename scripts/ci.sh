@@ -8,6 +8,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no build artifacts in the index"
+if [ -n "$(git ls-files target)" ]; then
+    echo "error: target/ build artifacts are committed; run 'git rm -r --cached target'" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -18,6 +18,12 @@ pub enum ChainError {
     NotOnTip,
     /// Queried height is beyond the tip.
     UnknownHeight(u32),
+    /// No stored block (main or side) with this hash.
+    UnknownBlock(Hash256),
+    /// A side block's ancestry never reaches the main chain.
+    Detached(Hash256),
+    /// The candidate branch would not make the chain longer.
+    NotBetter { current: u32, candidate: u32 },
 }
 
 impl std::fmt::Display for ChainError {
@@ -25,17 +31,32 @@ impl std::fmt::Display for ChainError {
         match self {
             ChainError::NotOnTip => write!(f, "block does not extend the tip"),
             ChainError::UnknownHeight(h) => write!(f, "no block at height {h}"),
+            ChainError::UnknownBlock(h) => write!(f, "no stored block with hash {h}"),
+            ChainError::Detached(h) => {
+                write!(f, "side branch ending at {h} never reaches the main chain")
+            }
+            ChainError::NotBetter { current, candidate } => write!(
+                f,
+                "candidate branch ({candidate} blocks past the fork) is not longer \
+                 than the current one ({current})"
+            ),
         }
     }
 }
 
 impl std::error::Error for ChainError {}
 
-/// Linear main-chain storage (no reorg support — the experiments replay
-/// fixed chains, matching the paper's IBD setting).
+/// Main-chain storage plus a side-block pool for fork tracking.
+///
+/// The main chain stays a dense vector (the EV lookup path is an array
+/// index); competing blocks live in `side`, keyed by their own hash, until
+/// [`reorg_to_side`](ChainStore::reorg_to_side) promotes a branch.
 pub struct ChainStore {
     blocks: Vec<Block>,
     by_hash: HashMap<Hash256, u32>,
+    /// Off-chain blocks by their header hash (fork candidates, and main
+    /// blocks demoted by a reorg).
+    side: HashMap<Hash256, Block>,
 }
 
 impl ChainStore {
@@ -44,19 +65,20 @@ impl ChainStore {
         let mut store = ChainStore {
             blocks: Vec::new(),
             by_hash: HashMap::new(),
+            side: HashMap::new(),
         };
         store.by_hash.insert(genesis.header.hash(), 0);
         store.blocks.push(genesis);
         store
     }
 
-    /// Number of blocks (tip height + 1).
+    /// Number of main-chain blocks (tip height + 1).
     pub fn len(&self) -> usize {
         self.blocks.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        false // a chain always has its genesis
+        self.blocks.is_empty() // never true: construction requires genesis
     }
 
     /// Height of the tip.
@@ -110,6 +132,94 @@ impl ChainStore {
     /// baseline both systems carry.
     pub fn headers_size(&self) -> usize {
         self.blocks.len() * 80
+    }
+
+    /// Pop the tip block off the main chain into the side pool. Returns
+    /// its hash, or `None` if only genesis remains.
+    pub fn disconnect_tip(&mut self) -> Option<Hash256> {
+        if self.blocks.len() <= 1 {
+            return None;
+        }
+        let block = self.blocks.pop()?;
+        let hash = block.header.hash();
+        self.by_hash.remove(&hash);
+        self.side.insert(hash, block);
+        Some(hash)
+    }
+
+    /// Store a block that does not (currently) extend the tip. It becomes
+    /// reorg material for [`reorg_to_side`](ChainStore::reorg_to_side).
+    /// A block already on the main chain is ignored.
+    pub fn add_side_block(&mut self, block: Block) {
+        let hash = block.header.hash();
+        if self.by_hash.contains_key(&hash) {
+            return;
+        }
+        self.side.insert(hash, block);
+    }
+
+    /// A stored side block, by hash.
+    pub fn side_block(&self, hash: &Hash256) -> Option<&Block> {
+        self.side.get(hash)
+    }
+
+    /// Number of side blocks currently held.
+    pub fn side_count(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Walk side blocks back from `tip` until the ancestry reaches the
+    /// main chain. Returns the fork height and the branch hashes in
+    /// ascending height order (fork+1 first, `tip` last).
+    pub fn fork_path(&self, tip: &Hash256) -> Result<(u32, Vec<Hash256>), ChainError> {
+        let mut path = Vec::new();
+        let mut cursor = *tip;
+        loop {
+            let Some(block) = self.side.get(&cursor) else {
+                return if path.is_empty() {
+                    Err(ChainError::UnknownBlock(cursor))
+                } else {
+                    Err(ChainError::Detached(*tip))
+                };
+            };
+            path.push(cursor);
+            let parent = block.header.prev_block_hash;
+            if let Some(height) = self.by_hash.get(&parent) {
+                path.reverse();
+                return Ok((*height, path));
+            }
+            cursor = parent;
+        }
+    }
+
+    /// Switch the main chain onto the side branch ending at `tip`,
+    /// demoting the displaced main blocks to the side pool. The branch
+    /// must be strictly longer than what it replaces (longest-chain rule
+    /// at `bits = 0`, where work is proportional to length). Returns the
+    /// new tip height.
+    ///
+    /// This is pure storage bookkeeping: *validation* of the branch is the
+    /// business of the node driving the store.
+    pub fn reorg_to_side(&mut self, tip: &Hash256) -> Result<u32, ChainError> {
+        let (fork, path) = self.fork_path(tip)?;
+        let current = self.tip_height() - fork;
+        let candidate = path.len() as u32;
+        if candidate <= current {
+            return Err(ChainError::NotBetter { current, candidate });
+        }
+        while self.tip_height() > fork {
+            self.disconnect_tip();
+        }
+        for hash in &path {
+            let block = self
+                .side
+                .remove(hash)
+                .ok_or(ChainError::UnknownBlock(*hash))?;
+            let height = self.blocks.len() as u32;
+            self.by_hash.insert(*hash, height);
+            self.blocks.push(block);
+        }
+        Ok(self.tip_height())
     }
 }
 
@@ -169,5 +279,84 @@ mod tests {
     fn unknown_height_errors() {
         let store = ChainStore::new(genesis_block());
         assert_eq!(store.block_at(3).unwrap_err(), ChainError::UnknownHeight(3));
+    }
+
+    #[test]
+    fn disconnect_demotes_tip_to_side_pool() {
+        let mut store = ChainStore::new(genesis_block());
+        extend(&mut store, 3);
+        let old_tip = store.tip_hash();
+        assert_eq!(store.disconnect_tip(), Some(old_tip));
+        assert_eq!(store.tip_height(), 2);
+        assert!(store.side_block(&old_tip).is_some());
+        assert_eq!(store.height_of(&old_tip), None);
+        // Genesis is untouchable.
+        store.disconnect_tip();
+        store.disconnect_tip();
+        assert_eq!(store.disconnect_tip(), None);
+        assert_eq!(store.tip_height(), 0);
+    }
+
+    #[test]
+    fn fork_path_and_reorg_switch_branches() {
+        let mut store = ChainStore::new(genesis_block());
+        extend(&mut store, 3); // main: 0..=3
+        let displaced = [
+            store.block_at(2).unwrap().header.hash(),
+            store.block_at(3).unwrap().header.hash(),
+        ];
+
+        // Side branch of 4 blocks forking at height 1.
+        let mut prev = store.block_at(1).unwrap().header.hash();
+        let mut side = Vec::new();
+        for k in 0..4u32 {
+            let cb = coinbase_tx(2 + k, Script::new(), Vec::new());
+            let b = build_block(prev, cb, Vec::new(), 99, 0);
+            prev = b.header.hash();
+            side.push(prev);
+            store.add_side_block(b);
+        }
+
+        let (fork, path) = store.fork_path(&side[3]).unwrap();
+        assert_eq!(fork, 1);
+        assert_eq!(path, side);
+
+        assert_eq!(store.reorg_to_side(&side[3]), Ok(5));
+        assert_eq!(store.tip_hash(), side[3]);
+        for (k, hash) in side.iter().enumerate() {
+            assert_eq!(store.height_of(hash), Some(2 + k as u32));
+        }
+        // The displaced main blocks wait in the side pool for a reorg back.
+        for hash in &displaced {
+            assert!(store.side_block(hash).is_some());
+        }
+
+        // Reorging back onto the (now shorter) old branch is refused.
+        assert_eq!(
+            store.reorg_to_side(&displaced[1]),
+            Err(ChainError::NotBetter {
+                current: 4,
+                candidate: 2
+            })
+        );
+    }
+
+    #[test]
+    fn fork_path_rejects_unknown_and_detached() {
+        let mut store = ChainStore::new(genesis_block());
+        extend(&mut store, 2);
+        assert_eq!(
+            store.fork_path(&Hash256::ZERO),
+            Err(ChainError::UnknownBlock(Hash256::ZERO))
+        );
+        // A side block whose ancestry never reaches the main chain.
+        let cb = coinbase_tx(9, Script::new(), Vec::new());
+        let orphan = build_block(Hash256::from_bytes([7; 32]), cb, Vec::new(), 1, 0);
+        let orphan_hash = orphan.header.hash();
+        store.add_side_block(orphan);
+        assert_eq!(
+            store.fork_path(&orphan_hash),
+            Err(ChainError::Detached(orphan_hash))
+        );
     }
 }

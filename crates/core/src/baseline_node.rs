@@ -300,19 +300,47 @@ impl BaselineNode {
     }
 
     /// Disconnect the tip block, restoring the previous UTXO set (the
-    /// reorg primitive). Returns the new tip height, or `None` at genesis.
-    pub fn disconnect_tip(&mut self) -> Option<u32> {
-        let undo = self.undo_stack.pop()?;
+    /// reorg primitive, driven by `sync::reorg`). Returns the new tip
+    /// height, `Ok(None)` if only genesis remains, or the store error if
+    /// the undo data no longer matches the database (formerly a panic).
+    pub fn disconnect_tip(&mut self) -> Result<Option<u32>, BaselineError> {
+        let Some(undo) = self.undo_stack.pop() else {
+            return Ok(None);
+        };
         self.headers.pop();
         for (outpoint, entry) in &undo.created {
-            self.utxos
-                .delete(outpoint, entry)
-                .expect("created entry present");
+            self.utxos.delete(outpoint, entry)?;
         }
         for (outpoint, entry) in undo.spent.iter().rev() {
-            self.utxos.insert(outpoint, entry).expect("store io");
+            self.utxos.insert(outpoint, entry)?;
         }
-        Some(self.tip_height())
+        Ok(Some(self.tip_height()))
+    }
+
+    /// The stored header at `height`, if within the chain.
+    pub fn header_at(&self, height: u32) -> Option<&BlockHeader> {
+        self.headers.get(height as usize)
+    }
+
+    /// Cheap internal-consistency check, asserted by the reorg engine
+    /// after every unwind step: one undo record per non-genesis block,
+    /// and a non-empty UTXO set (genesis outputs can never be spent out
+    /// from under us — nothing below genesis exists to spend them).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.headers.is_empty() {
+            return Err("header chain is empty (genesis missing)".to_string());
+        }
+        let tip = self.tip_height();
+        if self.undo_stack.len() as u32 != tip {
+            return Err(format!(
+                "undo stack holds {} records but the tip height is {tip}",
+                self.undo_stack.len()
+            ));
+        }
+        if self.utxos.size().count == 0 {
+            return Err("UTXO set is empty below a live tip".to_string());
+        }
+        Ok(())
     }
 }
 

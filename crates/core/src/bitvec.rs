@@ -363,6 +363,12 @@ impl BitVectorSet {
         self.vectors.get(&height)
     }
 
+    /// Heights with a live vector, in no particular order (invariant
+    /// checks and figures).
+    pub fn heights(&self) -> impl Iterator<Item = u32> + '_ {
+        self.vectors.keys().copied()
+    }
+
     /// Total unspent outputs across all blocks.
     pub fn total_unspent(&self) -> u64 {
         self.vectors.values().map(|v| v.ones() as u64).sum()

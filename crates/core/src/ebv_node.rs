@@ -76,6 +76,10 @@ pub enum EbvError {
     ValueImbalance { tx: usize },
     /// Coinbase claims more than subsidy + fees.
     ExcessiveCoinbase,
+    /// Internal consistency failure in the commit or disconnect path —
+    /// state that earlier phases guaranteed was absent. Formerly a panic;
+    /// typed so sync and reorg callers can abort cleanly.
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for EbvError {
@@ -450,10 +454,11 @@ impl EbvNode {
             outputs,
         };
         for (height, position) in spends {
-            let deleted = self
-                .bitvecs
-                .spend(height, position)
-                .expect("probed unspent and deduplicated above");
+            // UV probed each coordinate unspent and rejected duplicates, so
+            // a failure here means the bit-vector set itself is corrupt.
+            let deleted = self.bitvecs.spend(height, position).map_err(|_| {
+                EbvError::Internal("commit: spend failed for a coordinate UV probed unspent")
+            })?;
             undo.spends.push((height, position));
             if let Some(len) = deleted {
                 undo.deleted_vectors.push((height, len));
@@ -467,11 +472,14 @@ impl EbvNode {
     }
 
     /// Disconnect the tip block, restoring the previous state (the reorg
-    /// primitive; the paper's experiments replay linear chains, so this is
-    /// exercised by tests rather than figures). Returns the new tip
-    /// height, or `None` if only the genesis block remains.
-    pub fn disconnect_tip(&mut self) -> Option<u32> {
-        let undo = self.undo_stack.pop()?;
+    /// primitive, driven by `sync::reorg`). Returns the new tip height,
+    /// `Ok(None)` if only the genesis block remains, or a typed error if
+    /// the undo data does not mirror the applied spends (corrupt state —
+    /// formerly a panic).
+    pub fn disconnect_tip(&mut self) -> Result<Option<u32>, EbvError> {
+        let Some(undo) = self.undo_stack.pop() else {
+            return Ok(None);
+        };
         let tip_height = self.tip_height();
         self.headers.pop();
         // The tip's own vector always exists: no later block can have
@@ -488,11 +496,39 @@ impl EbvNode {
             self.bitvecs.insert_all_spent(height, len);
         }
         for &(height, position) in undo.spends.iter().rev() {
-            self.bitvecs
-                .unspend(height, position)
-                .expect("undo data mirrors applied spends");
+            self.bitvecs.unspend(height, position).map_err(|_| {
+                EbvError::Internal("disconnect: undo data does not mirror applied spends")
+            })?;
         }
-        Some(self.tip_height())
+        Ok(Some(self.tip_height()))
+    }
+
+    /// Cheap internal-consistency check, asserted by the reorg engine
+    /// after every unwind step: the undo stack must pair one record per
+    /// non-genesis block, and every bit vector must sit at a height the
+    /// header chain covers.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.headers.is_empty() {
+            return Err("header chain is empty (genesis missing)".to_string());
+        }
+        let tip = self.tip_height();
+        if self.undo_stack.len() as u32 != tip {
+            return Err(format!(
+                "undo stack holds {} records but the tip height is {tip}",
+                self.undo_stack.len()
+            ));
+        }
+        if let Some(bad) = self.bitvecs.heights().find(|&h| h > tip) {
+            return Err(format!(
+                "bit vector exists at height {bad} above the tip {tip}"
+            ));
+        }
+        // The tip's own vector must exist: nothing above it could have
+        // spent it empty.
+        if self.bitvecs.vector(tip).is_none() {
+            return Err(format!("tip vector missing at height {tip}"));
+        }
+        Ok(())
     }
 }
 

@@ -19,7 +19,9 @@
 //! EBV format (the paper's §VI-A testbed component); [`proofs`] builds
 //! input proofs (the transaction-proposer side); [`pack`] packages and
 //! mines EBV blocks; [`ibd`] replays chains for the IBD experiments;
-//! [`metrics`] carries the per-phase timing breakdowns.
+//! [`metrics`] carries the per-phase timing breakdowns; [`sync`] is the
+//! fault-tolerant multi-peer block-sync subsystem (peer scoring, capped
+//! backoff, bans, reorg handling, deterministic fault injection).
 
 pub mod baseline_node;
 pub mod bitvec;
@@ -37,12 +39,15 @@ pub mod tidy;
 pub use baseline_node::{BaselineConfig, BaselineError, BaselineNode};
 pub use bitvec::{BitVectorSet, BitVectorSetSize, BlockBitVector, UvError};
 pub use ebv_node::{EbvConfig, EbvError, EbvNode};
-pub use ibd::{baseline_ibd, ebv_ibd, BaselinePeriod, EbvPeriod};
+pub use ibd::{baseline_ibd, ebv_ibd, synced_ibd, BaselinePeriod, EbvPeriod, SyncedIbd};
 pub use intermediary::{ConvertError, Intermediary};
 pub use mempool::{Mempool, MempoolError};
 pub use metrics::{BaselineBreakdown, EbvBreakdown};
 pub use pack::{ebv_coinbase, pack_ebv_block};
 pub use proofs::ProofArchive;
 pub use sighash::{sign_input, DigestChecker, PubkeyCache};
-pub use sync::{spawn_source, sync_baseline, sync_ebv, BlockSource, SyncError};
+pub use sync::{
+    reorg_to, spawn_source, sync_baseline, sync_ebv, sync_multi, BlockSource, Fault, FaultSchedule,
+    FaultyPeer, PeerHandle, ReorgError, SyncConfig, SyncError, SyncReport, ValidatingNode,
+};
 pub use tidy::{EbvBlock, EbvTransaction, InputBody, InputProof, TidyTransaction};

@@ -1,0 +1,612 @@
+//! The multi-peer sync driver.
+//!
+//! One generic implementation over [`ValidatingNode`] drives any node to
+//! the best tip its peers can serve, surviving peer faults:
+//!
+//! * per-request timeouts — a stalled peer costs one timeout, not the
+//!   whole sync; its late reply is discarded by request id;
+//! * capped exponential backoff with deterministic seeded jitter — a
+//!   failing peer is retried, but at a falling rate;
+//! * per-peer scoring — decode failures score worse than validation
+//!   failures, which score worse than stalls — with automatic ban once a
+//!   peer's score crosses the threshold, and failover to the next-best
+//!   peer on every failure;
+//! * fork handling — a batch that does not attach triggers fork
+//!   resolution: walk the peer's chain back to the common ancestor and,
+//!   if the candidate branch is longer, reorg onto it via
+//!   [`reorg_to`](super::reorg::reorg_to).
+//!
+//! Sync completes when every live peer reports exhaustion at the current
+//! tip; it fails only when no usable peer remains — so it succeeds as
+//! long as one honest peer survives.
+
+use super::fault::splitmix64;
+use super::node::ValidatingNode;
+use super::peer::{PeerHandle, RequestOutcome};
+use super::reorg::{reorg_to, ReorgError};
+use super::SyncError;
+use std::time::{Duration, Instant};
+
+/// Batch size used by the sync drivers (Bitcoin uses 500-block locators;
+/// 128 keeps per-batch memory modest at our block sizes).
+pub const SYNC_BATCH: u32 = 128;
+
+/// Score added for a batch that fails to decode (the strongest sign of a
+/// broken or malicious peer).
+const DECODE_PENALTY: u32 = 40;
+/// Score added for a batch whose blocks fail validation.
+const VALIDATION_PENALTY: u32 = 25;
+/// Score added for a rejected fork (stale or equivocating tip).
+const FORK_PENALTY: u32 = 25;
+/// Score added for a request timeout (could be honest congestion).
+const STALL_PENALTY: u32 = 12;
+/// Score subtracted after a successfully connected batch.
+const SUCCESS_REWARD: u32 = 10;
+
+/// Tuning knobs for the multi-peer driver.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncConfig {
+    /// Blocks per `GetBlocks` request.
+    pub batch: u32,
+    /// How long to wait for a peer's response before declaring a stall.
+    pub request_timeout: Duration,
+    /// First backoff step after a failure; doubles per consecutive
+    /// failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Ban a peer once its score reaches this value.
+    pub ban_score: u32,
+    /// Deepest fork the driver will walk back looking for a common
+    /// ancestor.
+    pub max_reorg_depth: u32,
+    /// Hard cap on driver rounds — a termination backstop against
+    /// adversarial peer sets.
+    pub max_rounds: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for SyncConfig {
+    fn default() -> Self {
+        SyncConfig {
+            batch: SYNC_BATCH,
+            request_timeout: Duration::from_secs(1),
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(500),
+            ban_score: 100,
+            max_reorg_depth: 64,
+            max_rounds: 100_000,
+            seed: 0xebb,
+        }
+    }
+}
+
+impl SyncConfig {
+    /// Tight timings for unit tests: sub-millisecond backoff and a
+    /// 50 ms request timeout, so injected stalls resolve quickly.
+    pub fn fast_test() -> SyncConfig {
+        SyncConfig {
+            request_timeout: Duration::from_millis(50),
+            base_backoff: Duration::from_micros(300),
+            max_backoff: Duration::from_millis(5),
+            ..SyncConfig::default()
+        }
+    }
+}
+
+/// Per-peer outcome counters, reported in [`SyncReport`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PeerStats {
+    pub id: usize,
+    pub batches: u32,
+    pub blocks_accepted: u32,
+    pub decode_failures: u32,
+    pub validation_failures: u32,
+    pub stalls: u32,
+    pub fork_rejects: u32,
+    pub reorgs: u32,
+    pub score: u32,
+    pub banned: bool,
+}
+
+/// What a completed sync did.
+#[derive(Clone, Debug, Default)]
+pub struct SyncReport {
+    /// Blocks connected (including blocks connected during reorgs).
+    pub blocks_connected: u32,
+    /// Blocks disconnected by reorgs.
+    pub blocks_disconnected: u32,
+    /// Successful chain-tip switches.
+    pub reorgs: u32,
+    /// Driver rounds consumed.
+    pub rounds: u32,
+    /// Per-peer statistics, in peer order.
+    pub peers: Vec<PeerStats>,
+}
+
+/// Driver-side state for one peer.
+struct PeerCtl {
+    handle: PeerHandle,
+    score: u32,
+    /// Consecutive failures — drives the exponential backoff.
+    failures: u32,
+    banned: bool,
+    closed: bool,
+    ready_at: Instant,
+    /// `Some(tip)` once the peer reported exhaustion while our tip was
+    /// `tip`; cleared whenever the tip moves or the peer serves blocks.
+    exhausted_at: Option<u32>,
+    stats: PeerStats,
+}
+
+impl PeerCtl {
+    fn new(handle: PeerHandle) -> PeerCtl {
+        let id = handle.id;
+        PeerCtl {
+            handle,
+            score: 0,
+            failures: 0,
+            banned: false,
+            closed: false,
+            ready_at: Instant::now(),
+            exhausted_at: None,
+            stats: PeerStats {
+                id,
+                ..PeerStats::default()
+            },
+        }
+    }
+
+    fn usable(&self) -> bool {
+        !self.banned && !self.closed
+    }
+
+    /// Record a failure of weight `penalty`: bump the score, extend the
+    /// backoff (capped exponential with deterministic jitter), and ban if
+    /// over threshold. Returns the consecutive-failure count.
+    fn penalize(&mut self, penalty: u32, cfg: &SyncConfig) -> u32 {
+        self.score = self.score.saturating_add(penalty);
+        self.failures = self.failures.saturating_add(1);
+        let exp = self.failures.saturating_sub(1).min(16);
+        let raw = cfg
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(cfg.max_backoff);
+        // Jitter in [0.75, 1.25), deterministic per (seed, peer, failure).
+        let mix = splitmix64(cfg.seed ^ ((self.handle.id as u64) << 32) ^ u64::from(self.failures));
+        let jitter = 0.75 + (mix % 512) as f64 / 1024.0;
+        self.ready_at = Instant::now() + raw.mul_f64(jitter);
+        if self.score >= cfg.ban_score {
+            self.banned = true;
+            self.stats.banned = true;
+            self.handle.finish();
+        }
+        self.failures
+    }
+
+    /// Record a success: clear the failure streak and decay the score.
+    fn reward(&mut self) {
+        self.failures = 0;
+        self.score = self.score.saturating_sub(SUCCESS_REWARD);
+    }
+}
+
+/// How fork resolution against one peer ended.
+enum ForkOutcome {
+    /// The node switched to the peer's branch.
+    Reorged { connected: u32, disconnected: u32 },
+    /// The fork was rejected or could not be resolved; penalize the peer
+    /// with `penalty` and remember `error` as the last failure.
+    Rejected { penalty: u32, reason: String },
+    /// The peer served an invalid branch — ban-worthy.
+    InvalidBranch { reason: String },
+    /// Node state is suspect (unwind failure); abort the sync.
+    Fatal(String),
+    /// Generic per-request failure during resolution.
+    RequestFailed { penalty: u32, reason: String },
+}
+
+/// Synchronize `node` against `peers` until every live peer is exhausted
+/// at the tip. Returns what was done, or the reason no progress is
+/// possible. See the module docs for the failure-handling policy.
+pub fn sync_multi<N: ValidatingNode>(
+    node: &mut N,
+    peers: Vec<PeerHandle>,
+    cfg: &SyncConfig,
+) -> Result<SyncReport, SyncError<N::Error>> {
+    let total = peers.len();
+    // Session floor: reorgs deeper than the driver's starting tip cannot
+    // be restored on failure (we never saw those blocks), so forks below
+    // it are refused.
+    let floor = node.tip_height();
+    let mut store: Vec<N::Block> = Vec::new();
+    let mut ctls: Vec<PeerCtl> = peers.into_iter().map(PeerCtl::new).collect();
+    let mut report = SyncReport::default();
+    let mut last_failure: Option<SyncError<N::Error>> = None;
+
+    loop {
+        report.rounds += 1;
+        if report.rounds > cfg.max_rounds {
+            finish_all(&ctls);
+            return Err(SyncError::RoundLimit {
+                height: node.tip_height(),
+                rounds: report.rounds,
+            });
+        }
+        let tip = node.tip_height();
+        let live: Vec<usize> = (0..ctls.len()).filter(|&i| ctls[i].usable()).collect();
+        if live.is_empty() {
+            let banned = ctls.iter().filter(|c| c.banned).count();
+            finish_all(&ctls);
+            return Err(SyncError::AllPeersFailed {
+                total,
+                banned,
+                height: tip,
+                rounds: report.rounds,
+                last: last_failure.map(Box::new),
+            });
+        }
+        if live.iter().all(|&i| ctls[i].exhausted_at == Some(tip)) {
+            finish_all(&ctls);
+            report.peers = ctls.iter().map(|c| c.stats).collect();
+            for (c, s) in ctls.iter().zip(report.peers.iter_mut()) {
+                s.score = c.score;
+            }
+            return Ok(report);
+        }
+
+        // Pick the best ready peer: lowest score, ties to lowest id.
+        let now = Instant::now();
+        let mut pick: Option<usize> = None;
+        for &i in &live {
+            if ctls[i].exhausted_at == Some(tip) || ctls[i].ready_at > now {
+                continue;
+            }
+            let better = match pick {
+                None => true,
+                Some(j) => (ctls[i].score, ctls[i].handle.id) < (ctls[j].score, ctls[j].handle.id),
+            };
+            if better {
+                pick = Some(i);
+            }
+        }
+        let Some(i) = pick else {
+            // Every candidate is backing off; sleep until the earliest
+            // becomes ready.
+            let wake = live
+                .iter()
+                .filter(|&&i| ctls[i].exhausted_at != Some(tip))
+                .map(|&i| ctls[i].ready_at)
+                .min();
+            if let Some(w) = wake {
+                let now = Instant::now();
+                if w > now {
+                    std::thread::sleep((w - now).min(cfg.max_backoff));
+                }
+            }
+            continue;
+        };
+
+        let peer_id = ctls[i].handle.id;
+        let start = tip + 1;
+        match ctls[i]
+            .handle
+            .request(start, cfg.batch, cfg.request_timeout)
+        {
+            RequestOutcome::Closed => {
+                ctls[i].closed = true;
+                last_failure = Some(SyncError::SourceClosed {
+                    peer: peer_id,
+                    height: start,
+                });
+            }
+            RequestOutcome::TimedOut => {
+                ctls[i].stats.stalls += 1;
+                let attempts = ctls[i].penalize(STALL_PENALTY, cfg);
+                last_failure = Some(SyncError::Stalled {
+                    peer: peer_id,
+                    height: start,
+                    attempts,
+                });
+            }
+            RequestOutcome::Exhausted => {
+                ctls[i].exhausted_at = Some(tip);
+                ctls[i].failures = 0;
+            }
+            RequestOutcome::Blocks(batch_bytes) => {
+                ctls[i].stats.batches += 1;
+                ctls[i].exhausted_at = None;
+                let mut blocks: Vec<N::Block> = Vec::with_capacity(batch_bytes.len());
+                let mut decode_err = None;
+                for (k, bytes) in batch_bytes.iter().enumerate() {
+                    match N::decode_block(bytes) {
+                        Ok(b) => blocks.push(b),
+                        Err(e) => {
+                            decode_err = Some((k, e));
+                            break;
+                        }
+                    }
+                }
+                if let Some((k, err)) = decode_err {
+                    ctls[i].stats.decode_failures += 1;
+                    let attempts = ctls[i].penalize(DECODE_PENALTY, cfg);
+                    last_failure = Some(SyncError::Decode {
+                        peer: peer_id,
+                        height: start + k as u32,
+                        attempts,
+                        err,
+                    });
+                } else if blocks.is_empty() {
+                    ctls[i].exhausted_at = Some(tip);
+                } else if N::block_prev_hash(&blocks[0]) != node.tip_hash() {
+                    match resolve_fork(node, &mut ctls[i], &mut store, floor, blocks, cfg) {
+                        ForkOutcome::Reorged {
+                            connected,
+                            disconnected,
+                        } => {
+                            report.reorgs += 1;
+                            report.blocks_connected += connected;
+                            report.blocks_disconnected += disconnected;
+                            ctls[i].stats.reorgs += 1;
+                            ctls[i].stats.blocks_accepted += connected;
+                            ctls[i].reward();
+                        }
+                        ForkOutcome::Rejected { penalty, reason } => {
+                            ctls[i].stats.fork_rejects += 1;
+                            let attempts = ctls[i].penalize(penalty, cfg);
+                            last_failure = Some(SyncError::ForkRejected {
+                                peer: peer_id,
+                                height: start,
+                                attempts,
+                                reason,
+                            });
+                        }
+                        ForkOutcome::InvalidBranch { reason } => {
+                            ctls[i].stats.validation_failures += 1;
+                            let attempts = ctls[i].penalize(cfg.ban_score, cfg);
+                            last_failure = Some(SyncError::ForkRejected {
+                                peer: peer_id,
+                                height: start,
+                                attempts,
+                                reason,
+                            });
+                        }
+                        ForkOutcome::RequestFailed { penalty, reason } => {
+                            let attempts = ctls[i].penalize(penalty, cfg);
+                            last_failure = Some(SyncError::ForkRejected {
+                                peer: peer_id,
+                                height: start,
+                                attempts,
+                                reason,
+                            });
+                        }
+                        ForkOutcome::Fatal(msg) => {
+                            finish_all(&ctls);
+                            return Err(SyncError::Internal(msg));
+                        }
+                    }
+                } else {
+                    let mut connected = 0u32;
+                    let mut failure: Option<(u32, N::Error)> = None;
+                    for block in blocks {
+                        match node.connect_block(&block) {
+                            Ok(()) => {
+                                store.push(block);
+                                connected += 1;
+                            }
+                            Err(e) => {
+                                failure = Some((node.tip_height() + 1, e));
+                                break;
+                            }
+                        }
+                    }
+                    report.blocks_connected += connected;
+                    ctls[i].stats.blocks_accepted += connected;
+                    if let Some((height, err)) = failure {
+                        ctls[i].stats.validation_failures += 1;
+                        let attempts = ctls[i].penalize(VALIDATION_PENALTY, cfg);
+                        last_failure = Some(SyncError::Validation {
+                            peer: peer_id,
+                            height,
+                            attempts,
+                            err,
+                        });
+                    } else {
+                        ctls[i].reward();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn finish_all(ctls: &[PeerCtl]) {
+    for c in ctls {
+        c.handle.finish();
+    }
+}
+
+/// A batch from `ctl` did not attach to the tip: walk its chain back to
+/// the common ancestor, fetch its candidate branch to exhaustion, and
+/// reorg if the branch is strictly longer.
+fn resolve_fork<N: ValidatingNode>(
+    node: &mut N,
+    ctl: &mut PeerCtl,
+    store: &mut Vec<N::Block>,
+    floor: u32,
+    batch: Vec<N::Block>,
+    cfg: &SyncConfig,
+) -> ForkOutcome {
+    let tip = node.tip_height();
+    // Phase 1: walk down from the tip until the peer's block hash matches
+    // ours — the fork point. Blocks collected on the way are the lower
+    // part of the candidate branch.
+    let mut below: Vec<N::Block> = Vec::new(); // heights tip, tip-1, ...
+    let mut h = tip;
+    let fork = loop {
+        if tip - h >= cfg.max_reorg_depth {
+            return ForkOutcome::Rejected {
+                penalty: FORK_PENALTY,
+                reason: format!(
+                    "no common ancestor within {} blocks of the tip",
+                    cfg.max_reorg_depth
+                ),
+            };
+        }
+        if h < floor {
+            return ForkOutcome::Rejected {
+                penalty: FORK_PENALTY,
+                reason: format!("fork point below the session floor (height {floor})"),
+            };
+        }
+        match ctl.handle.request(h, 1, cfg.request_timeout) {
+            RequestOutcome::Blocks(bytes) => {
+                let Some(first) = bytes.first() else {
+                    return ForkOutcome::RequestFailed {
+                        penalty: STALL_PENALTY,
+                        reason: format!("empty response for single block at height {h}"),
+                    };
+                };
+                let block = match N::decode_block(first) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        return ForkOutcome::RequestFailed {
+                            penalty: DECODE_PENALTY,
+                            reason: format!(
+                                "block at height {h} failed to decode during fork walk: {e:?}"
+                            ),
+                        }
+                    }
+                };
+                if node.header_hash_at(h) == Some(N::block_hash(&block)) {
+                    break h;
+                }
+                below.push(block);
+                if h == 0 {
+                    return ForkOutcome::Rejected {
+                        penalty: DECODE_PENALTY,
+                        reason: "peer shares no common ancestor (different genesis)".to_string(),
+                    };
+                }
+                h -= 1;
+            }
+            RequestOutcome::Exhausted => {
+                return ForkOutcome::Rejected {
+                    penalty: FORK_PENALTY,
+                    reason: format!("peer claims exhaustion at height {h} during fork walk"),
+                }
+            }
+            RequestOutcome::TimedOut => {
+                ctl.stats.stalls += 1;
+                return ForkOutcome::RequestFailed {
+                    penalty: STALL_PENALTY,
+                    reason: format!("timeout fetching height {h} during fork walk"),
+                };
+            }
+            RequestOutcome::Closed => {
+                ctl.closed = true;
+                return ForkOutcome::RequestFailed {
+                    penalty: 0,
+                    reason: "peer channel closed during fork walk".to_string(),
+                };
+            }
+        }
+    };
+
+    // Phase 2: assemble the candidate branch — walked blocks (ascending)
+    // plus the original batch — then extend it to the peer's tip.
+    below.reverse();
+    let mut branch = below; // heights fork+1 ..= tip
+    branch.extend(batch); // heights tip+1 ..
+    let mut fetch_rounds = 0u32;
+    loop {
+        fetch_rounds += 1;
+        if fetch_rounds > 256 {
+            break; // adversarially long advertisement; judge what we have
+        }
+        let next = fork + 1 + branch.len() as u32;
+        match ctl.handle.request(next, cfg.batch, cfg.request_timeout) {
+            RequestOutcome::Exhausted => break,
+            RequestOutcome::Blocks(bytes) => {
+                for b in &bytes {
+                    match N::decode_block(b) {
+                        Ok(block) => branch.push(block),
+                        Err(e) => {
+                            return ForkOutcome::RequestFailed {
+                                penalty: DECODE_PENALTY,
+                                reason: format!(
+                                "candidate branch block failed to decode near height {next}: {e:?}"
+                            ),
+                            }
+                        }
+                    }
+                }
+            }
+            RequestOutcome::TimedOut => {
+                ctl.stats.stalls += 1;
+                return ForkOutcome::RequestFailed {
+                    penalty: STALL_PENALTY,
+                    reason: format!("timeout extending candidate branch at height {next}"),
+                };
+            }
+            RequestOutcome::Closed => {
+                ctl.closed = true;
+                return ForkOutcome::RequestFailed {
+                    penalty: 0,
+                    reason: "peer channel closed while extending candidate branch".to_string(),
+                };
+            }
+        }
+    }
+
+    // Phase 3: longest-chain rule, then the actual reorg.
+    let old_from = (fork - floor) as usize;
+    let disconnected = tip - fork;
+    let connected = branch.len() as u32;
+    match reorg_to(node, fork, &branch, &store[old_from..]) {
+        Ok(_) => {
+            store.truncate(old_from);
+            store.extend(branch);
+            ForkOutcome::Reorged {
+                connected,
+                disconnected,
+            }
+        }
+        Err(ReorgError::NotBetter {
+            current_len,
+            candidate_len,
+        }) => ForkOutcome::Rejected {
+            penalty: FORK_PENALTY,
+            reason: format!(
+                "stale or equivocating tip: candidate branch {candidate_len} blocks vs current {current_len}"
+            ),
+        },
+        Err(ReorgError::BranchDetached { offset }) => ForkOutcome::Rejected {
+            penalty: DECODE_PENALTY,
+            reason: format!("candidate branch link broken at offset {offset}"),
+        },
+        Err(ReorgError::ForkAboveTip { fork, tip }) => ForkOutcome::Rejected {
+            penalty: FORK_PENALTY,
+            reason: format!("fork point {fork} above tip {tip}"),
+        },
+        Err(ReorgError::InvalidBranch {
+            height,
+            err,
+            restored,
+        }) => {
+            if !restored {
+                // The node sits at the fork point; drop our record of the
+                // old branch so the store still mirrors the chain. Honest
+                // peers will re-serve the missing blocks.
+                store.truncate(old_from);
+            }
+            ForkOutcome::InvalidBranch {
+                reason: format!(
+                    "candidate branch invalid at height {height}: {err:?} (old chain restored: {restored})"
+                ),
+            }
+        }
+        Err(ReorgError::Unwind(msg)) => ForkOutcome::Fatal(msg),
+    }
+}

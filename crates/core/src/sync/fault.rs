@@ -1,0 +1,204 @@
+//! Deterministic fault injection for sync testing.
+//!
+//! [`FaultyPeer`] wraps any [`BlockSource`] and perturbs its responses
+//! according to a [`FaultSchedule`] — either a fixed cyclic pattern or a
+//! seeded pseudo-random draw — so every failure mode the multi-peer
+//! driver must survive is a reproducible test case, not a flake. The
+//! schedule advances once per request, whatever the fault.
+
+use super::peer::BlockSource;
+use std::time::Duration;
+
+/// One injected failure mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Serve honestly.
+    None,
+    /// Flip bytes inside the first served block (decode failure).
+    Corrupt,
+    /// Cut the first served block short and drop the rest of the batch
+    /// (truncated payload — also a decode failure, different shape).
+    Truncate,
+    /// Sleep before responding, long enough to trip the driver's request
+    /// timeout (the reply then arrives stale and is dropped by id).
+    Stall,
+    /// Serve blocks from `offset` heights above the requested start — the
+    /// batch will not attach and fork resolution will find no fork.
+    WrongHeight { offset: u32 },
+    /// Serve from the alternative chain (equivocating tip). Falls back to
+    /// claiming exhaustion if the peer has no fork chain configured.
+    Equivocate,
+    /// Claim there is nothing at or above the requested height (stale
+    /// tip) regardless of the real chain.
+    StaleTip,
+}
+
+enum ScheduleKind {
+    /// Repeat a fixed pattern, one entry per request.
+    Cycle(Vec<Fault>),
+    /// Seeded draw per request: with probability `rate_percent`% pick
+    /// uniformly from `faults`, otherwise serve honestly.
+    Seeded {
+        seed: u64,
+        rate_percent: u64,
+        faults: Vec<Fault>,
+    },
+}
+
+/// A deterministic per-request fault plan.
+pub struct FaultSchedule {
+    kind: ScheduleKind,
+    /// Requests answered so far — the schedule position.
+    counter: u64,
+}
+
+/// SplitMix64 — a tiny, dependency-free deterministic mixer.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultSchedule {
+    /// Always serve honestly.
+    pub fn honest() -> FaultSchedule {
+        FaultSchedule::cycle(vec![Fault::None])
+    }
+
+    /// Repeat `pattern` forever, one entry per request. Empty patterns
+    /// degrade to honest service.
+    pub fn cycle(pattern: Vec<Fault>) -> FaultSchedule {
+        FaultSchedule {
+            kind: ScheduleKind::Cycle(if pattern.is_empty() {
+                vec![Fault::None]
+            } else {
+                pattern
+            }),
+            counter: 0,
+        }
+    }
+
+    /// Per-request seeded draw: with probability `rate_percent`% inject a
+    /// fault picked uniformly from `faults`, otherwise serve honestly.
+    /// The same seed always yields the same request-indexed schedule.
+    pub fn seeded(seed: u64, rate_percent: u64, faults: Vec<Fault>) -> FaultSchedule {
+        FaultSchedule {
+            kind: ScheduleKind::Seeded {
+                seed,
+                rate_percent: rate_percent.min(100),
+                faults: if faults.is_empty() {
+                    vec![Fault::None]
+                } else {
+                    faults
+                },
+            },
+            counter: 0,
+        }
+    }
+
+    /// The fault for the next request; advances the schedule.
+    pub fn next_fault(&mut self) -> Fault {
+        let i = self.counter;
+        self.counter += 1;
+        match &self.kind {
+            ScheduleKind::Cycle(pattern) => pattern[(i % pattern.len() as u64) as usize],
+            ScheduleKind::Seeded {
+                seed,
+                rate_percent,
+                faults,
+            } => {
+                let draw = splitmix64(seed ^ i.wrapping_mul(0x2545_f491_4f6c_dd1d));
+                if draw % 100 < *rate_percent {
+                    faults[(splitmix64(draw) % faults.len() as u64) as usize]
+                } else {
+                    Fault::None
+                }
+            }
+        }
+    }
+}
+
+/// A [`BlockSource`] wrapper injecting faults per a deterministic
+/// schedule.
+pub struct FaultyPeer<S> {
+    inner: S,
+    /// The competing chain served under [`Fault::Equivocate`].
+    fork: Option<S>,
+    schedule: FaultSchedule,
+    /// How long a [`Fault::Stall`] sleeps before answering. Configure it
+    /// comfortably above the driver's request timeout.
+    stall: Duration,
+    /// Seed for deterministic corruption byte positions.
+    corrupt_seed: u64,
+}
+
+impl<S: BlockSource> FaultyPeer<S> {
+    pub fn new(inner: S, schedule: FaultSchedule) -> FaultyPeer<S> {
+        FaultyPeer {
+            inner,
+            fork: None,
+            schedule,
+            stall: Duration::from_millis(200),
+            corrupt_seed: 0xebb,
+        }
+    }
+
+    /// Provide the competing chain served under [`Fault::Equivocate`].
+    pub fn with_fork(mut self, fork: S) -> FaultyPeer<S> {
+        self.fork = Some(fork);
+        self
+    }
+
+    /// Override the stall duration.
+    pub fn with_stall(mut self, stall: Duration) -> FaultyPeer<S> {
+        self.stall = stall;
+        self
+    }
+}
+
+impl<S: BlockSource> BlockSource for FaultyPeer<S> {
+    fn serve(&mut self, start_height: u32, count: u32) -> Vec<Vec<u8>> {
+        match self.schedule.next_fault() {
+            Fault::None => self.inner.serve(start_height, count),
+            Fault::Corrupt => {
+                let mut batch = self.inner.serve(start_height, count);
+                if let Some(first) = batch.first_mut() {
+                    if !first.is_empty() {
+                        // Deterministic flip positions: never the same byte
+                        // twice, always inside the block.
+                        let len = first.len() as u64;
+                        for k in 0..3u64 {
+                            let pos = (splitmix64(self.corrupt_seed ^ start_height as u64 ^ k)
+                                % len) as usize;
+                            first[pos] ^= 0xa5;
+                        }
+                    }
+                }
+                batch
+            }
+            Fault::Truncate => {
+                let mut batch = self.inner.serve(start_height, count);
+                batch.truncate(1);
+                if let Some(first) = batch.first_mut() {
+                    let half = first.len() / 2;
+                    first.truncate(half.max(1));
+                }
+                batch
+            }
+            Fault::Stall => {
+                std::thread::sleep(self.stall);
+                self.inner.serve(start_height, count)
+            }
+            Fault::WrongHeight { offset } => {
+                self.inner.serve(start_height.saturating_add(offset), count)
+            }
+            Fault::Equivocate => match self.fork.as_mut() {
+                Some(fork) => fork.serve(start_height, count),
+                None => Vec::new(),
+            },
+            Fault::StaleTip => Vec::new(),
+        }
+    }
+}

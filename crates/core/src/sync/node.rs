@@ -1,0 +1,142 @@
+//! The [`ValidatingNode`] abstraction the sync drivers operate over.
+//!
+//! `EbvNode` and `BaselineNode` expose the same chain-manipulation surface
+//! — connect a block to the tip, disconnect the tip, look up a header hash
+//! — differing only in block format and error type. The trait captures
+//! exactly that surface, so the multi-peer driver and the reorg engine
+//! have a single implementation instead of the copy-paste twins the old
+//! flat `sync.rs` carried.
+
+use crate::baseline_node::{BaselineError, BaselineNode};
+use crate::ebv_node::{EbvError, EbvNode};
+use crate::tidy::EbvBlock;
+use ebv_chain::Block;
+use ebv_primitives::encode::{Decodable, DecodeError};
+use ebv_primitives::hash::Hash256;
+
+/// A chain-state machine the sync drivers can push blocks into and, when a
+/// better fork appears, unwind.
+pub trait ValidatingNode {
+    /// The block format this node validates.
+    type Block;
+    /// The node's validation error type.
+    type Error: std::fmt::Debug;
+
+    /// Decode one block from its wire bytes.
+    fn decode_block(bytes: &[u8]) -> Result<Self::Block, DecodeError>;
+    /// The block's header hash.
+    fn block_hash(block: &Self::Block) -> Hash256;
+    /// The block's `prev_block_hash` link.
+    fn block_prev_hash(block: &Self::Block) -> Hash256;
+
+    /// Height of the best block.
+    fn tip_height(&self) -> u32;
+    /// Hash of the best block's header.
+    fn tip_hash(&self) -> Hash256;
+    /// Header hash at `height`, if within the chain.
+    fn header_hash_at(&self, height: u32) -> Option<Hash256>;
+
+    /// Validate `block` and, if valid, connect it to the tip.
+    fn connect_block(&mut self, block: &Self::Block) -> Result<(), Self::Error>;
+    /// Disconnect the tip block, restoring the previous state. `Ok(None)`
+    /// means only genesis remains; `Err` is an internal-consistency
+    /// failure (corrupt undo data, store I/O).
+    fn disconnect_tip_block(&mut self) -> Result<Option<u32>, Self::Error>;
+    /// Whether `err` means "the block does not extend the tip" — the
+    /// signal the driver uses to tell a competing fork from an invalid
+    /// block.
+    fn is_not_on_tip(err: &Self::Error) -> bool;
+    /// Cheap internal-consistency check, asserted by the reorg engine
+    /// after every unwind step.
+    fn check_invariants(&self) -> Result<(), String>;
+}
+
+impl ValidatingNode for EbvNode {
+    type Block = EbvBlock;
+    type Error = EbvError;
+
+    fn decode_block(bytes: &[u8]) -> Result<EbvBlock, DecodeError> {
+        EbvBlock::from_bytes(bytes)
+    }
+
+    fn block_hash(block: &EbvBlock) -> Hash256 {
+        block.header.hash()
+    }
+
+    fn block_prev_hash(block: &EbvBlock) -> Hash256 {
+        block.header.prev_block_hash
+    }
+
+    fn tip_height(&self) -> u32 {
+        EbvNode::tip_height(self)
+    }
+
+    fn tip_hash(&self) -> Hash256 {
+        EbvNode::tip_hash(self)
+    }
+
+    fn header_hash_at(&self, height: u32) -> Option<Hash256> {
+        self.header_at(height).map(|h| h.hash())
+    }
+
+    fn connect_block(&mut self, block: &EbvBlock) -> Result<(), EbvError> {
+        self.process_block(block).map(|_| ())
+    }
+
+    fn disconnect_tip_block(&mut self) -> Result<Option<u32>, EbvError> {
+        self.disconnect_tip()
+    }
+
+    fn is_not_on_tip(err: &EbvError) -> bool {
+        matches!(err, EbvError::NotOnTip)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        EbvNode::check_invariants(self)
+    }
+}
+
+impl ValidatingNode for BaselineNode {
+    type Block = Block;
+    type Error = BaselineError;
+
+    fn decode_block(bytes: &[u8]) -> Result<Block, DecodeError> {
+        Block::from_bytes(bytes)
+    }
+
+    fn block_hash(block: &Block) -> Hash256 {
+        block.header.hash()
+    }
+
+    fn block_prev_hash(block: &Block) -> Hash256 {
+        block.header.prev_block_hash
+    }
+
+    fn tip_height(&self) -> u32 {
+        BaselineNode::tip_height(self)
+    }
+
+    fn tip_hash(&self) -> Hash256 {
+        BaselineNode::tip_hash(self)
+    }
+
+    fn header_hash_at(&self, height: u32) -> Option<Hash256> {
+        self.header_at(height).map(|h| h.hash())
+    }
+
+    fn connect_block(&mut self, block: &Block) -> Result<(), BaselineError> {
+        self.process_block(block).map(|_| ())
+    }
+
+    fn disconnect_tip_block(&mut self) -> Result<Option<u32>, BaselineError> {
+        self.disconnect_tip()
+    }
+
+    fn is_not_on_tip(err: &BaselineError) -> bool {
+        matches!(err, BaselineError::NotOnTip)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        BaselineNode::check_invariants(self)
+    }
+}

@@ -13,10 +13,12 @@
 
 pub mod experiment;
 pub mod sim;
+pub mod syncsim;
 pub mod topology;
 pub mod validation;
 
 pub use experiment::{compare, Comparison};
 pub use sim::{GossipSim, SimParams, SimResult};
+pub use syncsim::{sync_under_faults, ModelNode, SyncSimResult};
 pub use topology::{LatencyMatrix, Topology};
 pub use validation::ValidationModel;

@@ -53,6 +53,9 @@ pub enum DiskError {
     Io(std::io::Error),
     /// The log file is structurally corrupt at the given offset.
     Corrupt(u64),
+    /// The in-memory index references a record the log cannot serve — the
+    /// index and the file have diverged (formerly a panic in `compact`).
+    InconsistentIndex,
 }
 
 impl From<std::io::Error> for DiskError {
@@ -66,6 +69,9 @@ impl std::fmt::Display for DiskError {
         match self {
             DiskError::Io(e) => write!(f, "disk i/o error: {e}"),
             DiskError::Corrupt(off) => write!(f, "log corrupt at offset {off}"),
+            DiskError::InconsistentIndex => {
+                write!(f, "index references a record the log cannot serve")
+            }
         }
     }
 }
@@ -74,6 +80,14 @@ impl std::error::Error for DiskError {}
 
 const TAG_PUT: u8 = 1;
 const TAG_DELETE: u8 = 2;
+
+/// Little-endian u32 at `pos`, or `None` if the buffer ends first — replay
+/// must never panic on a malformed log, whatever its length arithmetic
+/// says.
+fn read_u32_le(buf: &[u8], pos: usize) -> Option<u32> {
+    let bytes = buf.get(pos..pos + 4)?;
+    Some(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
 
 /// Append-only key/value log with offset index.
 pub struct DiskLog {
@@ -127,7 +141,10 @@ impl DiskLog {
                 break;
             }
             let tag = buf[pos];
-            let key_len = u32::from_le_bytes(buf[pos + 1..pos + 5].try_into().expect("4")) as usize;
+            let Some(key_len) = read_u32_le(&buf, pos + 1).map(|n| n as usize) else {
+                truncated_at = Some(start);
+                break;
+            };
             pos += 5;
             if buf.len() - pos < key_len {
                 truncated_at = Some(start);
@@ -141,8 +158,10 @@ impl DiskLog {
                         truncated_at = Some(start);
                         break;
                     }
-                    let val_len =
-                        u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4")) as usize;
+                    let Some(val_len) = read_u32_le(&buf, pos).map(|n| n as usize) else {
+                        truncated_at = Some(start);
+                        break;
+                    };
                     pos += 4;
                     if buf.len() - pos < val_len {
                         truncated_at = Some(start);
@@ -263,7 +282,7 @@ impl DiskLog {
             let mut new_end = 0u64;
             let keys: Vec<Vec<u8>> = self.index.keys().cloned().collect();
             for key in keys {
-                let value = self.get(&key)?.expect("indexed key has value");
+                let value = self.get(&key)?.ok_or(DiskError::InconsistentIndex)?;
                 let mut rec = Vec::with_capacity(9 + key.len() + value.len());
                 rec.push(TAG_PUT);
                 rec.extend_from_slice(&(key.len() as u32).to_le_bytes());

@@ -26,4 +26,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The fault matrix is part of 'cargo test' above, but run it by name too so
+# a failure is attributed unambiguously. Seeds are fixed inside the tests —
+# every run exercises the identical fault schedule.
+echo "==> cargo test --test fault_sync (deterministic fault matrix)"
+cargo test -q --test fault_sync
+
 echo "CI gate passed."

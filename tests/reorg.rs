@@ -32,7 +32,7 @@ fn ebv_disconnect_restores_state() {
     assert_eq!(node.tip_height(), 12);
 
     for expected in (8..12).rev() {
-        assert_eq!(node.disconnect_tip(), Some(expected));
+        assert_eq!(node.disconnect_tip().expect("undo intact"), Some(expected));
     }
     assert_eq!(node.tip_height(), 8);
     assert_eq!(node.tip_hash(), tip_at_8);
@@ -53,11 +53,11 @@ fn ebv_disconnect_to_genesis_then_stop() {
     for b in &ebv_blocks[1..=3] {
         node.process_block(b).expect("valid");
     }
-    assert_eq!(node.disconnect_tip(), Some(2));
-    assert_eq!(node.disconnect_tip(), Some(1));
-    assert_eq!(node.disconnect_tip(), Some(0));
+    assert_eq!(node.disconnect_tip().expect("undo intact"), Some(2));
+    assert_eq!(node.disconnect_tip().expect("undo intact"), Some(1));
+    assert_eq!(node.disconnect_tip().expect("undo intact"), Some(0));
     // Genesis cannot be disconnected.
-    assert_eq!(node.disconnect_tip(), None);
+    assert_eq!(node.disconnect_tip().expect("undo intact"), None);
     assert_eq!(node.tip_height(), 0);
 }
 
@@ -77,7 +77,7 @@ fn baseline_disconnect_restores_utxo_set() {
         node.process_block(b).expect("valid");
     }
     for expected in (6..12).rev() {
-        assert_eq!(node.disconnect_tip(), Some(expected));
+        assert_eq!(node.disconnect_tip().expect("undo intact"), Some(expected));
     }
     assert_eq!(node.utxos().size(), size_at_6);
     assert_eq!(node.tip_hash(), tip_at_6);

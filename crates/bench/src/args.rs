@@ -22,6 +22,9 @@ pub struct CommonArgs {
     /// Write machine-readable results (per-phase ns, verifies/sec) to this
     /// path, for figures that support it.
     pub json: Option<String>,
+    /// Write a telemetry export after the run: Prometheus text to this
+    /// path and a JSON snapshot to `<path>.json`.
+    pub metrics_out: Option<String>,
 }
 
 impl CommonArgs {
@@ -77,10 +80,16 @@ impl CommonArgs {
                     out.json = Some(value(i).to_string());
                     i += 2;
                 }
+                "--metrics-out" => {
+                    out.metrics_out = Some(value(i).to_string());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
-                         --seq-ev --seq-sv --workers W --json PATH\n\
+                         --seq-ev --seq-sv --workers W --json PATH --metrics-out PATH\n\
+                         (--metrics-out writes Prometheus text to PATH and a JSON \
+                         snapshot to PATH.json)\n\
                          defaults: {defaults:?}"
                     );
                     std::process::exit(0);
@@ -118,6 +127,7 @@ impl Default for CommonArgs {
             parallel_sv: true,
             workers: None,
             json: None,
+            metrics_out: None,
         }
     }
 }
@@ -131,5 +141,31 @@ impl CommonArgs {
             workers: self.workers,
             ..EbvConfig::default()
         }
+    }
+
+    /// Enable telemetry collection when `--metrics-out` was given. Call at
+    /// the top of a figure binary's `main`, before validation starts.
+    pub fn enable_telemetry(&self) {
+        if self.metrics_out.is_some() {
+            ebv_telemetry::set_enabled(true);
+        }
+    }
+
+    /// Write the telemetry export requested by `--metrics-out`: Prometheus
+    /// text at the given path, JSON snapshot at `<path>.json`.
+    pub fn write_metrics(&self) {
+        let Some(path) = &self.metrics_out else {
+            return;
+        };
+        let json_path = format!("{path}.json");
+        ebv_telemetry::write_metrics_files(
+            Some(std::path::Path::new(path)),
+            Some(std::path::Path::new(&json_path)),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error writing metrics to {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote metrics to {path} and {json_path}");
     }
 }

@@ -15,6 +15,7 @@ fn main() {
         latency_us: 200,
         ..Default::default()
     });
+    args.enable_telemetry();
     let scenario = Scenario::mainnet_like(&args);
 
     println!(
@@ -149,4 +150,5 @@ fn main() {
             (table::secs(b.others), 10),
         ]);
     }
+    args.write_metrics();
 }

@@ -11,6 +11,7 @@ use ebv_core::baseline_ibd;
 
 fn main() {
     let args = CommonArgs::parse(CommonArgs::default());
+    args.enable_telemetry();
     let n_periods = 13usize;
     let period_len = (args.blocks as usize / n_periods).max(1);
     println!(
@@ -51,4 +52,5 @@ fn main() {
         "\npaper shape: DBO time rises over periods and its ratio exceeds 50% late; the \
          consolidation epoch (period ~11) shrinks the UTXO set, flattening DBO in the periods after it"
     );
+    args.write_metrics();
 }

@@ -12,6 +12,7 @@ use ebv_core::{baseline_ibd, ebv_ibd, EbvConfig};
 
 fn main() {
     let args = CommonArgs::parse(CommonArgs::default());
+    args.enable_telemetry();
     println!(
         "# Fig. 16 — validation time comparison over the last 10 blocks \
          ({} blocks, budget {} KiB, latency {} µs, seed {}, ebv {:?})",
@@ -170,13 +171,15 @@ fn main() {
         } else {
             0.0
         };
+        let telemetry = ebv_telemetry::json_snapshot(&ebv_telemetry::global().snapshot());
         let json = format!(
             "{{\n  \"figure\": \"fig16\",\n  \"seed\": {},\n  \"blocks\": [{blocks}\n  ],\n  \
              \"sv_ns_total\": {sv_ns_total},\n  \"inputs_total\": {inputs_total},\n  \
-             \"verifies_per_sec\": {verifies_per_sec:.1}\n}}\n",
+             \"verifies_per_sec\": {verifies_per_sec:.1},\n  \"telemetry\": {telemetry}\n}}\n",
             args.seed
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");
     }
+    args.write_metrics();
 }

@@ -11,6 +11,7 @@ use std::time::Duration;
 
 fn main() {
     let args = CommonArgs::parse(CommonArgs::default());
+    args.enable_telemetry();
     let n_periods = 13usize;
     let period_len = (args.blocks as usize / n_periods).max(1);
     println!(
@@ -135,15 +136,17 @@ fn main() {
         } else {
             0.0
         };
+        let telemetry = ebv_telemetry::json_snapshot(&ebv_telemetry::global().snapshot());
         let json = format!(
             "{{\n  \"figure\": \"fig17\",\n  \"runs\": {},\n  \"periods\": [{periods}\n  ],\n  \
              \"sv_ns_total\": {sv_ns_total},\n  \"inputs_total\": {inputs_total},\n  \
-             \"verifies_per_sec\": {verifies_per_sec:.1}\n}}\n",
+             \"verifies_per_sec\": {verifies_per_sec:.1},\n  \"telemetry\": {telemetry}\n}}\n",
             args.runs
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");
     }
+    args.write_metrics();
 }
 
 fn cumulative(walls: impl Iterator<Item = Duration>) -> Vec<f64> {

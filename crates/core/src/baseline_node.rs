@@ -13,8 +13,8 @@ use ebv_chain::{Block, BlockHeader, BlockStructureError, OutPoint, BLOCK_SUBSIDY
 use ebv_primitives::hash::Hash256;
 use ebv_script::{verify_spend, Script, ScriptError};
 use ebv_store::{UtxoEntry, UtxoError, UtxoSet};
+use ebv_telemetry::{counter, histogram, span, trace_event};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Why a baseline block was rejected.
 #[derive(Debug)]
@@ -171,7 +171,7 @@ impl BaselineNode {
         let new_height = self.headers.len() as u32;
 
         // ---- others: structure ----------------------------------------
-        let t_others = Instant::now();
+        let span_structure = span!("baseline.structure", &mut breakdown.others);
         if block.header.prev_block_hash != self.tip_hash() {
             return Err(BaselineError::NotOnTip);
         }
@@ -180,10 +180,10 @@ impl BaselineNode {
             Err(e) => return Err(BaselineError::Structure(e)),
             Ok(()) => {}
         }
-        breakdown.others += t_others.elapsed();
+        drop(span_structure);
 
         // ---- DBO: fetch every input's UTXO entry (EV+UV) ----------------
-        let t_dbo = Instant::now();
+        let span_fetch = span!("baseline.dbo_fetch", &mut breakdown.dbo);
         let mut fetched: Vec<Vec<UtxoEntry>> = Vec::with_capacity(block.transactions.len());
         {
             let mut seen = std::collections::HashSet::with_capacity(block.input_count());
@@ -207,10 +207,10 @@ impl BaselineNode {
                 fetched.push(entries);
             }
         }
-        breakdown.dbo += t_dbo.elapsed();
+        drop(span_fetch);
 
         // ---- value conservation (others) --------------------------------
-        let t_val = Instant::now();
+        let span_val = span!("baseline.value", &mut breakdown.others);
         let mut total_fees = 0u64;
         for (idx, (tx, entries)) in block.transactions.iter().skip(1).zip(&fetched).enumerate() {
             let in_value: u64 = entries
@@ -227,10 +227,10 @@ impl BaselineNode {
         if coinbase_out > BLOCK_SUBSIDY.saturating_add(total_fees) {
             return Err(BaselineError::ExcessiveCoinbase);
         }
-        breakdown.others += t_val.elapsed();
+        drop(span_val);
 
         // ---- SV ----------------------------------------------------------
-        let t_sv = Instant::now();
+        let span_sv = span!("baseline.sv", &mut breakdown.sv);
         let jobs: Vec<(usize, usize, &Script, &Script, Hash256, u32)> = block
             .transactions
             .iter()
@@ -262,6 +262,7 @@ impl BaselineNode {
         let pubkey_cache = PubkeyCache::new();
         let run_one =
             |&(i, j, us, lock, digest, lt): &(usize, usize, &Script, &Script, Hash256, u32)| {
+                let _input_span = span!("baseline.sv_input");
                 verify_spend(
                     us,
                     lock,
@@ -279,10 +280,10 @@ impl BaselineNode {
             jobs.iter().try_for_each(run_one)
         };
         sv_result?;
-        breakdown.sv += t_sv.elapsed();
+        drop(span_sv);
 
         // ---- DBO: delete spent entries, insert new outputs --------------
-        let t_commit = Instant::now();
+        let span_commit = span!("baseline.dbo_commit", &mut breakdown.dbo);
         let mut undo = BaselineUndo::default();
         for (tx, entries) in block.transactions.iter().skip(1).zip(&fetched) {
             for (input, entry) in tx.inputs.iter().zip(entries) {
@@ -293,7 +294,15 @@ impl BaselineNode {
         undo.created = self.insert_outputs(block, new_height)?;
         self.undo_stack.push(undo);
         self.headers.push(block.header);
-        breakdown.dbo += t_commit.elapsed();
+        drop(span_commit);
+
+        counter!("baseline.blocks_connected").inc();
+        histogram!("baseline.block_total").record(breakdown.total().as_nanos() as u64);
+        trace_event!(
+            "baseline.block_connected",
+            height = new_height,
+            txs = block.transactions.len(),
+        );
 
         self.cumulative += breakdown;
         Ok(breakdown)
@@ -314,6 +323,11 @@ impl BaselineNode {
         for (outpoint, entry) in undo.spent.iter().rev() {
             self.utxos.insert(outpoint, entry)?;
         }
+        counter!("baseline.blocks_disconnected").inc();
+        trace_event!(
+            "baseline.block_disconnected",
+            height = self.tip_height() + 1
+        );
         Ok(Some(self.tip_height()))
     }
 

@@ -220,6 +220,10 @@ pub struct BitVectorSetSize {
     pub optimized: u64,
     /// Bytes storing every vector densely ("EBV w/o optimization").
     pub unoptimized: u64,
+    /// Vectors whose optimized encoding is the sparse index array.
+    pub sparse_vectors: u64,
+    /// Vectors whose optimized encoding is the dense bitmap.
+    pub dense_vectors: u64,
 }
 
 /// The bit-vector set: block height → [`BlockBitVector`].
@@ -384,6 +388,12 @@ impl BitVectorSet {
         for v in self.vectors.values() {
             size.optimized += 4 + v.optimized_size() as u64;
             size.unoptimized += 4 + v.dense_size() as u64;
+            // Same tiebreak as `Encodable::encode`: dense wins ties.
+            if v.sparse_size() < v.dense_size() {
+                size.sparse_vectors += 1;
+            } else {
+                size.dense_vectors += 1;
+            }
         }
         size
     }

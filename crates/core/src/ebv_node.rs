@@ -29,8 +29,8 @@ use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{BlockHeader, BLOCK_SUBSIDY};
 use ebv_primitives::hash::Hash256;
 use ebv_script::{verify_spend, Script, ScriptError};
+use ebv_telemetry::{counter, gauge, histogram, span, trace_event};
 use rayon::prelude::*;
-use std::time::Instant;
 
 /// Why an EBV block was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -239,7 +239,7 @@ impl EbvNode {
         let config = self.config;
 
         // ---- "others": structural checks ------------------------------
-        let t_others = Instant::now();
+        let span_structure = span!("ebv.structure", &mut breakdown.others);
         if block.header.prev_block_hash != self.tip_hash() {
             return Err(EbvError::NotOnTip);
         }
@@ -289,13 +289,13 @@ impl EbvNode {
                 })
             })
             .collect();
-        breakdown.others += t_others.elapsed();
+        drop(span_structure);
 
         // ---- EV: Merkle branches against stored headers ----------------
         // `header_at` already rejects any height >= new_height (the header
         // chain holds exactly the blocks below the new one), so a
         // same-block or future reference fails here with `BadHeight`.
-        let t_ev = Instant::now();
+        let span_ev = span!("ebv.ev", &mut breakdown.ev);
         let headers = &self.headers;
         let ev_one = |job: &InputJob<'_>| -> Result<(), EbvError> {
             let proof = job.proof;
@@ -331,13 +331,13 @@ impl EbvNode {
             jobs.iter().try_for_each(ev_one)
         };
         ev_result?;
-        breakdown.ev += t_ev.elapsed();
+        drop(span_ev);
 
         // ---- UV: bit probes + intra-block duplicate detection ----------
         // Sequential by design: duplicate detection must see spends in job
         // order for the first-duplicate error to be deterministic, and a
         // bit probe is orders of magnitude cheaper than a branch fold.
-        let t_uv = Instant::now();
+        let span_uv = span!("ebv.uv", &mut breakdown.uv);
         let mut spends: Vec<(u32, u32)> = Vec::with_capacity(jobs.len());
         {
             let mut seen = std::collections::HashSet::with_capacity(jobs.len());
@@ -359,14 +359,14 @@ impl EbvNode {
                 spends.push(coord);
             }
         }
-        breakdown.uv += t_uv.elapsed();
+        drop(span_uv);
 
         // ---- value conservation + sighash midstates (part of "others") --
         // One pass per transaction: sum input/output values and serialize
         // the sighash prefix every input of that transaction shares. The
         // midstate is what lets SV below avoid re-serializing the outputs
         // (O(outputs) work) once per input.
-        let t_val = Instant::now();
+        let span_val = span!("ebv.value_midstate", &mut breakdown.others);
         let spending_txs: Vec<(usize, &EbvTransaction)> =
             block.transactions.iter().enumerate().skip(1).collect();
         let tx_one =
@@ -411,14 +411,15 @@ impl EbvNode {
         if coinbase_out > BLOCK_SUBSIDY.saturating_add(total_fees) {
             return Err(EbvError::ExcessiveCoinbase);
         }
-        breakdown.others += t_val.elapsed();
+        drop(span_val);
 
         // ---- SV: scripts, parallel across inputs ------------------------
-        let t_sv = Instant::now();
+        let span_sv = span!("ebv.sv", &mut breakdown.sv);
         // One pubkey cache per block: inputs signed by the same key share a
         // single parse + odd-multiples table across all SV workers.
         let pubkey_cache = PubkeyCache::new();
         let sv_one = |job: &InputJob<'_>| -> Result<(), EbvError> {
+            let _input_span = span!("ebv.sv_input");
             // Spending transactions start at index 1; midstates are stored
             // densely from 0.
             let digest = per_tx[job.tx - 1].0.input_digest(job.input as u32);
@@ -441,10 +442,10 @@ impl EbvNode {
             jobs.iter().try_for_each(sv_one)
         };
         sv_result?;
-        breakdown.sv += t_sv.elapsed();
+        drop(span_sv);
 
         // ---- commit: store header, new vector, apply spends -------------
-        let t_commit = Instant::now();
+        let span_commit = span!("ebv.commit", &mut breakdown.commit);
         self.headers.push(block.header);
         let outputs = block.output_count();
         self.bitvecs.insert_block(new_height, outputs);
@@ -465,7 +466,25 @@ impl EbvNode {
             }
         }
         self.undo_stack.push(undo);
-        breakdown.commit += t_commit.elapsed();
+        drop(span_commit);
+
+        counter!("ebv.blocks_connected").inc();
+        histogram!("ebv.block_total").record(breakdown.total().as_nanos() as u64);
+        if ebv_telemetry::enabled() {
+            // `memory()` walks every vector; only refresh the gauges when
+            // someone is collecting them.
+            let size = self.bitvecs.memory();
+            gauge!("ebv.bitvec.resident_bytes").set(size.optimized);
+            gauge!("ebv.bitvec.vectors").set(size.vectors);
+            gauge!("ebv.bitvec.sparse_vectors").set(size.sparse_vectors);
+            gauge!("ebv.bitvec.dense_vectors").set(size.dense_vectors);
+            trace_event!(
+                "ebv.block_connected",
+                height = new_height,
+                txs = block.transactions.len(),
+                unspent = self.bitvecs.total_unspent(),
+            );
+        }
 
         self.cumulative += breakdown;
         Ok(breakdown)
@@ -500,6 +519,8 @@ impl EbvNode {
                 EbvError::Internal("disconnect: undo data does not mirror applied spends")
             })?;
         }
+        counter!("ebv.blocks_disconnected").inc();
+        trace_event!("ebv.block_disconnected", height = tip_height);
         Ok(Some(self.tip_height()))
     }
 

@@ -9,7 +9,8 @@ use crate::metrics::{BaselineBreakdown, EbvBreakdown};
 use crate::sync::{sync_multi, PeerHandle, SyncConfig, SyncError, SyncReport, ValidatingNode};
 use crate::tidy::EbvBlock;
 use ebv_chain::Block;
-use std::time::{Duration, Instant};
+use ebv_telemetry::Stopwatch;
+use std::time::Duration;
 
 /// Stats for one IBD period of the baseline node.
 #[derive(Clone, Copy, Debug, Default)]
@@ -44,7 +45,7 @@ pub fn baseline_ibd(
     let mut periods = Vec::new();
     for chunk in blocks.chunks(period_len) {
         let start_height = node.tip_height() + 1;
-        let wall_start = Instant::now();
+        let wall_start = Stopwatch::start();
         let mut breakdown = BaselineBreakdown::default();
         for block in chunk {
             breakdown += node.process_block(block)?;
@@ -69,7 +70,7 @@ pub fn ebv_ibd(
     let mut periods = Vec::new();
     for chunk in blocks.chunks(period_len) {
         let start_height = node.tip_height() + 1;
-        let wall_start = Instant::now();
+        let wall_start = Stopwatch::start();
         let mut breakdown = EbvBreakdown::default();
         for block in chunk {
             breakdown += node.process_block(block)?;
@@ -107,7 +108,7 @@ pub fn synced_ibd<N: ValidatingNode>(
     peers: Vec<PeerHandle>,
     cfg: &SyncConfig,
 ) -> Result<SyncedIbd, SyncError<N::Error>> {
-    let wall_start = Instant::now();
+    let wall_start = Stopwatch::start();
     let report = sync_multi(node, peers, cfg)?;
     Ok(SyncedIbd {
         blocks_connected: report.blocks_connected,

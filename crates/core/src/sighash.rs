@@ -42,8 +42,10 @@ impl PubkeyCache {
     pub fn get_or_prepare(&self, pubkey: &[u8]) -> Option<Arc<PreparedPublicKey>> {
         let key: [u8; 33] = pubkey.try_into().ok()?;
         if let Some(cached) = self.map.read().expect("cache lock").get(&key) {
+            ebv_telemetry::counter!("ebv.pubkey_cache.hits").inc();
             return cached.clone();
         }
+        ebv_telemetry::counter!("ebv.pubkey_cache.misses").inc();
         let prepared = PublicKey::from_compressed(&key)
             .ok()
             .map(|pk| Arc::new(pk.prepare()));

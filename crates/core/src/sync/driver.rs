@@ -25,6 +25,7 @@ use super::node::ValidatingNode;
 use super::peer::{PeerHandle, RequestOutcome};
 use super::reorg::{reorg_to, ReorgError};
 use super::SyncError;
+use ebv_telemetry::{counter, histogram, trace_event};
 use std::time::{Duration, Instant};
 
 /// Batch size used by the sync drivers (Bitcoin uses 500-block locators;
@@ -165,7 +166,11 @@ impl PeerCtl {
     /// Record a failure of weight `penalty`: bump the score, extend the
     /// backoff (capped exponential with deterministic jitter), and ban if
     /// over threshold. Returns the consecutive-failure count.
-    fn penalize(&mut self, penalty: u32, cfg: &SyncConfig) -> u32 {
+    ///
+    /// `reason` is a short slug ("decode", "validation", "stall", ...)
+    /// attached to the score-change trace event — the score total alone
+    /// cannot explain *why* a peer ended up banned.
+    fn penalize(&mut self, penalty: u32, reason: &str, cfg: &SyncConfig) -> u32 {
         self.score = self.score.saturating_add(penalty);
         self.failures = self.failures.saturating_add(1);
         let exp = self.failures.saturating_sub(1).min(16);
@@ -176,10 +181,38 @@ impl PeerCtl {
         // Jitter in [0.75, 1.25), deterministic per (seed, peer, failure).
         let mix = splitmix64(cfg.seed ^ ((self.handle.id as u64) << 32) ^ u64::from(self.failures));
         let jitter = 0.75 + (mix % 512) as f64 / 1024.0;
-        self.ready_at = Instant::now() + raw.mul_f64(jitter);
-        if self.score >= cfg.ban_score {
+        let backoff = raw.mul_f64(jitter);
+        self.ready_at = Instant::now() + backoff;
+        peer_counter("sync.peer.retries", self.handle.id);
+        trace_event!(
+            "sync.peer_score",
+            peer = self.handle.id,
+            delta = penalty as i64,
+            score = self.score,
+            reason = reason,
+            failures = self.failures,
+        );
+        trace_event!(
+            "sync.backoff",
+            peer = self.handle.id,
+            failures = self.failures,
+            backoff_us = backoff.as_micros() as u64,
+        );
+        if self.score >= cfg.ban_score && !self.banned {
             self.banned = true;
             self.stats.banned = true;
+            counter!("sync.peer.bans").inc();
+            peer_counter("sync.peer.bans", self.handle.id);
+            trace_event!(
+                "sync.peer_banned",
+                peer = self.handle.id,
+                score = self.score,
+                last_reason = reason,
+                decode_failures = self.stats.decode_failures,
+                validation_failures = self.stats.validation_failures,
+                stalls = self.stats.stalls,
+                fork_rejects = self.stats.fork_rejects,
+            );
             self.handle.finish();
         }
         self.failures
@@ -189,6 +222,13 @@ impl PeerCtl {
     fn reward(&mut self) {
         self.failures = 0;
         self.score = self.score.saturating_sub(SUCCESS_REWARD);
+        trace_event!(
+            "sync.peer_score",
+            peer = self.handle.id,
+            delta = -(SUCCESS_REWARD as i64),
+            score = self.score,
+            reason = "batch_connected",
+        );
     }
 }
 
@@ -290,6 +330,7 @@ pub fn sync_multi<N: ValidatingNode>(
 
         let peer_id = ctls[i].handle.id;
         let start = tip + 1;
+        peer_counter("sync.peer.requests", peer_id);
         match ctls[i]
             .handle
             .request(start, cfg.batch, cfg.request_timeout)
@@ -303,7 +344,8 @@ pub fn sync_multi<N: ValidatingNode>(
             }
             RequestOutcome::TimedOut => {
                 ctls[i].stats.stalls += 1;
-                let attempts = ctls[i].penalize(STALL_PENALTY, cfg);
+                peer_counter("sync.peer.timeouts", peer_id);
+                let attempts = ctls[i].penalize(STALL_PENALTY, "stall", cfg);
                 last_failure = Some(SyncError::Stalled {
                     peer: peer_id,
                     height: start,
@@ -330,7 +372,7 @@ pub fn sync_multi<N: ValidatingNode>(
                 }
                 if let Some((k, err)) = decode_err {
                     ctls[i].stats.decode_failures += 1;
-                    let attempts = ctls[i].penalize(DECODE_PENALTY, cfg);
+                    let attempts = ctls[i].penalize(DECODE_PENALTY, "decode", cfg);
                     last_failure = Some(SyncError::Decode {
                         peer: peer_id,
                         height: start + k as u32,
@@ -354,7 +396,7 @@ pub fn sync_multi<N: ValidatingNode>(
                         }
                         ForkOutcome::Rejected { penalty, reason } => {
                             ctls[i].stats.fork_rejects += 1;
-                            let attempts = ctls[i].penalize(penalty, cfg);
+                            let attempts = ctls[i].penalize(penalty, "fork_rejected", cfg);
                             last_failure = Some(SyncError::ForkRejected {
                                 peer: peer_id,
                                 height: start,
@@ -364,7 +406,7 @@ pub fn sync_multi<N: ValidatingNode>(
                         }
                         ForkOutcome::InvalidBranch { reason } => {
                             ctls[i].stats.validation_failures += 1;
-                            let attempts = ctls[i].penalize(cfg.ban_score, cfg);
+                            let attempts = ctls[i].penalize(cfg.ban_score, "invalid_branch", cfg);
                             last_failure = Some(SyncError::ForkRejected {
                                 peer: peer_id,
                                 height: start,
@@ -373,7 +415,7 @@ pub fn sync_multi<N: ValidatingNode>(
                             });
                         }
                         ForkOutcome::RequestFailed { penalty, reason } => {
-                            let attempts = ctls[i].penalize(penalty, cfg);
+                            let attempts = ctls[i].penalize(penalty, "fork_request_failed", cfg);
                             last_failure = Some(SyncError::ForkRejected {
                                 peer: peer_id,
                                 height: start,
@@ -405,7 +447,7 @@ pub fn sync_multi<N: ValidatingNode>(
                     ctls[i].stats.blocks_accepted += connected;
                     if let Some((height, err)) = failure {
                         ctls[i].stats.validation_failures += 1;
-                        let attempts = ctls[i].penalize(VALIDATION_PENALTY, cfg);
+                        let attempts = ctls[i].penalize(VALIDATION_PENALTY, "validation", cfg);
                         last_failure = Some(SyncError::Validation {
                             peer: peer_id,
                             height,
@@ -418,6 +460,15 @@ pub fn sync_multi<N: ValidatingNode>(
                 }
             }
         }
+    }
+}
+
+/// Bump the per-peer labeled counter `name{peer=N}`. The label makes the
+/// metric name dynamic, so the per-call-site caching macro does not apply;
+/// gate the format on `enabled()` instead.
+fn peer_counter(name: &str, peer: usize) {
+    if ebv_telemetry::enabled() {
+        ebv_telemetry::registry::counter(&format!("{name}{{peer={peer}}}")).inc();
     }
 }
 
@@ -564,10 +615,26 @@ fn resolve_fork<N: ValidatingNode>(
     let old_from = (fork - floor) as usize;
     let disconnected = tip - fork;
     let connected = branch.len() as u32;
+    trace_event!(
+        "sync.reorg_begin",
+        peer = ctl.handle.id,
+        fork = fork,
+        depth = disconnected,
+        candidate_len = connected,
+    );
     match reorg_to(node, fork, &branch, &store[old_from..]) {
         Ok(_) => {
             store.truncate(old_from);
             store.extend(branch);
+            counter!("sync.reorgs").inc();
+            histogram!("sync.reorg_depth").record(u64::from(disconnected));
+            trace_event!(
+                "sync.reorg_end",
+                peer = ctl.handle.id,
+                fork = fork,
+                connected = connected,
+                disconnected = disconnected,
+            );
             ForkOutcome::Reorged {
                 connected,
                 disconnected,

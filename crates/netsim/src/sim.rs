@@ -144,6 +144,12 @@ impl GossipSim {
                 }
             }
         }
+        if ebv_telemetry::enabled() {
+            let hist = ebv_telemetry::histogram!("netsim.propagation_us");
+            for &us in receive_us.iter().filter(|&&us| us != u64::MAX) {
+                hist.record(us);
+            }
+        }
         SimResult { receive_us }
     }
 

@@ -9,8 +9,8 @@
 use crate::cache::{CacheValue, LruCache};
 use crate::disk::{DiskError, DiskLog, LatencyModel};
 use crate::stats::DboStats;
+use ebv_telemetry::{counter, span, trace_event};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Configuration for a [`KvStore`].
 #[derive(Clone, Debug)]
@@ -89,84 +89,82 @@ impl KvStore {
     /// Fetch a value. This is the paper's `Fetch` DBO: cache first, disk on
     /// miss, promoting the result into the cache.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, DiskError> {
-        let start = Instant::now();
-        self.stats.fetches += 1;
-        let result = match self.cache.get(key) {
+        let KvStore {
+            cache, disk, stats, ..
+        } = self;
+        let _span = span!("store.get", &mut stats.time);
+        stats.fetches += 1;
+        counter!("store.fetches").inc();
+        let result = match cache.get(key) {
             Some(CacheValue::Present(v)) => {
-                self.stats.cache_hits += 1;
+                stats.cache_hits += 1;
+                counter!("store.cache.hits").inc();
                 Some(v)
             }
             Some(CacheValue::Deleted) => {
-                self.stats.cache_hits += 1;
+                stats.cache_hits += 1;
+                counter!("store.cache.hits").inc();
                 None
             }
             None => {
-                self.stats.cache_misses += 1;
-                self.stats.disk_reads += 1;
-                let from_disk = self.disk.get(key)?;
+                stats.cache_misses += 1;
+                stats.disk_reads += 1;
+                counter!("store.cache.misses").inc();
+                counter!("store.disk.reads").inc();
+                let from_disk = disk.get(key)?;
                 if let Some(v) = &from_disk {
-                    let evicted =
-                        self.cache
-                            .put(key.to_vec(), CacheValue::Present(v.clone()), false);
-                    self.flush_evicted(evicted)?;
+                    let evicted = cache.put(key.to_vec(), CacheValue::Present(v.clone()), false);
+                    flush_evicted(disk, &mut stats.disk_writes, evicted)?;
                 }
                 from_disk
             }
         };
-        self.stats.time += start.elapsed();
         Ok(result)
     }
 
     /// Insert or overwrite a value (the `Insert` DBO). Writes land in the
     /// cache and reach disk on eviction or flush.
     pub fn put(&mut self, key: &[u8], value: Vec<u8>) -> Result<(), DiskError> {
-        let start = Instant::now();
-        self.stats.inserts += 1;
-        let evicted = self
-            .cache
-            .put(key.to_vec(), CacheValue::Present(value), true);
-        self.flush_evicted(evicted)?;
-        self.stats.time += start.elapsed();
+        let KvStore {
+            cache, disk, stats, ..
+        } = self;
+        let _span = span!("store.put", &mut stats.time);
+        stats.inserts += 1;
+        counter!("store.inserts").inc();
+        let evicted = cache.put(key.to_vec(), CacheValue::Present(value), true);
+        flush_evicted(disk, &mut stats.disk_writes, evicted)?;
         Ok(())
     }
 
     /// Delete a key (the `Delete` DBO), via a cached tombstone.
     pub fn delete(&mut self, key: &[u8]) -> Result<(), DiskError> {
-        let start = Instant::now();
-        self.stats.deletes += 1;
+        let KvStore {
+            cache, disk, stats, ..
+        } = self;
+        let _span = span!("store.delete", &mut stats.time);
+        stats.deletes += 1;
+        counter!("store.deletes").inc();
         // If the key only ever lived in the cache (never flushed), the
         // tombstone is still needed in case an older value is on disk.
-        let evicted = self.cache.put(key.to_vec(), CacheValue::Deleted, true);
-        self.flush_evicted(evicted)?;
-        self.stats.time += start.elapsed();
-        Ok(())
-    }
-
-    fn flush_evicted(&mut self, evicted: Vec<crate::cache::Evicted>) -> Result<(), DiskError> {
-        for e in evicted {
-            if !e.dirty {
-                continue;
-            }
-            self.stats.disk_writes += 1;
-            match e.value {
-                CacheValue::Present(v) => self.disk.put(&e.key, &v)?,
-                CacheValue::Deleted => self.disk.delete(&e.key)?,
-            }
-        }
+        let evicted = cache.put(key.to_vec(), CacheValue::Deleted, true);
+        flush_evicted(disk, &mut stats.disk_writes, evicted)?;
         Ok(())
     }
 
     /// Flush all dirty cache entries to disk (block-commit boundary).
     pub fn flush(&mut self) -> Result<(), DiskError> {
-        let start = Instant::now();
-        for (key, value) in self.cache.drain_dirty() {
-            self.stats.disk_writes += 1;
+        let KvStore {
+            cache, disk, stats, ..
+        } = self;
+        let _span = span!("store.flush", &mut stats.time);
+        for (key, value) in cache.drain_dirty() {
+            stats.disk_writes += 1;
+            counter!("store.disk.writes").inc();
             match value {
-                CacheValue::Present(v) => self.disk.put(&key, &v)?,
-                CacheValue::Deleted => self.disk.delete(&key)?,
+                CacheValue::Present(v) => disk.put(&key, &v)?,
+                CacheValue::Deleted => disk.delete(&key)?,
             }
         }
-        self.stats.time += start.elapsed();
         Ok(())
     }
 
@@ -194,6 +192,34 @@ impl KvStore {
     pub fn compact(&mut self) -> Result<u64, DiskError> {
         self.disk.compact()
     }
+}
+
+/// Write dirty evictees through to the disk log. A free function (not a
+/// method) so callers can hold a span borrow on `stats.time` while the
+/// write count is bumped through a disjoint field borrow.
+fn flush_evicted(
+    disk: &mut DiskLog,
+    disk_writes: &mut u64,
+    evicted: Vec<crate::cache::Evicted>,
+) -> Result<(), DiskError> {
+    let mut flushed = 0u64;
+    for e in evicted {
+        if !e.dirty {
+            continue;
+        }
+        *disk_writes += 1;
+        flushed += 1;
+        match e.value {
+            CacheValue::Present(v) => disk.put(&e.key, &v)?,
+            CacheValue::Deleted => disk.delete(&e.key)?,
+        }
+    }
+    if flushed > 0 {
+        counter!("store.disk.writes").add(flushed);
+        counter!("store.cache.evictions").add(flushed);
+        trace_event!("store.cache_evicted", flushed = flushed);
+    }
+    Ok(())
 }
 
 impl Drop for KvStore {

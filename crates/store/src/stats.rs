@@ -29,11 +29,21 @@ pub struct DboStats {
 
 impl DboStats {
     /// Cache hit ratio in `[0, 1]`; 1.0 when there were no fetches.
+    ///
+    /// A convenience for display call sites. Exporters and reports must use
+    /// [`DboStats::hit_ratio_opt`] instead: rendering an idle cache as a
+    /// perfect 1.0 is misleading in machine-read output.
     pub fn hit_ratio(&self) -> f64 {
+        self.hit_ratio_opt().unwrap_or(1.0)
+    }
+
+    /// Cache hit ratio, or `None` when there were no fetches to take a
+    /// ratio of. Exporters render `None` as `null`/absent.
+    pub fn hit_ratio_opt(&self) -> Option<f64> {
         if self.fetches == 0 {
-            1.0
+            None
         } else {
-            self.cache_hits as f64 / self.fetches as f64
+            Some(self.cache_hits as f64 / self.fetches as f64)
         }
     }
 
@@ -65,6 +75,19 @@ mod tests {
             ..Default::default()
         };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_opt_is_none_without_fetches() {
+        // An idle cache has no meaningful ratio — exporters render this as
+        // null/absent rather than a perfect 1.0.
+        assert_eq!(DboStats::default().hit_ratio_opt(), None);
+        let s = DboStats {
+            fetches: 4,
+            cache_hits: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.hit_ratio_opt(), Some(0.75));
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Exporters: Prometheus text format and JSON snapshot.
+//!
+//! Metric names use dots (`ebv.sv`) with optional embedded labels
+//! (`sync.peer.requests{peer=3}`). Prometheus output maps dots to
+//! underscores and re-emits the labels as proper label sets; the JSON
+//! snapshot keeps the registry names verbatim as object keys.
+//!
+//! The JSON snapshot carries a `derived` section for ratios computed at
+//! export time. A cache hit ratio with zero fetches is rendered as `null`
+//! (JSON) or omitted (Prometheus) rather than a misleading 1.0 — see
+//! `DboStats::hit_ratio_opt` in `ebv-store`.
+
+use crate::metrics::HistogramSnapshot;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Point-in-time copy of a [`Registry`](crate::Registry), sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the named counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.counters[i].1)
+    }
+
+    /// `hits / total` as a ratio, or `None` when nothing was counted —
+    /// avoids reporting a perfect ratio for an idle cache.
+    fn ratio(&self, hits: &str, total: &str) -> Option<f64> {
+        let total = self.counter_value(total)?;
+        if total == 0 {
+            return None;
+        }
+        Some(self.counter_value(hits).unwrap_or(0) as f64 / total as f64)
+    }
+
+    /// Ratios derived from counters: `(name, value)`, `None` when the
+    /// denominator is zero or the counters were never registered.
+    pub fn derived(&self) -> Vec<(&'static str, Option<f64>)> {
+        let pubkey_total = self
+            .counter_value("ebv.pubkey_cache.hits")
+            .unwrap_or(0)
+            .checked_add(self.counter_value("ebv.pubkey_cache.misses").unwrap_or(0));
+        let pubkey_ratio = match pubkey_total {
+            Some(t) if t > 0 => self
+                .counter_value("ebv.pubkey_cache.hits")
+                .map(|h| h as f64 / t as f64),
+            _ => None,
+        };
+        vec![
+            (
+                "store.cache.hit_ratio",
+                self.ratio("store.cache.hits", "store.fetches"),
+            ),
+            ("ebv.pubkey_cache.hit_ratio", pubkey_ratio),
+        ]
+    }
+}
+
+/// Split `name{k=v,...}` into the base name and its label pairs.
+fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(open) = name.find('{') else {
+        return (name, Vec::new());
+    };
+    let Some(body) = name[open + 1..].strip_suffix('}') else {
+        return (name, Vec::new());
+    };
+    let labels = body
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| part.split_once('=').unwrap_or((part, "")))
+        .collect();
+    (&name[..open], labels)
+}
+
+/// Map a dotted metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn prom_name(base: &str) -> String {
+    base.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn prom_labels(out: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}=\"{}\"",
+            prom_name(k),
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        );
+    }
+    out.push('}');
+}
+
+fn prom_type_line(out: &mut String, last: &mut String, name: &str, kind: &str) {
+    if name != last {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        last.clear();
+        last.push_str(name);
+    }
+}
+
+/// Render the snapshot in the Prometheus text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le="..."}` series (only buckets with
+/// samples, plus `+Inf`), `_sum` and `_count`; derived ratios with a zero
+/// denominator are omitted entirely.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type = String::new();
+
+    for (name, value) in &snap.counters {
+        let (base, labels) = split_labels(name);
+        let pname = prom_name(base);
+        prom_type_line(&mut out, &mut last_type, &pname, "counter");
+        out.push_str(&pname);
+        prom_labels(&mut out, &labels);
+        let _ = writeln!(out, " {value}");
+    }
+
+    for (name, value) in &snap.gauges {
+        let (base, labels) = split_labels(name);
+        let pname = prom_name(base);
+        prom_type_line(&mut out, &mut last_type, &pname, "gauge");
+        out.push_str(&pname);
+        prom_labels(&mut out, &labels);
+        let _ = writeln!(out, " {value}");
+    }
+
+    for (name, h) in &snap.histograms {
+        let (base, labels) = split_labels(name);
+        let pname = prom_name(base);
+        prom_type_line(&mut out, &mut last_type, &pname, "histogram");
+        let mut cumulative = 0u64;
+        for &(upper, count) in &h.buckets {
+            cumulative += count;
+            out.push_str(&pname);
+            out.push_str("_bucket");
+            let mut le = labels.clone();
+            let upper = upper.to_string();
+            le.push(("le", upper.as_str()));
+            prom_labels(&mut out, &le);
+            let _ = writeln!(out, " {cumulative}");
+        }
+        out.push_str(&pname);
+        out.push_str("_bucket");
+        let mut le = labels.clone();
+        le.push(("le", "+Inf"));
+        prom_labels(&mut out, &le);
+        let _ = writeln!(out, " {}", h.count);
+        out.push_str(&pname);
+        out.push_str("_sum");
+        prom_labels(&mut out, &labels);
+        let _ = writeln!(out, " {}", h.sum);
+        out.push_str(&pname);
+        out.push_str("_count");
+        prom_labels(&mut out, &labels);
+        let _ = writeln!(out, " {}", h.count);
+    }
+
+    for (name, ratio) in snap.derived() {
+        if let Some(r) = ratio {
+            let pname = prom_name(name);
+            prom_type_line(&mut out, &mut last_type, &pname, "gauge");
+            let _ = writeln!(out, "{pname} {r}");
+        }
+    }
+
+    out
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 9.0e15 {
+            let _ = write!(out, "{}", v as i64);
+        } else {
+            let _ = write!(out, "{v}");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render the snapshot as a JSON document:
+///
+/// ```json
+/// {"counters":{...},"gauges":{...},
+///  "histograms":{"ebv.sv":{"count":..,"sum":..,"max":..,"mean":..,
+///                          "p50":..,"p90":..,"p99":..}},
+///  "derived":{"store.cache.hit_ratio":null}}
+/// ```
+///
+/// The output parses with [`crate::json::parse`] (round-trip tested).
+pub fn json_snapshot(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::json::escape_into(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::json::escape_into(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::json::escape_into(&mut out, name);
+        let _ = write!(
+            out,
+            ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
+            h.count, h.sum, h.max
+        );
+        json_f64(&mut out, h.mean());
+        let _ = write!(
+            out,
+            ",\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            h.p50(),
+            h.p90(),
+            h.p99()
+        );
+    }
+    out.push_str("},\"derived\":{");
+    for (i, (name, ratio)) in snap.derived().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::json::escape_into(&mut out, name);
+        out.push(':');
+        match ratio {
+            Some(r) => json_f64(&mut out, *r),
+            None => out.push_str("null"),
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Snapshot the global registry and write the requested export files.
+pub fn write_metrics_files(
+    prom_path: Option<&Path>,
+    json_path: Option<&Path>,
+) -> std::io::Result<()> {
+    let snap = crate::registry::global().snapshot();
+    if let Some(p) = prom_path {
+        std::fs::write(p, prometheus_text(&snap))?;
+    }
+    if let Some(p) = json_path {
+        std::fs::write(p, json_snapshot(&snap))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_split_and_render() {
+        let (base, labels) = split_labels("sync.peer.requests{peer=3}");
+        assert_eq!(base, "sync.peer.requests");
+        assert_eq!(labels, vec![("peer", "3")]);
+        let (base, labels) = split_labels("ebv.sv");
+        assert_eq!(base, "ebv.sv");
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn derived_ratio_is_none_with_zero_denominator() {
+        let snap = Snapshot {
+            counters: vec![("store.cache.hits".into(), 0), ("store.fetches".into(), 0)],
+            ..Default::default()
+        };
+        assert_eq!(snap.derived()[0], ("store.cache.hit_ratio", None));
+        let json = json_snapshot(&snap);
+        assert!(json.contains("\"store.cache.hit_ratio\":null"), "{json}");
+        assert!(!prometheus_text(&snap).contains("hit_ratio"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Metric primitives: counter, gauge, log-linear histogram.
+//!
+//! All update paths are single atomic read-modify-writes on `u64`s so they
+//! can sit inside the per-input SV loop. No metric ever locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter (between CLI runs / in tests).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins instantaneous value (resident bytes, vector counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Sub-bucket resolution: 2^3 = 8 sub-buckets per power of two.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values 0..8 get exact buckets; octaves for msb 3..=63 get 8 each.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS; // 496
+
+/// Log-linear histogram over `u64` samples (we record nanoseconds).
+///
+/// Bucketing follows the HdrHistogram/log-linear family: values below 8 map
+/// to exact buckets; above, each power-of-two octave is split into 8 linear
+/// sub-buckets, bounding the relative quantile error at 1/8 = 12.5%. Every
+/// bucket plus `count`/`sum`/`max` is a relaxed `AtomicU64`, so recording is
+/// three unconditional RMWs plus one `fetch_max`.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUBS as u64 {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let sub = ((v >> (msb - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+            (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub
+        }
+    }
+
+    /// Inclusive upper bound of a bucket: the value reported for any
+    /// quantile that lands in it.
+    pub fn bucket_upper_bound(idx: usize) -> u64 {
+        if idx < SUBS {
+            idx as u64
+        } else {
+            let msb = (idx >> SUB_BITS) as u32 + SUB_BITS - 1;
+            let sub = (idx & (SUBS - 1)) as u64;
+            let shift = msb - SUB_BITS;
+            // The very top bucket's bound is 2^64 - 1; the wrapping ops make
+            // that fall out of the same formula.
+            (1u64 << msb)
+                .wrapping_add((sub + 1) << shift)
+                .wrapping_sub(1)
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Zero every bucket and the aggregates.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy (relaxed reads; exact when no
+    /// concurrent writers, which is how exports are used).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = (0..NUM_BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| (Self::bucket_upper_bound(i), c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Point-in-time histogram state: non-empty buckets as
+/// `(inclusive upper bound, count)` in ascending bound order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Value at quantile `q` in [0, 1]: the upper bound of the bucket
+    /// holding the ceil(q·count)-th sample, clamped to the observed max.
+    /// Relative error is bounded by the 12.5% bucket width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(upper, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of the recorded samples (exact, from sum/count).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut samples: Vec<u64> = Vec::new();
+        for shift in 0..64u32 {
+            for off in 0..3u64 {
+                samples.push((1u64 << shift).saturating_add(off));
+                samples.push((1u64 << shift).saturating_sub(1));
+            }
+        }
+        samples.sort_unstable();
+        let mut last = 0usize;
+        for v in samples {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= last, "index not monotone at v={v}");
+            last = idx;
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0u64, 1, 7, 8, 15, 16, 17, 100, 1000, 123_456_789, u64::MAX] {
+            let idx = Histogram::bucket_index(v);
+            assert!(
+                v <= Histogram::bucket_upper_bound(idx),
+                "v={v} above upper bound of its bucket"
+            );
+            if idx > 0 {
+                assert!(
+                    v > Histogram::bucket_upper_bound(idx - 1),
+                    "v={v} not above previous bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            let idx = Histogram::bucket_index(v);
+            assert_eq!(Histogram::bucket_upper_bound(idx), v);
+        }
+    }
+}

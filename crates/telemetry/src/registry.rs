@@ -1,0 +1,244 @@
+//! Sharded metric registry.
+//!
+//! Lookups hash the metric name to one of 16 shards, each a
+//! `RwLock<HashMap>`; registration leaks the metric so call sites hold
+//! `&'static` handles and never touch the lock again (the `counter!` /
+//! `gauge!` / `histogram!` / `span!` macros cache the handle in a per-call-
+//! site `OnceLock`). After the one-time lookup, every update is lock-free.
+//!
+//! Labeled metrics use the convention `name{key=value,...}` — e.g.
+//! `sync.peer.requests{peer=3}` — which the exporters split back into
+//! Prometheus labels.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+const SHARDS: usize = 16;
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// A named collection of metrics.
+///
+/// [`global()`] is the process-wide instance every macro records into;
+/// tests build private `Registry` values to keep golden exports
+/// deterministic under concurrent test threads.
+#[derive(Default)]
+pub struct Registry {
+    shards: [RwLock<HashMap<String, Metric>>; SHARDS],
+}
+
+fn shard_of(name: &str) -> usize {
+    // FNV-1a; we only need a stable spread across 16 shards.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T, F>(&self, name: &str, pick: F, make: fn() -> T) -> &'static T
+    where
+        T: 'static,
+        F: Fn(&Metric) -> Option<&'static T>,
+        &'static T: IntoMetric,
+    {
+        let shard = &self.shards[shard_of(name)];
+        if let Some(m) = shard
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .and_then(&pick)
+        {
+            return m;
+        }
+        let mut map = shard.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(m) = map.get(name).and_then(&pick) {
+            return m;
+        }
+        // If a same-name metric of a *different* kind was registered that is
+        // a programming error, but panicking inside instrumentation would be
+        // worse than shadowing it.
+        let leaked: &'static T = Box::leak(Box::new(make()));
+        map.insert(name.to_string(), leaked.into_metric());
+        leaked
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(*c),
+                _ => None,
+            },
+            Counter::new,
+        )
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(*g),
+                _ => None,
+            },
+            Gauge::new,
+        )
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        self.get_or_insert(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(*h),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// Zero every registered metric (between CLI runs, in tests).
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            for m in shard.read().unwrap_or_else(|e| e.into_inner()).values() {
+                match m {
+                    Metric::Counter(c) => c.reset(),
+                    Metric::Gauge(g) => g.reset(),
+                    Metric::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> crate::export::Snapshot {
+        let mut snap = crate::export::Snapshot::default();
+        for shard in &self.shards {
+            for (name, m) in shard.read().unwrap_or_else(|e| e.into_inner()).iter() {
+                match m {
+                    Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                    Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                    Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+        }
+        snap.counters.sort();
+        snap.gauges.sort();
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+trait IntoMetric {
+    fn into_metric(self) -> Metric;
+}
+
+impl IntoMetric for &'static Counter {
+    fn into_metric(self) -> Metric {
+        Metric::Counter(self)
+    }
+}
+
+impl IntoMetric for &'static Gauge {
+    fn into_metric(self) -> Metric {
+        Metric::Gauge(self)
+    }
+}
+
+impl IntoMetric for &'static Histogram {
+    fn into_metric(self) -> Metric {
+        Metric::Histogram(self)
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Global counter by name. For hot paths prefer the [`crate::counter!`]
+/// macro, which caches the handle per call site.
+pub fn counter(name: &str) -> &'static Counter {
+    global().counter(name)
+}
+
+/// Global gauge by name.
+pub fn gauge(name: &str) -> &'static Gauge {
+    global().gauge(name)
+}
+
+/// Global histogram by name.
+pub fn histogram(name: &str) -> &'static Histogram {
+    global().histogram(name)
+}
+
+/// Global counter handle, cached per call site. Use for fixed metric names
+/// in hot loops: after the first call the expansion is one `OnceLock` load.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry::counter($name))
+    }};
+}
+
+/// Global gauge handle, cached per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry::gauge($name))
+    }};
+}
+
+/// Global histogram handle, cached per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x") as *const _;
+        let b = r.counter("x") as *const _;
+        assert_eq!(a, b);
+        assert_ne!(a, r.counter("y") as *const _);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let r = Registry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            r.counter(name);
+            r.gauge(&format!("g.{name}"));
+            r.histogram(&format!("h.{name}"));
+        }
+        let s = r.snapshot();
+        assert!(s.counters.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(s.gauges.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(s.histograms.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Structured event trace.
+//!
+//! Events are preformatted JSONL lines held in a bounded ring buffer
+//! (oldest dropped first) and optionally teed to a file as they are
+//! emitted. Each line carries a process-unique `seq` and a microsecond
+//! timestamp relative to the first event, e.g.:
+//!
+//! ```text
+//! {"seq":17,"ts_us":88231,"event":"sync.peer_banned","peer":3,"score":120}
+//! ```
+//!
+//! Emission is gated on [`crate::enabled()`]; the [`trace_event!`] macro
+//! evaluates its field expressions only when telemetry is on.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Ring capacity: enough for every event of a full experiment run while
+/// bounding memory (~a few MB of lines at worst).
+const CAPACITY: usize = 16_384;
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct TraceState {
+    ring: VecDeque<String>,
+    tee: Option<BufWriter<File>>,
+}
+
+fn state() -> &'static Mutex<TraceState> {
+    static STATE: OnceLock<Mutex<TraceState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(TraceState {
+            ring: VecDeque::with_capacity(CAPACITY),
+            tee: None,
+        })
+    })
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// A field value in a trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+macro_rules! impl_from {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {
+        $(impl From<$t> for TraceValue {
+            fn from(v: $t) -> Self { TraceValue::$variant(v as $cast) }
+        })*
+    };
+}
+
+impl_from!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for TraceValue {
+    fn from(v: bool) -> Self {
+        TraceValue::Bool(v)
+    }
+}
+
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+
+fn push_json(out: &mut String, v: &TraceValue) {
+    match v {
+        TraceValue::U64(n) => out.push_str(&n.to_string()),
+        TraceValue::I64(n) => out.push_str(&n.to_string()),
+        TraceValue::F64(n) if n.is_finite() => out.push_str(&format!("{n}")),
+        TraceValue::F64(_) => out.push_str("null"),
+        TraceValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        TraceValue::Str(s) => crate::json::escape_into(out, s),
+    }
+}
+
+/// Emit one event. Prefer the [`trace_event!`](crate::trace_event!) macro.
+pub fn trace_event(event: &str, fields: &[(&str, TraceValue)]) {
+    if !crate::enabled() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let ts_us = epoch().elapsed().as_micros() as u64;
+    let mut line = String::with_capacity(64 + 16 * fields.len());
+    line.push_str("{\"seq\":");
+    line.push_str(&seq.to_string());
+    line.push_str(",\"ts_us\":");
+    line.push_str(&ts_us.to_string());
+    line.push_str(",\"event\":");
+    crate::json::escape_into(&mut line, event);
+    for (k, v) in fields {
+        line.push(',');
+        crate::json::escape_into(&mut line, k);
+        line.push(':');
+        push_json(&mut line, v);
+    }
+    line.push('}');
+
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(tee) = st.tee.as_mut() {
+        let _ = writeln!(tee, "{line}");
+    }
+    if st.ring.len() == CAPACITY {
+        st.ring.pop_front();
+    }
+    st.ring.push_back(line);
+}
+
+/// Copy of the ring buffer contents, oldest first.
+pub fn trace_snapshot() -> Vec<String> {
+    let st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.ring.iter().cloned().collect()
+}
+
+/// Drop all buffered events (the tee file, if any, is unaffected).
+pub fn trace_clear() {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.ring.clear();
+}
+
+/// Tee every subsequent event to `path` (truncating it), in addition to the
+/// ring buffer.
+pub fn trace_tee_to_file(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.tee = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Stop teeing and flush the tee file.
+pub fn trace_untee() {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(mut tee) = st.tee.take() {
+        let _ = tee.flush();
+    }
+}
+
+/// Emit a structured trace event:
+///
+/// ```ignore
+/// trace_event!("sync.peer_banned", peer = id, score = total, reason = why);
+/// ```
+///
+/// Field values are anything with `Into<TraceValue>` (unsigned/signed
+/// integers, floats, bools, strings). Field expressions are not evaluated
+/// when telemetry is disabled.
+#[macro_export]
+macro_rules! trace_event {
+    ($event:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::trace::trace_event(
+                $event,
+                &[$((stringify!($key), $crate::TraceValue::from($value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_render_as_jsonl() {
+        crate::set_enabled(true);
+        crate::trace_event!(
+            "test.trace.render",
+            height = 7u64,
+            depth = -2i64,
+            ok = true,
+            peer = "alpha\"x"
+        );
+        let lines = trace_snapshot();
+        let line = lines
+            .iter()
+            .rev()
+            .find(|l| l.contains("\"event\":\"test.trace.render\""))
+            .expect("event in ring");
+        assert!(line.contains("\"height\":7"));
+        assert!(line.contains("\"depth\":-2"));
+        assert!(line.contains("\"ok\":true"));
+        assert!(line.contains("\"peer\":\"alpha\\\"x\""));
+        // The line must parse as a JSON object.
+        let v = crate::json::parse(line).expect("valid JSON");
+        assert!(matches!(v, crate::json::Value::Object(_)));
+    }
+}

@@ -1,0 +1,175 @@
+//! Exporter format guarantees:
+//!
+//! * the Prometheus text output for a fixed registry matches a committed
+//!   golden file line by line, and every line obeys the exposition format;
+//! * the JSON snapshot round-trips through this crate's own parser with
+//!   the values intact;
+//! * histogram quantiles over a known distribution stay inside the
+//!   log-linear bucketing's 12.5% error bound.
+
+use ebv_telemetry::{json, json_snapshot, prometheus_text, Registry, Snapshot};
+
+/// A fixed registry exercising every metric kind, labels included.
+/// Metrics only accept updates while the process-global switch is on.
+fn sample_snapshot() -> Snapshot {
+    ebv_telemetry::set_enabled(true);
+    let r = Registry::new();
+    r.counter("ebv.blocks_connected").add(60);
+    r.counter("ebv.pubkey_cache.hits").add(30);
+    r.counter("ebv.pubkey_cache.misses").add(10);
+    r.counter("store.fetches").add(200);
+    r.counter("store.cache.hits").add(150);
+    r.counter("sync.peer.requests{peer=3}").add(17);
+    r.gauge("ebv.bitvec.resident_bytes").set(4096);
+    let h = r.histogram("ebv.sv");
+    for v in [5u64, 100, 100, 250_000] {
+        h.record(v);
+    }
+    r.snapshot()
+}
+
+/// Regenerate the golden file after an intentional format change:
+///
+/// ```text
+/// cargo test -p ebv-telemetry --test export_format -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes the golden file; run explicitly after intentional format changes"]
+fn regenerate_golden_file() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    std::fs::write(path, prometheus_text(&sample_snapshot())).expect("write golden");
+}
+
+#[test]
+fn prometheus_output_matches_golden_file() {
+    let got = prometheus_text(&sample_snapshot());
+    let want = include_str!("golden/metrics.prom");
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(g, w, "line {} differs", i + 1);
+    }
+    assert_eq!(
+        got.lines().count(),
+        want.lines().count(),
+        "line count differs from golden file"
+    );
+}
+
+#[test]
+fn prometheus_lines_obey_the_exposition_format() {
+    let text = prometheus_text(&sample_snapshot());
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().expect("metric name");
+            let kind = parts.next().expect("metric kind");
+            assert!(parts.next().is_none(), "trailing tokens: {line}");
+            assert!(is_prom_name(name), "bad metric name {name:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad kind in {line:?}"
+            );
+            continue;
+        }
+        // A sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        let name = match series.split_once('{') {
+            Some((name, labels)) => {
+                let body = labels.strip_suffix('}').expect("closed label set");
+                for pair in body.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label k=v");
+                    assert!(is_prom_name(k), "bad label name {k:?}");
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"'),
+                        "unquoted label value in {line:?}"
+                    );
+                }
+                name
+            }
+            None => series,
+        };
+        assert!(is_prom_name(name), "bad series name {name:?}");
+    }
+}
+
+fn is_prom_name(s: &str) -> bool {
+    !s.is_empty()
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[test]
+fn json_snapshot_round_trips_through_own_parser() {
+    let snap = sample_snapshot();
+    let text = json_snapshot(&snap);
+    let v = json::parse(&text).expect("exporter output is valid JSON");
+
+    let counters = v.get("counters").expect("counters object");
+    assert_eq!(
+        counters
+            .get("ebv.blocks_connected")
+            .and_then(json::Value::as_f64),
+        Some(60.0)
+    );
+    assert_eq!(
+        counters
+            .get("sync.peer.requests{peer=3}")
+            .and_then(json::Value::as_f64),
+        Some(17.0)
+    );
+    assert_eq!(
+        v.get("gauges")
+            .and_then(|g| g.get("ebv.bitvec.resident_bytes"))
+            .and_then(json::Value::as_f64),
+        Some(4096.0)
+    );
+    let sv = v
+        .get("histograms")
+        .and_then(|h| h.get("ebv.sv"))
+        .expect("ebv.sv histogram");
+    assert_eq!(sv.get("count").and_then(json::Value::as_f64), Some(4.0));
+    assert_eq!(sv.get("sum").and_then(json::Value::as_f64), Some(250_205.0));
+    assert_eq!(sv.get("max").and_then(json::Value::as_f64), Some(250_000.0));
+    // 150 hits over 200 fetches.
+    assert_eq!(
+        v.get("derived")
+            .and_then(|d| d.get("store.cache.hit_ratio"))
+            .and_then(json::Value::as_f64),
+        Some(0.75)
+    );
+
+    // Serializing the parsed value parses back to the same tree.
+    let reserialized = json::serialize(&v);
+    assert_eq!(json::parse(&reserialized).expect("still valid"), v);
+}
+
+#[test]
+fn quantiles_stay_inside_the_bucketing_error_bound() {
+    ebv_telemetry::set_enabled(true);
+    let r = Registry::new();
+    let h = r.histogram("q");
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 1000);
+    assert_eq!(s.sum, 500_500);
+    assert_eq!(s.max, 1000);
+
+    // Log-linear buckets with 8 sub-buckets per octave bound the relative
+    // error at 12.5%; quantiles report a bucket's inclusive upper bound,
+    // so the estimate can only overshoot.
+    for (q, exact) in [(0.50, 500u64), (0.90, 900), (0.99, 990)] {
+        let est = s.quantile(q);
+        assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+        assert!(
+            (est - exact) as f64 <= exact as f64 * 0.125 + 1.0,
+            "q={q}: estimate {est} beyond the 12.5% bound of exact {exact}"
+        );
+    }
+    assert_eq!(s.quantile(1.0), 1000, "p100 is the observed max");
+}

@@ -32,4 +32,29 @@ cargo test -q
 echo "==> cargo test --test fault_sync (deterministic fault matrix)"
 cargo test -q --test fault_sync
 
+# Telemetry guards. The overhead test proves instrumentation is cheap
+# enough to leave on; the exporter tests pin the Prometheus/JSON formats
+# to their golden files.
+echo "==> cargo test --test telemetry_overhead (telemetry overhead < 5%)"
+cargo test -q --test telemetry_overhead
+
+echo "==> cargo test -p ebv-telemetry --test export_format (exporter golden files)"
+cargo test -q -p ebv-telemetry --test export_format
+
+# Bare Instant::now() is reserved for crates/telemetry (span!/Stopwatch)
+# and crates/bench; scheduling/simulation call sites are allowlisted in
+# scripts/instant_allowlist.txt. Everything else must go through the
+# telemetry crate so measurement stays centralized.
+echo "==> bare Instant::now() guard"
+violations=$(grep -rln 'Instant::now()' --include='*.rs' crates src tests shims \
+    | grep -v '^crates/telemetry/' \
+    | grep -v '^crates/bench/' \
+    | grep -v -F -x -f scripts/instant_allowlist.txt || true)
+if [ -n "$violations" ]; then
+    echo "error: bare Instant::now() outside the telemetry crate (use span!/Stopwatch" >&2
+    echo "or add the file to scripts/instant_allowlist.txt with a justification):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "CI gate passed."

@@ -6,7 +6,13 @@
 //! ebv-cli convert  --in chain.bin --out chain.ebv
 //! ebv-cli info     --in chain.bin
 //! ebv-cli validate --in chain.ebv [--budget BYTES] [--latency-us US]
+//! ebv-cli metrics  --in chain.ebv [--out PROM] [--json-out JSON] [--trace-out JSONL]
 //! ```
+//!
+//! `metrics` validates the chain with telemetry enabled and emits the
+//! metric registry in Prometheus text format (stdout, or `--out`), and
+//! optionally as a JSON snapshot (`--json-out`) plus the structured event
+//! trace as JSONL (`--trace-out`).
 //!
 //! Chain files are a 8-byte magic (`EBVCHN1\n` baseline / `EBVCHN2\n`
 //! EBV), a varint block count, then serialized blocks.
@@ -33,6 +39,7 @@ fn main() {
         "convert" => convert(&flags),
         "info" => info(&flags),
         "validate" => validate(&flags),
+        "metrics" => metrics(&flags),
         _ => usage(),
     }
 }
@@ -43,7 +50,9 @@ fn usage() -> ! {
          \x20 generate --blocks N [--seed S] --out FILE\n\
          \x20 convert  --in FILE --out FILE\n\
          \x20 info     --in FILE\n\
-         \x20 validate --in FILE [--budget BYTES] [--latency-us US]"
+         \x20 validate --in FILE [--budget BYTES] [--latency-us US]\n\
+         \x20 metrics  --in FILE [--budget BYTES] [--latency-us US]\n\
+         \x20          [--out PROM] [--json-out JSON] [--trace-out JSONL]"
     );
     exit(2);
 }
@@ -181,14 +190,21 @@ fn info(flags: &HashMap<String, String>) {
 }
 
 fn validate(flags: &HashMap<String, String>) {
+    validate_chain(flags, true);
+}
+
+fn validate_chain(flags: &HashMap<String, String>, report: bool) {
     let (is_ebv, bytes) = load(flag_path(flags, "in"));
-    let started = std::time::Instant::now();
+    let started = ebv::telemetry::Stopwatch::start();
     if is_ebv {
         let chain: Vec<EbvBlock> = read_chain(&bytes);
         let mut node = EbvNode::new(&chain[0], EbvConfig::default());
         for (h, block) in chain.iter().enumerate().skip(1) {
             node.process_block(block)
                 .unwrap_or_else(die(&format!("block {h} invalid")));
+        }
+        if !report {
+            return;
         }
         let b = node.cumulative_breakdown();
         println!(
@@ -221,6 +237,9 @@ fn validate(flags: &HashMap<String, String>) {
             node.process_block(block)
                 .unwrap_or_else(die(&format!("block {h} invalid")));
         }
+        if !report {
+            return;
+        }
         let b = node.cumulative_breakdown();
         println!(
             "valid baseline chain: height {}, {} UTXOs, set {} bytes, cache hits {:.1}%",
@@ -237,6 +256,38 @@ fn validate(flags: &HashMap<String, String>) {
             b.others.as_secs_f64(),
             started.elapsed().as_secs_f64()
         );
+    }
+}
+
+/// Validate the chain with telemetry enabled, then export the metric
+/// registry. Prometheus text goes to stdout (or `--out`); `--json-out`
+/// writes the JSON snapshot and `--trace-out` tees the event trace as
+/// JSONL while the run happens.
+fn metrics(flags: &HashMap<String, String>) {
+    ebv::telemetry::set_enabled(true);
+    if let Some(path) = flags.get("trace-out") {
+        ebv::telemetry::trace_tee_to_file(std::path::Path::new(path))
+            .unwrap_or_else(die("opening trace output"));
+    }
+    validate_chain(flags, false);
+    ebv::telemetry::trace_untee();
+
+    let snap = ebv::telemetry::global().snapshot();
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, ebv::telemetry::prometheus_text(&snap))
+                .unwrap_or_else(die("writing metrics"));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", ebv::telemetry::prometheus_text(&snap)),
+    }
+    if let Some(path) = flags.get("json-out") {
+        std::fs::write(path, ebv::telemetry::json_snapshot(&snap))
+            .unwrap_or_else(die("writing json metrics"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flags.get("trace-out") {
+        eprintln!("wrote {path}");
     }
 }
 

@@ -14,6 +14,8 @@
 //! * [`workload`] — deterministic synthetic mainnet-like chain generation.
 //! * [`netsim`] — the discrete-event gossip simulator behind the
 //!   propagation-delay experiment.
+//! * [`telemetry`] — metric registry (counters, gauges, histograms), span
+//!   timers, structured event trace, Prometheus/JSON exporters.
 //!
 //! # Example
 //!
@@ -41,4 +43,5 @@ pub use ebv_netsim as netsim;
 pub use ebv_primitives as primitives;
 pub use ebv_script as script;
 pub use ebv_store as store;
+pub use ebv_telemetry as telemetry;
 pub use ebv_workload as workload;

@@ -169,6 +169,68 @@ fn survives_seeded_fault_soup() {
 }
 
 #[test]
+fn banned_peer_trace_explains_the_ban() {
+    // A ban is a terminal judgment; the event trace must carry the
+    // evidence (the per-penalty score changes and their reasons), not just
+    // the verdict. The trace is process-global, so a unique peer id keeps
+    // this test's lines distinguishable from other tests in this binary.
+    ebv::telemetry::set_enabled(true);
+    let (_, ebv_blocks) = chain_pair(12, 1101);
+    let cfg = SyncConfig::fast_test();
+
+    // The only peer corrupts every batch: each failure costs 40 points
+    // (the corrupted blocks decode but do not link, so the driver walks
+    // the "fork" and rejects it), so the ban threshold (100) falls on the
+    // third failure, after which no usable peer remains and the sync
+    // reports failure.
+    let always_corrupt = FaultyPeer::new(
+        ebv_blocks.clone(),
+        FaultSchedule::cycle(vec![Fault::Corrupt]),
+    );
+    let peers = vec![PeerHandle::spawn(9100, always_corrupt)];
+    let mut node = EbvNode::new(&ebv_blocks[0], EbvConfig::default());
+    let err = sync_multi(&mut node, peers, &cfg).expect_err("no honest peer to finish the sync");
+    match err {
+        ebv::core::SyncError::AllPeersFailed { total, banned, .. } => {
+            assert_eq!(total, 1);
+            assert_eq!(
+                banned, 1,
+                "the corrupt peer must be banned, not merely failed"
+            );
+        }
+        other => panic!("expected AllPeersFailed, got {other:?}"),
+    }
+
+    let trace = ebv::telemetry::trace_snapshot();
+    let bans: Vec<&String> = trace
+        .iter()
+        .filter(|l| l.contains("\"event\":\"sync.peer_banned\"") && l.contains("\"peer\":9100"))
+        .collect();
+    assert_eq!(bans.len(), 1, "exactly one ban event for peer 9100");
+    // The ban names the fault class that tipped the score...
+    let reason = bans[0]
+        .split("\"last_reason\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("ban event lacks a last_reason: {}", bans[0]));
+    // ...and the per-penalty score events corroborate it: at least three
+    // 40-point penalties of that same class precede a 100-point ban.
+    let matching_penalties = trace
+        .iter()
+        .filter(|l| {
+            l.contains("\"event\":\"sync.peer_score\"")
+                && l.contains("\"peer\":9100")
+                && l.contains(&format!("\"reason\":\"{reason}\""))
+        })
+        .count();
+    assert!(
+        matching_penalties >= 3,
+        "a 100-point ban from 40-point {reason:?} penalties needs at least 3 \
+         score events, saw {matching_penalties}"
+    );
+}
+
+#[test]
 fn equivocating_peers_cannot_displace_a_longer_chain() {
     // The equivocating peers' fork is shorter than the honest chain, so
     // every reorg attempt must be rejected as not-better.

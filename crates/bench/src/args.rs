@@ -19,6 +19,9 @@ pub struct CommonArgs {
     pub parallel_sv: bool,
     /// Worker-thread override for the parallel phases (`None` = all cores).
     pub workers: Option<usize>,
+    /// Also run snapshot-parallel IBD with this many interval workers
+    /// (figures that support it; fig17).
+    pub parallel_ibd: Option<usize>,
     /// Write machine-readable results (per-phase ns, verifies/sec) to this
     /// path, for figures that support it.
     pub json: Option<String>,
@@ -76,6 +79,10 @@ impl CommonArgs {
                     out.workers = Some(parse_num::<u64>(value(i), flag) as usize);
                     i += 2;
                 }
+                "--parallel-ibd" => {
+                    out.parallel_ibd = Some(parse_num::<u64>(value(i), flag) as usize);
+                    i += 2;
+                }
                 "--json" => {
                     out.json = Some(value(i).to_string());
                     i += 2;
@@ -87,7 +94,8 @@ impl CommonArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
-                         --seq-ev --seq-sv --workers W --json PATH --metrics-out PATH\n\
+                         --seq-ev --seq-sv --workers W --parallel-ibd N --json PATH \
+                         --metrics-out PATH\n\
                          (--metrics-out writes Prometheus text to PATH and a JSON \
                          snapshot to PATH.json)\n\
                          defaults: {defaults:?}"
@@ -126,6 +134,7 @@ impl Default for CommonArgs {
             parallel_ev: true,
             parallel_sv: true,
             workers: None,
+            parallel_ibd: None,
             json: None,
             metrics_out: None,
         }

@@ -6,7 +6,7 @@
 //! EV+UV are a tiny fraction and SV dominates.
 
 use ebv_bench::{table, CommonArgs, Scenario};
-use ebv_core::{baseline_ibd, ebv_ibd, EbvBreakdown};
+use ebv_core::{baseline_ibd, build_checkpoints, ebv_ibd, parallel_ibd, EbvBreakdown};
 use std::time::Duration;
 
 fn main() {
@@ -30,6 +30,10 @@ fn main() {
     let mut ebv_break = EbvBreakdown::default();
     let mut ebv_periods_acc: Vec<EbvBreakdown> = Vec::new();
     let mut inputs_total = 0usize;
+    // Snapshot-parallel comparison (`--parallel-ibd N`): per-run
+    // (sequential, parallel) wall seconds and the chosen interval length.
+    let mut par_runs: Vec<(f64, f64)> = Vec::new();
+    let mut par_setup: Option<(usize, usize)> = None;
 
     for run in 0..args.runs {
         let run_args = CommonArgs {
@@ -56,6 +60,42 @@ fn main() {
             *acc += p.breakdown;
         }
         ebv_break += ebv.cumulative_breakdown();
+
+        if let Some(workers) = args.parallel_ibd {
+            // Two intervals per worker keeps the claim queue busy when
+            // interval costs are uneven.
+            let every = (run_args.blocks as usize)
+                .div_ceil(2 * workers.max(1))
+                .max(1);
+            let checkpoints =
+                build_checkpoints(&scenario.ebv_blocks[0], &scenario.ebv_blocks[1..], every)
+                    .expect("generated chains are structurally consistent");
+            let par = parallel_ibd(
+                &scenario.ebv_blocks[0],
+                &scenario.ebv_blocks[1..],
+                &checkpoints,
+                workers,
+                run_args.ebv_config(),
+            )
+            .expect("valid chain replays in parallel");
+            assert_eq!(par.stitch_mismatch, None, "honest checkpoints must stitch");
+            assert_eq!(
+                par.node.tip_hash(),
+                ebv.tip_hash(),
+                "parallel IBD must reach the sequential tip"
+            );
+            assert_eq!(
+                par.node.state_digest(),
+                ebv.state_digest(),
+                "parallel IBD must reach the sequential state"
+            );
+            let seq_s = *ebv_cum
+                .last()
+                .and_then(|r| r.last())
+                .expect("at least one period");
+            par_runs.push((seq_s, par.wall.as_secs_f64()));
+            par_setup = Some((workers, every));
+        }
     }
 
     println!(
@@ -111,6 +151,37 @@ fn main() {
         );
     }
 
+    if let Some((workers, every)) = par_setup {
+        println!(
+            "\n## Fig. 17c — sequential vs snapshot-parallel EBV IBD \
+             ({workers} workers, checkpoint every {every} blocks)"
+        );
+        let cols = [
+            ("run", 6),
+            ("seq_s", 10),
+            ("parallel_s", 11),
+            ("speedup", 9),
+        ];
+        table::header(&cols);
+        for (i, (seq_s, par_s)) in par_runs.iter().enumerate() {
+            table::row(&[
+                (format!("{}", i + 1), 6),
+                (format!("{seq_s:.2}"), 10),
+                (format!("{par_s:.2}"), 11),
+                (format!("{:.2}x", seq_s / par_s), 9),
+            ]);
+        }
+        let (seq_mean, par_mean) = (
+            stats(par_runs.iter().map(|r| r.0)).0,
+            stats(par_runs.iter().map(|r| r.1)).0,
+        );
+        println!(
+            "\nmean speedup: {:.2}x  (every interval's final state stitched \
+             byte-identical to its successor's checkpoint)",
+            seq_mean / par_mean
+        );
+    }
+
     if let Some(path) = &args.json {
         // Machine-readable SV record: per-period phase times (summed over
         // runs) in nanoseconds plus aggregate verification throughput.
@@ -136,11 +207,37 @@ fn main() {
         } else {
             0.0
         };
+        let parallel = match par_setup {
+            Some((workers, every)) => {
+                let runs: Vec<String> = par_runs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (seq_s, par_s))| {
+                        format!(
+                            "\n      {{\"run\": {}, \"seq_wall_s\": {seq_s:.4}, \
+                             \"parallel_wall_s\": {par_s:.4}}}",
+                            i + 1
+                        )
+                    })
+                    .collect();
+                let seq_mean = stats(par_runs.iter().map(|r| r.0)).0;
+                let par_mean = stats(par_runs.iter().map(|r| r.1)).0;
+                format!(
+                    ",\n  \"parallel_ibd\": {{\n    \"workers\": {workers}, \
+                     \"checkpoint_every\": {every},\n    \"seq_wall_s_mean\": {seq_mean:.4}, \
+                     \"parallel_wall_s_mean\": {par_mean:.4}, \
+                     \"speedup\": {:.4},\n    \"runs\": [{}\n    ]\n  }}",
+                    seq_mean / par_mean,
+                    runs.join(",")
+                )
+            }
+            None => String::new(),
+        };
         let telemetry = ebv_telemetry::json_snapshot(&ebv_telemetry::global().snapshot());
         let json = format!(
             "{{\n  \"figure\": \"fig17\",\n  \"runs\": {},\n  \"periods\": [{periods}\n  ],\n  \
              \"sv_ns_total\": {sv_ns_total},\n  \"inputs_total\": {inputs_total},\n  \
-             \"verifies_per_sec\": {verifies_per_sec:.1},\n  \"telemetry\": {telemetry}\n}}\n",
+             \"verifies_per_sec\": {verifies_per_sec:.1}{parallel},\n  \"telemetry\": {telemetry}\n}}\n",
             args.runs
         );
         std::fs::write(path, json).expect("write json");

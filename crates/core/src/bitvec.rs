@@ -7,7 +7,8 @@
 //! a 16-bit index array listing the remaining 1-bits, whichever is
 //! smaller; "EBV w/o optimization" sizes are also reported for Fig. 14.
 
-use ebv_primitives::encode::{Decodable, DecodeError, Encodable, Reader};
+use ebv_primitives::encode::{varint_len, write_varint, Decodable, DecodeError, Encodable, Reader};
+use ebv_primitives::hash::{sha256d, Hash256};
 use std::collections::HashMap;
 
 /// Dense in-memory bit vector for one block's outputs.
@@ -57,9 +58,10 @@ impl BlockBitVector {
     }
 
     /// Whether the vector tracks zero outputs. `new_all_unspent` enforces
-    /// `len >= 1`, so this is only `true` for a decoded zero-length vector;
-    /// it must still answer from `len` rather than hardcode `false` so the
-    /// `len()`/`is_empty()` contract holds for every constructible value.
+    /// `len >= 1` and the wire format stores `len - 1` in a `u16`, so no
+    /// constructible *or* decodable value is empty; it still answers from
+    /// `len` rather than hardcode `false` so the `len()`/`is_empty()`
+    /// contract holds for every value the type can represent.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
@@ -174,6 +176,14 @@ impl Encodable for BlockBitVector {
 }
 
 impl Decodable for BlockBitVector {
+    /// Decode is a trust boundary: snapshots cross worker (and eventually
+    /// peer) boundaries, so every byte string that no encoder emits is
+    /// rejected. Beyond the structural checks (unknown flag, truncation),
+    /// that means: set padding bits in the dense bitmap's last byte,
+    /// all-spent vectors (the set deletes those instead of storing them),
+    /// out-of-range / duplicate / non-ascending sparse indices, and the
+    /// representation the encoder would not have chosen (the codec is a
+    /// bijection, so re-encoding a decoded vector reproduces the input).
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let flag = r.read_u8()?;
         let len = r.read_u16()? as u32 + 1;
@@ -181,6 +191,10 @@ impl Decodable for BlockBitVector {
             FLAG_DENSE => {
                 let n_bytes = (len as usize).div_ceil(8);
                 let bytes = r.read_bytes(n_bytes)?;
+                let tail = (len % 8) as usize;
+                if tail != 0 && bytes[n_bytes - 1] >> tail != 0 {
+                    return Err(DecodeError::Invalid("set padding bits in dense bitmap"));
+                }
                 let mut v = BlockBitVector::new_all_unspent(len);
                 // Start from all-unspent and clear zeros.
                 for i in 0..len {
@@ -188,20 +202,39 @@ impl Decodable for BlockBitVector {
                         v.spend(i);
                     }
                 }
+                if v.all_spent() {
+                    return Err(DecodeError::Invalid("all-spent vector"));
+                }
+                if v.sparse_size() < v.dense_size() {
+                    return Err(DecodeError::Invalid("non-canonical dense encoding"));
+                }
                 Ok(v)
             }
             FLAG_SPARSE => {
                 let count = r.read_u16()? as u32;
+                if count == 0 {
+                    return Err(DecodeError::Invalid("all-spent vector"));
+                }
                 // Start fully spent and re-set the listed survivors.
                 let mut v = BlockBitVector::new_all_unspent(len);
                 for i in 0..len {
                     v.spend(i);
                 }
+                let mut prev: Option<u32> = None;
                 for _ in 0..count {
                     let idx = r.read_u16()? as u32;
-                    if idx >= len || !v.unspend(idx) {
-                        return Err(DecodeError::Invalid("sparse index"));
+                    if idx >= len {
+                        return Err(DecodeError::Invalid("sparse index out of range"));
                     }
+                    // Strictly ascending covers duplicates too.
+                    if prev.is_some_and(|p| idx <= p) {
+                        return Err(DecodeError::Invalid("sparse indices not ascending"));
+                    }
+                    prev = Some(idx);
+                    v.unspend(idx);
+                }
+                if v.sparse_size() >= v.dense_size() {
+                    return Err(DecodeError::Invalid("non-canonical sparse encoding"));
                 }
                 Ok(v)
             }
@@ -378,6 +411,28 @@ impl BitVectorSet {
         self.vectors.values().map(|v| v.ones() as u64).sum()
     }
 
+    /// Capture the whole set as a [`BitVectorSnapshot`] anchored at
+    /// `(height, tip_hash)`. EBV's point: this is the *entire* UTXO state,
+    /// and it is a few hundred bytes per thousand blocks, not gigabytes.
+    ///
+    /// # Panics
+    /// If the set holds a vector above `height`, an all-spent vector, or no
+    /// vector at `height` itself — states no connected chain produces.
+    pub fn snapshot(&self, height: u32, tip_hash: Hash256) -> BitVectorSnapshot {
+        let mut vectors: Vec<(u32, BlockBitVector)> =
+            self.vectors.iter().map(|(&h, v)| (h, v.clone())).collect();
+        vectors.sort_unstable_by_key(|&(h, _)| h);
+        let snap = BitVectorSnapshot {
+            height,
+            tip_hash,
+            total_unspent: self.total_unspent(),
+            vectors,
+        };
+        snap.validate()
+            .expect("live set satisfies snapshot invariants");
+        snap
+    }
+
     /// Memory requirement in both representations. Each entry is charged
     /// its serialized size plus the 4-byte height key.
     pub fn memory(&self) -> BitVectorSetSize {
@@ -396,6 +451,137 @@ impl BitVectorSet {
             }
         }
         size
+    }
+}
+
+/// A serializable checkpoint of the full validation state at one height:
+/// the complete bit-vector set plus the tip it was taken at and the
+/// total-unspent count. This is what makes out-of-order IBD cheap for EBV —
+/// where Bitcoin would have to ship a multi-gigabyte UTXO set per
+/// checkpoint, the bit-vector set serializes in kilobytes.
+///
+/// The encoding is canonical (heights strictly ascending, each vector in
+/// its optimized form), so two snapshots of equal state are byte-identical
+/// — the property the parallel-IBD stitcher relies on. Decode enforces
+/// every invariant a connected chain guarantees; a snapshot is data from an
+/// untrusted worker or peer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitVectorSnapshot {
+    height: u32,
+    tip_hash: Hash256,
+    total_unspent: u64,
+    /// `(height, vector)`, heights strictly ascending.
+    vectors: Vec<(u32, BlockBitVector)>,
+}
+
+impl BitVectorSnapshot {
+    /// Height of the chain tip this snapshot captures.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Hash of the tip block's header.
+    pub fn tip_hash(&self) -> Hash256 {
+        self.tip_hash
+    }
+
+    /// Total unspent outputs across all vectors.
+    pub fn total_unspent(&self) -> u64 {
+        self.total_unspent
+    }
+
+    /// Number of live vectors captured.
+    pub fn vector_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// `sha256d` over the canonical encoding — a compact state commitment
+    /// two parties can compare instead of whole snapshots.
+    pub fn digest(&self) -> Hash256 {
+        sha256d(&self.to_bytes())
+    }
+
+    /// Rebuild the in-memory set this snapshot captures.
+    pub fn restore(&self) -> BitVectorSet {
+        BitVectorSet {
+            vectors: self.vectors.iter().cloned().collect(),
+        }
+    }
+
+    /// The invariants every snapshot of a connected chain satisfies;
+    /// enforced on decode and asserted on construction.
+    fn validate(&self) -> Result<(), DecodeError> {
+        let mut prev: Option<u32> = None;
+        let mut total = 0u64;
+        for (h, v) in &self.vectors {
+            if prev.is_some_and(|p| *h <= p) {
+                return Err(DecodeError::Invalid("snapshot heights not ascending"));
+            }
+            prev = Some(*h);
+            if *h > self.height {
+                return Err(DecodeError::Invalid("snapshot vector above tip height"));
+            }
+            if v.all_spent() {
+                return Err(DecodeError::Invalid("all-spent vector"));
+            }
+            total += u64::from(v.ones());
+        }
+        if total != self.total_unspent {
+            return Err(DecodeError::Invalid("snapshot total-unspent mismatch"));
+        }
+        // The tip's own vector always survives: no block above the tip
+        // exists to have spent from it, and it has at least the coinbase.
+        if self.vectors.last().map(|(h, _)| *h) != Some(self.height) {
+            return Err(DecodeError::Invalid("snapshot tip vector missing"));
+        }
+        Ok(())
+    }
+}
+
+impl Encodable for BitVectorSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.height.encode(out);
+        self.tip_hash.encode(out);
+        self.total_unspent.encode(out);
+        write_varint(out, self.vectors.len() as u64);
+        for (h, v) in &self.vectors {
+            h.encode(out);
+            v.encode(out);
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + 32
+            + 8
+            + varint_len(self.vectors.len() as u64)
+            + self
+                .vectors
+                .iter()
+                .map(|(_, v)| 4 + v.optimized_size())
+                .sum::<usize>()
+    }
+}
+
+impl Decodable for BitVectorSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let height = u32::decode(r)?;
+        let tip_hash = Hash256::decode(r)?;
+        let total_unspent = u64::decode(r)?;
+        let count = r.read_len()?;
+        let mut vectors = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let h = u32::decode(r)?;
+            let v = BlockBitVector::decode(r)?;
+            vectors.push((h, v));
+        }
+        let snap = BitVectorSnapshot {
+            height,
+            tip_hash,
+            total_unspent,
+            vectors,
+        };
+        snap.validate()?;
+        Ok(snap)
     }
 }
 
@@ -492,9 +678,11 @@ mod tests {
 
     #[test]
     fn encode_round_trip_dense_and_sparse() {
+        // Start at 1 so the vector is never all-spent: the set deletes
+        // fully-spent vectors, and decode rejects them accordingly.
         for spend_every in [1usize, 2, 3, 10, 200] {
             let mut v = BlockBitVector::new_all_unspent(500);
-            for i in (0..500).step_by(spend_every) {
+            for i in (1..500).step_by(spend_every) {
                 v.spend(i);
             }
             let got = BlockBitVector::from_bytes(&v.to_bytes()).unwrap();
@@ -584,5 +772,216 @@ mod tests {
         assert_eq!(sparse.unoptimized, full.unoptimized);
         assert!(sparse.optimized < sparse.unoptimized);
         assert_eq!(sparse.optimized, 4 + 7);
+    }
+
+    /// Build the sparse wire form by hand: `len` outputs, the given
+    /// surviving indices in the given order.
+    fn sparse_bytes(len: u16, indices: &[u16]) -> Vec<u8> {
+        let mut buf = vec![FLAG_SPARSE];
+        buf.extend_from_slice(&(len - 1).to_le_bytes());
+        buf.extend_from_slice(&(indices.len() as u16).to_le_bytes());
+        for i in indices {
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        buf
+    }
+
+    #[test]
+    fn decode_rejects_set_padding_bits() {
+        // len 5 → one dense byte, bits 5..8 are padding. All five real
+        // bits set plus one padding bit: same vector as 0b0001_1111 but a
+        // different byte string — must be rejected, not silently accepted.
+        let good = [FLAG_DENSE, 4, 0, 0b0001_1111];
+        assert!(BlockBitVector::from_bytes(&good).is_ok());
+        let bad = [FLAG_DENSE, 4, 0, 0b0011_1111];
+        assert_eq!(
+            BlockBitVector::from_bytes(&bad),
+            Err(DecodeError::Invalid("set padding bits in dense bitmap"))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_all_spent_vectors() {
+        // Dense all-zero: the set deletes fully-spent vectors, so no
+        // encoder produces this.
+        assert_eq!(
+            BlockBitVector::from_bytes(&[FLAG_DENSE, 4, 0, 0]),
+            Err(DecodeError::Invalid("all-spent vector"))
+        );
+        // Sparse with zero survivors, same story.
+        assert_eq!(
+            BlockBitVector::from_bytes(&sparse_bytes(100, &[])),
+            Err(DecodeError::Invalid("all-spent vector"))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_non_ascending_sparse_indices() {
+        assert_eq!(
+            BlockBitVector::from_bytes(&sparse_bytes(1000, &[5, 3])),
+            Err(DecodeError::Invalid("sparse indices not ascending"))
+        );
+        // Duplicates are a special case of non-ascending.
+        assert_eq!(
+            BlockBitVector::from_bytes(&sparse_bytes(1000, &[3, 3])),
+            Err(DecodeError::Invalid("sparse indices not ascending"))
+        );
+        assert!(BlockBitVector::from_bytes(&sparse_bytes(1000, &[3, 5])).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_sparse_index() {
+        assert_eq!(
+            BlockBitVector::from_bytes(&sparse_bytes(100, &[100])),
+            Err(DecodeError::Invalid("sparse index out of range"))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_non_canonical_representation() {
+        // One survivor in 1000 outputs: the encoder picks sparse (7 bytes
+        // vs 128); a dense encoding of the same vector must be rejected.
+        let mut dense = vec![FLAG_DENSE];
+        dense.extend_from_slice(&999u16.to_le_bytes());
+        let mut bitmap = vec![0u8; 125];
+        bitmap[0] = 1; // only index 0 survives
+        dense.extend_from_slice(&bitmap);
+        assert_eq!(
+            BlockBitVector::from_bytes(&dense),
+            Err(DecodeError::Invalid("non-canonical dense encoding"))
+        );
+        // Conversely, a mostly-full vector in sparse form (dense is
+        // smaller) is also rejected.
+        let indices: Vec<u16> = (0..100).collect();
+        assert_eq!(
+            BlockBitVector::from_bytes(&sparse_bytes(100, &indices)),
+            Err(DecodeError::Invalid("non-canonical sparse encoding"))
+        );
+    }
+
+    #[test]
+    fn decode_encode_is_identity_on_valid_buffers() {
+        // The codec is a bijection: every accepted byte string re-encodes
+        // to itself.
+        for spend_every in [1usize, 2, 3, 10, 50, 200] {
+            let mut v = BlockBitVector::new_all_unspent(500);
+            for i in (1..500).step_by(spend_every) {
+                v.spend(i);
+            }
+            let bytes = v.to_bytes();
+            let decoded = BlockBitVector::from_bytes(&bytes).unwrap();
+            assert_eq!(decoded.to_bytes(), bytes, "spend_every={spend_every}");
+        }
+    }
+
+    /// A small but non-trivial set: three blocks, some spends.
+    fn sample_set() -> BitVectorSet {
+        let mut s = BitVectorSet::new();
+        s.insert_block(0, 10);
+        s.insert_block(3, 300);
+        s.insert_block(7, 4);
+        s.spend(0, 2).unwrap();
+        for i in 5..290 {
+            s.spend(3, i).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_digest() {
+        let s = sample_set();
+        let snap = s.snapshot(7, sha256d(b"tip"));
+        assert_eq!(snap.height(), 7);
+        assert_eq!(snap.total_unspent(), s.total_unspent());
+        assert_eq!(snap.vector_count(), 3);
+        let bytes = snap.to_bytes();
+        assert_eq!(bytes.len(), snap.encoded_len());
+        let back = BitVectorSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.digest(), snap.digest());
+        // Restore reproduces the set exactly (snapshot again, compare).
+        let restored = snap.restore();
+        assert_eq!(restored.snapshot(7, sha256d(b"tip")), snap);
+        // Equal state from a different construction order is byte-identical.
+        let mut s2 = BitVectorSet::new();
+        s2.insert_block(7, 4);
+        s2.insert_block(3, 300);
+        s2.insert_block(0, 10);
+        for i in 5..290 {
+            s2.spend(3, i).unwrap();
+        }
+        s2.spend(0, 2).unwrap();
+        assert_eq!(s2.snapshot(7, sha256d(b"tip")).to_bytes(), bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_malformed() {
+        let snap = sample_set().snapshot(7, sha256d(b"tip"));
+        let bytes = snap.to_bytes();
+
+        // Wrong total-unspent (flip the low byte of the u64 at offset 36).
+        let mut bad = bytes.clone();
+        bad[36] ^= 1;
+        assert_eq!(
+            BitVectorSnapshot::from_bytes(&bad),
+            Err(DecodeError::Invalid("snapshot total-unspent mismatch"))
+        );
+
+        // Truncation anywhere is an error.
+        for cut in [0, 10, 36, bytes.len() - 1] {
+            assert!(BitVectorSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+        // Trailing garbage is an error.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            BitVectorSnapshot::from_bytes(&long),
+            Err(DecodeError::TrailingBytes(1))
+        );
+
+        // Tip vector missing: snapshot claims height 9 but last vector is
+        // at 7 (adjust total stays right, so only the tip check fires).
+        let mut s = sample_set();
+        s.insert_block(9, 5);
+        let good9 = s.snapshot(9, sha256d(b"tip"));
+        let mut bad9 = good9.to_bytes();
+        bad9[0] = 10; // height 9 → 10, vectors untouched
+        assert_eq!(
+            BitVectorSnapshot::from_bytes(&bad9),
+            Err(DecodeError::Invalid("snapshot tip vector missing"))
+        );
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_unordered_heights() {
+        // Hand-build an encoding with descending heights.
+        let v = BlockBitVector::new_all_unspent(4);
+        let mut buf = Vec::new();
+        5u32.encode(&mut buf); // height
+        sha256d(b"t").encode(&mut buf);
+        8u64.encode(&mut buf); // total: 2 vectors × 4 ones
+        write_varint(&mut buf, 2);
+        5u32.encode(&mut buf);
+        v.encode(&mut buf);
+        3u32.encode(&mut buf);
+        v.encode(&mut buf);
+        assert_eq!(
+            BitVectorSnapshot::from_bytes(&buf),
+            Err(DecodeError::Invalid("snapshot heights not ascending"))
+        );
+        // Vector above the claimed tip height.
+        let mut buf = Vec::new();
+        5u32.encode(&mut buf);
+        sha256d(b"t").encode(&mut buf);
+        8u64.encode(&mut buf);
+        write_varint(&mut buf, 2);
+        5u32.encode(&mut buf);
+        v.encode(&mut buf);
+        9u32.encode(&mut buf);
+        v.encode(&mut buf);
+        assert_eq!(
+            BitVectorSnapshot::from_bytes(&buf),
+            Err(DecodeError::Invalid("snapshot vector above tip height"))
+        );
     }
 }

@@ -103,6 +103,13 @@ pub struct EbvConfig {
     pub workers: Option<usize>,
     /// Check the header PoW (disabled in some microbenches).
     pub check_pow: bool,
+    /// Keep one [`PubkeyCache`] for the node's lifetime instead of one per
+    /// block. A prepared key (point decompression + wNAF odd-multiples
+    /// table) depends only on the key bytes, so this is always sound; the
+    /// per-block default merely bounds memory for open-ended network
+    /// operation. Interval replay during snapshot-parallel IBD turns it on:
+    /// there the block range is finite and wallets reuse keys heavily.
+    pub persistent_pubkey_cache: bool,
 }
 
 impl Default for EbvConfig {
@@ -112,6 +119,7 @@ impl Default for EbvConfig {
             parallel_sv: true,
             workers: None,
             check_pow: true,
+            persistent_pubkey_cache: false,
         }
     }
 }
@@ -163,13 +171,41 @@ pub struct BlockUndo {
     outputs: u32,
 }
 
+/// Why [`EbvNode::from_snapshot`] refused to boot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Header chain length does not cover `0..=snapshot.height()`.
+    HeaderCount { expected: usize, got: usize },
+    /// `headers[height]` does not link to its predecessor's hash.
+    BrokenHeaderLink { height: u32 },
+    /// A header fails its own PoW claim (only with `check_pow`).
+    InsufficientWork { height: u32 },
+    /// The snapshot's tip hash is not the hash of the last header.
+    TipHashMismatch,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// The EBV node: headers + bit-vector set, nothing else.
 pub struct EbvNode {
     headers: Vec<BlockHeader>,
     bitvecs: BitVectorSet,
     config: EbvConfig,
-    /// Undo records, one per non-genesis connected block.
+    /// Undo records, one per connected block above `base_height`.
     undo_stack: Vec<BlockUndo>,
+    /// Height this node booted at: 0 for a genesis boot, the checkpoint
+    /// height for a snapshot boot. Blocks at or below it carry no undo
+    /// records and cannot be disconnected.
+    base_height: u32,
+    /// Node-lifetime pubkey cache (`persistent_pubkey_cache`); `None`
+    /// means SV builds a fresh per-block cache.
+    pubkey_cache: Option<PubkeyCache>,
     /// Cumulative validation-time breakdown across all processed blocks.
     cumulative: EbvBreakdown,
 }
@@ -182,10 +218,76 @@ impl EbvNode {
             bitvecs: BitVectorSet::new(),
             config,
             undo_stack: Vec::new(),
+            base_height: 0,
+            pubkey_cache: config.persistent_pubkey_cache.then(PubkeyCache::new),
             cumulative: EbvBreakdown::default(),
         };
         node.bitvecs.insert_block(0, genesis.output_count());
         node
+    }
+
+    /// Boot from a state checkpoint instead of replaying from genesis.
+    ///
+    /// `headers` must be the full header chain `0..=snapshot.height()` —
+    /// EV needs every historical Merkle root, so snapshot boot trades only
+    /// the *replay*, not the (cheap, 80 bytes/block) header download. The
+    /// chain is verified here: linkage, PoW (under `check_pow`), and that
+    /// its tip hashes to the snapshot's claimed tip. The bit-vector set
+    /// itself is taken on trust — snapshot-parallel IBD discharges that
+    /// trust at the stitch, where a predecessor interval must reproduce
+    /// these exact bytes.
+    pub fn from_snapshot(
+        snapshot: &crate::bitvec::BitVectorSnapshot,
+        headers: Vec<BlockHeader>,
+        config: EbvConfig,
+    ) -> Result<EbvNode, SnapshotError> {
+        let expected = snapshot.height() as usize + 1;
+        if headers.len() != expected {
+            return Err(SnapshotError::HeaderCount {
+                expected,
+                got: headers.len(),
+            });
+        }
+        let mut prev_hash = None;
+        for (h, header) in headers.iter().enumerate() {
+            if let Some(prev) = prev_hash {
+                if header.prev_block_hash != prev {
+                    return Err(SnapshotError::BrokenHeaderLink { height: h as u32 });
+                }
+            }
+            if config.check_pow && !header.meets_target() {
+                return Err(SnapshotError::InsufficientWork { height: h as u32 });
+            }
+            prev_hash = Some(header.hash());
+        }
+        if prev_hash != Some(snapshot.tip_hash()) {
+            return Err(SnapshotError::TipHashMismatch);
+        }
+        Ok(EbvNode {
+            headers,
+            bitvecs: snapshot.restore(),
+            config,
+            undo_stack: Vec::new(),
+            base_height: snapshot.height(),
+            pubkey_cache: config.persistent_pubkey_cache.then(PubkeyCache::new),
+            cumulative: EbvBreakdown::default(),
+        })
+    }
+
+    /// Serialize the node's full validation state at the current tip.
+    pub fn snapshot(&self) -> crate::bitvec::BitVectorSnapshot {
+        self.bitvecs.snapshot(self.tip_height(), self.tip_hash())
+    }
+
+    /// Digest of the canonical snapshot encoding: two nodes at the same
+    /// state — however they got there — produce the same digest.
+    pub fn state_digest(&self) -> Hash256 {
+        self.snapshot().digest()
+    }
+
+    /// Height this node booted at (0 unless booted from a snapshot).
+    pub fn base_height(&self) -> u32 {
+        self.base_height
     }
 
     /// Height of the best block.
@@ -415,9 +517,17 @@ impl EbvNode {
 
         // ---- SV: scripts, parallel across inputs ------------------------
         let span_sv = span!("ebv.sv", &mut breakdown.sv);
-        // One pubkey cache per block: inputs signed by the same key share a
+        // One pubkey cache per block (or per node, under
+        // `persistent_pubkey_cache`): inputs signed by the same key share a
         // single parse + odd-multiples table across all SV workers.
-        let pubkey_cache = PubkeyCache::new();
+        let block_cache;
+        let pubkey_cache = match &self.pubkey_cache {
+            Some(cache) => cache,
+            None => {
+                block_cache = PubkeyCache::new();
+                &block_cache
+            }
+        };
         let sv_one = |job: &InputJob<'_>| -> Result<(), EbvError> {
             let _input_span = span!("ebv.sv_input");
             // Spending transactions start at index 1; midstates are stored
@@ -428,7 +538,7 @@ impl EbvNode {
             verify_spend(
                 job.us,
                 lock,
-                &DigestChecker::with_context(digest, lock_time, &pubkey_cache),
+                &DigestChecker::with_context(digest, lock_time, pubkey_cache),
             )
             .map_err(|err| EbvError::SvFailed {
                 tx: job.tx,
@@ -492,7 +602,8 @@ impl EbvNode {
 
     /// Disconnect the tip block, restoring the previous state (the reorg
     /// primitive, driven by `sync::reorg`). Returns the new tip height,
-    /// `Ok(None)` if only the genesis block remains, or a typed error if
+    /// `Ok(None)` if the tip is already the boot height (genesis, or the
+    /// checkpoint for a snapshot-booted node), or a typed error if
     /// the undo data does not mirror the applied spends (corrupt state —
     /// formerly a panic).
     pub fn disconnect_tip(&mut self) -> Result<Option<u32>, EbvError> {
@@ -533,10 +644,17 @@ impl EbvNode {
             return Err("header chain is empty (genesis missing)".to_string());
         }
         let tip = self.tip_height();
-        if self.undo_stack.len() as u32 != tip {
+        if tip < self.base_height {
             return Err(format!(
-                "undo stack holds {} records but the tip height is {tip}",
-                self.undo_stack.len()
+                "tip {tip} fell below the boot height {}",
+                self.base_height
+            ));
+        }
+        if self.undo_stack.len() as u32 != tip - self.base_height {
+            return Err(format!(
+                "undo stack holds {} records but {} blocks sit above the boot height",
+                self.undo_stack.len(),
+                tip - self.base_height
             ));
         }
         if let Some(bad) = self.bitvecs.heights().find(|&h| h > tip) {
@@ -843,5 +961,75 @@ mod tests {
         assert_eq!(node.tip_height(), 1);
         let breakdown = node.cumulative_breakdown();
         assert!(breakdown.commit > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_boot_matches_genesis_boot() {
+        let (mut node, block1, _) = two_block_fixture();
+        node.process_block(&block1).expect("valid block");
+
+        // Boot a second node from the first node's snapshot.
+        let snap = node.snapshot();
+        let headers = vec![*node.header_at(0).unwrap(), *node.header_at(1).unwrap()];
+        let booted = EbvNode::from_snapshot(&snap, headers, EbvConfig::default())
+            .expect("snapshot boot succeeds");
+        assert_eq!(booted.tip_height(), 1);
+        assert_eq!(booted.tip_hash(), node.tip_hash());
+        assert_eq!(booted.base_height(), 1);
+        assert_eq!(booted.total_unspent(), node.total_unspent());
+        assert_eq!(booted.state_digest(), node.state_digest());
+        booted.check_invariants().expect("invariants hold at boot");
+        // Nothing above the boot height has been connected yet, so there
+        // is nothing to disconnect.
+        let mut booted = booted;
+        assert_eq!(booted.disconnect_tip(), Ok(None));
+    }
+
+    #[test]
+    fn snapshot_boot_rejects_bad_headers() {
+        let (mut node, block1, _) = two_block_fixture();
+        node.process_block(&block1).expect("valid block");
+        let snap = node.snapshot();
+        let h0 = *node.header_at(0).unwrap();
+        let h1 = *node.header_at(1).unwrap();
+
+        // Too few headers.
+        assert_eq!(
+            EbvNode::from_snapshot(&snap, vec![h0], EbvConfig::default()),
+            Err(SnapshotError::HeaderCount {
+                expected: 2,
+                got: 1
+            })
+        );
+        // Broken linkage.
+        let mut unlinked = h1;
+        unlinked.prev_block_hash = Hash256::ZERO;
+        assert_eq!(
+            EbvNode::from_snapshot(&snap, vec![h0, unlinked], EbvConfig::default()),
+            Err(SnapshotError::BrokenHeaderLink { height: 1 })
+        );
+        // Right chain, wrong snapshot tip: mutate the tip header's nonce so
+        // linkage still holds but the tip hash differs.
+        let mut wrong_tip = h1;
+        wrong_tip.nonce ^= 1;
+        assert_eq!(
+            EbvNode::from_snapshot(&snap, vec![h0, wrong_tip], EbvConfig::default()),
+            Err(SnapshotError::TipHashMismatch)
+        );
+    }
+
+    impl PartialEq for EbvNode {
+        fn eq(&self, other: &EbvNode) -> bool {
+            self.tip_hash() == other.tip_hash() && self.state_digest() == other.state_digest()
+        }
+    }
+
+    impl std::fmt::Debug for EbvNode {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("EbvNode")
+                .field("tip_height", &self.tip_height())
+                .field("tip_hash", &self.tip_hash())
+                .finish()
+        }
     }
 }

@@ -37,9 +37,12 @@ pub mod sync;
 pub mod tidy;
 
 pub use baseline_node::{BaselineConfig, BaselineError, BaselineNode};
-pub use bitvec::{BitVectorSet, BitVectorSetSize, BlockBitVector, UvError};
-pub use ebv_node::{EbvConfig, EbvError, EbvNode};
-pub use ibd::{baseline_ibd, ebv_ibd, synced_ibd, BaselinePeriod, EbvPeriod, SyncedIbd};
+pub use bitvec::{BitVectorSet, BitVectorSetSize, BitVectorSnapshot, BlockBitVector, UvError};
+pub use ebv_node::{EbvConfig, EbvError, EbvNode, SnapshotError};
+pub use ibd::{
+    baseline_ibd, build_checkpoints, ebv_ibd, parallel_ibd, synced_ibd, BaselinePeriod,
+    CheckpointError, EbvPeriod, IbdFailure, IntervalStat, ParallelIbd, ParallelIbdError, SyncedIbd,
+};
 pub use intermediary::{ConvertError, Intermediary};
 pub use mempool::{Mempool, MempoolError};
 pub use metrics::{BaselineBreakdown, EbvBreakdown};

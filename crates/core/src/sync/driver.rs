@@ -287,7 +287,10 @@ pub fn sync_multi<N: ValidatingNode>(
                 last: last_failure.map(Box::new),
             });
         }
-        if live.iter().all(|&i| ctls[i].exhausted_at == Some(tip)) {
+        // `tip == u32::MAX` means the u32 height space is full: there is no
+        // height left to request, so the chain is as synced as it can get.
+        // Without this guard `tip + 1` below would wrap to height 0.
+        if tip == u32::MAX || live.iter().all(|&i| ctls[i].exhausted_at == Some(tip)) {
             finish_all(&ctls);
             report.peers = ctls.iter().map(|c| c.stats).collect();
             for (c, s) in ctls.iter().zip(report.peers.iter_mut()) {
@@ -375,7 +378,9 @@ pub fn sync_multi<N: ValidatingNode>(
                     let attempts = ctls[i].penalize(DECODE_PENALTY, "decode", cfg);
                     last_failure = Some(SyncError::Decode {
                         peer: peer_id,
-                        height: start + k as u32,
+                        // Report-only coordinate; saturate rather than wrap
+                        // if a near-MAX start plus the batch offset overflows.
+                        height: start.saturating_add(k as u32),
                         attempts,
                         err,
                     });
@@ -576,7 +581,18 @@ fn resolve_fork<N: ValidatingNode>(
         if fetch_rounds > 256 {
             break; // adversarially long advertisement; judge what we have
         }
-        let next = fork + 1 + branch.len() as u32;
+        // A peer can keep feeding branch blocks until `fork + 1 + len`
+        // leaves the u32 height space; checked math turns that into a
+        // scored rejection instead of a wrapping request for height ~0.
+        let Some(next) = fork
+            .checked_add(1)
+            .and_then(|h| h.checked_add(branch.len() as u32))
+        else {
+            return ForkOutcome::RequestFailed {
+                penalty: FORK_PENALTY,
+                reason: "candidate branch overflows the u32 height space".to_string(),
+            };
+        };
         match ctl.handle.request(next, cfg.batch, cfg.request_timeout) {
             RequestOutcome::Exhausted => break,
             RequestOutcome::Blocks(bytes) => {

@@ -32,6 +32,19 @@ cargo test -q
 echo "==> cargo test --test fault_sync (deterministic fault matrix)"
 cargo test -q --test fault_sync
 
+# Snapshot-parallel IBD must reach a final state byte-identical to the
+# sequential replay, and a corrupted checkpoint must be caught at the
+# stitch; run the suite by name so a regression is attributed directly.
+echo "==> cargo test --test parallel_ibd (differential + stitch tamper)"
+cargo test -q --test parallel_ibd
+
+# Exercise the fig17 --parallel-ibd path end to end. Writes under target/
+# so a small smoke run never clobbers the committed BENCH_fig17.json
+# (which comes from a full-scale run).
+echo "==> fig17 parallel-IBD smoke"
+./target/release/fig17 --blocks 130 --runs 1 --parallel-ibd 2 \
+    --json target/BENCH_fig17_smoke.json > /dev/null
+
 # Telemetry guards. The overhead test proves instrumentation is cheap
 # enough to leave on; the exporter tests pin the Prometheus/JSON formats
 # to their golden files.

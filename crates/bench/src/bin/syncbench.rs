@@ -1,0 +1,141 @@
+//! Sync-under-faults benchmark: wall time and time-to-ban per adversary
+//! class, over real localhost TCP.
+//!
+//! For every byte-level adversary class the netfault harness can mount,
+//! run the multi-peer driver against three adversarial servers plus one
+//! honest server and record (a) the wall-clock time to reach the tip with
+//! one honest peer of four, and (b) the driver-reported time-to-ban for
+//! each adversarial peer — the two numbers the graceful-degradation
+//! deliverable is stated in. A clean all-honest TCP run and the
+//! in-process (channel transport) equivalent anchor the comparison.
+//!
+//! Writes `BENCH_sync.json` with `--json PATH` (the committed full-scale
+//! file comes from `--blocks 40 --runs 3`; CI runs a smoke size into
+//! `target/`).
+
+use ebv_bench::CommonArgs;
+use ebv_core::sync::WireAdversary;
+use ebv_netsim::{sync_under_faults, sync_under_wire_faults, ValidationModel};
+use ebv_workload::{ChainGenerator, GeneratorParams};
+use std::time::{Duration, Instant};
+
+/// Per-class aggregate over the configured runs.
+struct ClassResult {
+    label: &'static str,
+    expected_slug: &'static str,
+    wall_us: Vec<u64>,
+    ban_us: Vec<u64>,
+}
+
+fn mean(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        0
+    } else {
+        v.iter().sum::<u64>() / v.len() as u64
+    }
+}
+
+fn main() {
+    let args = CommonArgs::parse(CommonArgs {
+        blocks: 40,
+        runs: 3,
+        ..Default::default()
+    });
+    let blocks = ChainGenerator::new(GeneratorParams::tiny(args.blocks, args.seed)).generate();
+    let tip = blocks.len() as u32 - 1;
+    println!(
+        "# syncbench — {} blocks, {} runs, 3 adversaries + 1 honest peer per class",
+        args.blocks, args.runs
+    );
+
+    // Anchors: all-honest TCP, and the in-process channel transport under
+    // the content-fault soup (the pre-wire fault matrix's regime).
+    let mut clean_us: Vec<u64> = Vec::new();
+    let mut inproc_us: Vec<u64> = Vec::new();
+    for run in 0..args.runs as u64 {
+        let t = Instant::now();
+        let r = sync_under_wire_faults(&blocks, ValidationModel::Constant(10), 4, &[], run)
+            .expect("clean TCP sync");
+        assert_eq!(r.tip_height, tip);
+        clean_us.push(t.elapsed().as_micros() as u64);
+
+        let t = Instant::now();
+        let r = sync_under_faults(&blocks, ValidationModel::Constant(10), 3, run, 40)
+            .expect("in-process sync");
+        assert_eq!(r.tip_height, tip);
+        inproc_us.push(t.elapsed().as_micros() as u64);
+    }
+    println!(
+        "clean TCP (4 honest):      {:>8} us mean wall",
+        mean(&clean_us)
+    );
+    println!(
+        "in-process content faults: {:>8} us mean wall",
+        mean(&inproc_us)
+    );
+
+    let mut classes: Vec<ClassResult> = Vec::new();
+    for adversary in WireAdversary::all(Duration::from_millis(5)) {
+        let mut result = ClassResult {
+            label: adversary.label(),
+            expected_slug: adversary.expected_slug(),
+            wall_us: Vec::new(),
+            ban_us: Vec::new(),
+        };
+        for run in 0..args.runs as u64 {
+            let lineup = [adversary; 3];
+            let t = Instant::now();
+            let r = sync_under_wire_faults(&blocks, ValidationModel::Constant(10), 1, &lineup, run)
+                .unwrap_or_else(|e| panic!("{}: sync must survive: {e}", adversary.label()));
+            result.wall_us.push(t.elapsed().as_micros() as u64);
+            assert_eq!(r.tip_height, tip, "{}: tip", adversary.label());
+            for stats in &r.report.peers[..3] {
+                let banned_at = stats.banned_at_us.unwrap_or_else(|| {
+                    panic!("{}: peer {} not banned", adversary.label(), stats.id)
+                });
+                result.ban_us.push(banned_at);
+            }
+        }
+        println!(
+            "{:<24} {:>8} us mean wall, time-to-ban {:>7}..{:>7} us (mean {:>7})",
+            result.label,
+            mean(&result.wall_us),
+            result.ban_us.iter().min().copied().unwrap_or(0),
+            result.ban_us.iter().max().copied().unwrap_or(0),
+            mean(&result.ban_us),
+        );
+        classes.push(result);
+    }
+
+    if let Some(path) = &args.json {
+        let class_json: Vec<String> = classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"adversary\": \"{}\", \"expected_slug\": \"{}\", \
+                     \"wall_us_mean\": {}, \"ban_us_min\": {}, \"ban_us_max\": {}, \
+                     \"ban_us_mean\": {}}}",
+                    c.label,
+                    c.expected_slug,
+                    mean(&c.wall_us),
+                    c.ban_us.iter().min().copied().unwrap_or(0),
+                    c.ban_us.iter().max().copied().unwrap_or(0),
+                    mean(&c.ban_us),
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"syncbench\",\n  \"blocks\": {},\n  \"runs\": {},\n  \
+             \"peers_per_class\": {{\"adversarial\": 3, \"honest\": 1}},\n  \
+             \"clean_tcp_wall_us_mean\": {},\n  \"in_process_faults_wall_us_mean\": {},\n  \
+             \"classes\": [\n{}\n  ]\n}}\n",
+            args.blocks,
+            args.runs,
+            mean(&clean_us),
+            mean(&inproc_us),
+            class_json.join(",\n"),
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

@@ -568,7 +568,8 @@ impl Decodable for BitVectorSnapshot {
         let tip_hash = Hash256::decode(r)?;
         let total_unspent = u64::decode(r)?;
         let count = r.read_len()?;
-        let mut vectors = Vec::with_capacity(count.min(1024));
+        let mut vectors =
+            Vec::with_capacity(count.min(ebv_primitives::encode::MAX_DECODE_PREALLOC));
         for _ in 0..count {
             let h = u32::decode(r)?;
             let v = BlockBitVector::decode(r)?;

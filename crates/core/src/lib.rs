@@ -50,7 +50,9 @@ pub use pack::{ebv_coinbase, pack_ebv_block};
 pub use proofs::ProofArchive;
 pub use sighash::{sign_input, DigestChecker, PubkeyCache};
 pub use sync::{
-    reorg_to, spawn_source, sync_baseline, sync_ebv, sync_multi, BlockSource, Fault, FaultSchedule,
-    FaultyPeer, PeerHandle, ReorgError, SyncConfig, SyncError, SyncReport, ValidatingNode,
+    reorg_to, serve_adversary, serve_blocks, spawn_source, sync_baseline, sync_ebv, sync_multi,
+    AdversarialServer, BlockSource, Fault, FaultSchedule, FaultyPeer, PeerHandle, PeerStats,
+    ReorgError, SyncConfig, SyncError, SyncReport, TcpPeer, TcpServer, Transport, ValidatingNode,
+    WireAdversary, WireConfig, WireError,
 };
 pub use tidy::{EbvBlock, EbvTransaction, InputBody, InputProof, TidyTransaction};

@@ -22,8 +22,9 @@
 
 use super::fault::splitmix64;
 use super::node::ValidatingNode;
-use super::peer::{PeerHandle, RequestOutcome};
+use super::peer::{RequestOutcome, Transport};
 use super::reorg::{reorg_to, ReorgError};
+use super::wire::WireError;
 use super::SyncError;
 use ebv_telemetry::{counter, histogram, trace_event};
 use std::time::{Duration, Instant};
@@ -43,6 +44,19 @@ const FORK_PENALTY: u32 = 25;
 const STALL_PENALTY: u32 = 12;
 /// Score subtracted after a successfully connected batch.
 const SUCCESS_REWARD: u32 = 10;
+
+/// Map a byte-level wire violation to a score penalty. Malformed bytes
+/// (bad magic, oversized claims, checksum mismatches, truncation) are as
+/// damning as a batch that fails to decode — three strikes and out.
+/// Slowness and handshake failure could be honest congestion, so they
+/// score like validation failures; plain socket errors like stalls.
+fn wire_penalty(err: &WireError) -> u32 {
+    match err {
+        WireError::SlowRead | WireError::HandshakeTimeout => VALIDATION_PENALTY,
+        WireError::Io(_) => STALL_PENALTY,
+        _ => DECODE_PENALTY,
+    }
+}
 
 /// Tuning knobs for the multi-peer driver.
 #[derive(Clone, Copy, Debug)]
@@ -106,9 +120,14 @@ pub struct PeerStats {
     pub validation_failures: u32,
     pub stalls: u32,
     pub fork_rejects: u32,
+    /// Byte-level wire-protocol violations (TCP transport only).
+    pub wire_errors: u32,
     pub reorgs: u32,
     pub score: u32,
     pub banned: bool,
+    /// Microseconds from driver start to this peer's ban, if banned —
+    /// the time-to-ban the fault matrix and `BENCH_sync.json` assert on.
+    pub banned_at_us: Option<u64>,
 }
 
 /// What a completed sync did.
@@ -127,8 +146,10 @@ pub struct SyncReport {
 }
 
 /// Driver-side state for one peer.
-struct PeerCtl {
-    handle: PeerHandle,
+struct PeerCtl<T: Transport> {
+    handle: T,
+    /// When this driver run started — the zero point for `banned_at_us`.
+    started: Instant,
     score: u32,
     /// Consecutive failures — drives the exponential backoff.
     failures: u32,
@@ -141,11 +162,12 @@ struct PeerCtl {
     stats: PeerStats,
 }
 
-impl PeerCtl {
-    fn new(handle: PeerHandle) -> PeerCtl {
-        let id = handle.id;
+impl<T: Transport> PeerCtl<T> {
+    fn new(handle: T) -> PeerCtl<T> {
+        let id = handle.id();
         PeerCtl {
             handle,
+            started: Instant::now(),
             score: 0,
             failures: 0,
             banned: false,
@@ -179,14 +201,15 @@ impl PeerCtl {
             .saturating_mul(1u32 << exp)
             .min(cfg.max_backoff);
         // Jitter in [0.75, 1.25), deterministic per (seed, peer, failure).
-        let mix = splitmix64(cfg.seed ^ ((self.handle.id as u64) << 32) ^ u64::from(self.failures));
+        let mix =
+            splitmix64(cfg.seed ^ ((self.handle.id() as u64) << 32) ^ u64::from(self.failures));
         let jitter = 0.75 + (mix % 512) as f64 / 1024.0;
         let backoff = raw.mul_f64(jitter);
         self.ready_at = Instant::now() + backoff;
-        peer_counter("sync.peer.retries", self.handle.id);
+        peer_counter("sync.peer.retries", self.handle.id());
         trace_event!(
             "sync.peer_score",
-            peer = self.handle.id,
+            peer = self.handle.id(),
             delta = penalty as i64,
             score = self.score,
             reason = reason,
@@ -194,24 +217,28 @@ impl PeerCtl {
         );
         trace_event!(
             "sync.backoff",
-            peer = self.handle.id,
+            peer = self.handle.id(),
             failures = self.failures,
             backoff_us = backoff.as_micros() as u64,
         );
         if self.score >= cfg.ban_score && !self.banned {
             self.banned = true;
             self.stats.banned = true;
+            let banned_after_us = self.started.elapsed().as_micros() as u64;
+            self.stats.banned_at_us = Some(banned_after_us);
             counter!("sync.peer.bans").inc();
-            peer_counter("sync.peer.bans", self.handle.id);
+            peer_counter("sync.peer.bans", self.handle.id());
             trace_event!(
                 "sync.peer_banned",
-                peer = self.handle.id,
+                peer = self.handle.id(),
                 score = self.score,
                 last_reason = reason,
+                banned_after_us = banned_after_us,
                 decode_failures = self.stats.decode_failures,
                 validation_failures = self.stats.validation_failures,
                 stalls = self.stats.stalls,
                 fork_rejects = self.stats.fork_rejects,
+                wire_errors = self.stats.wire_errors,
             );
             self.handle.finish();
         }
@@ -224,7 +251,7 @@ impl PeerCtl {
         self.score = self.score.saturating_sub(SUCCESS_REWARD);
         trace_event!(
             "sync.peer_score",
-            peer = self.handle.id,
+            peer = self.handle.id(),
             delta = -(SUCCESS_REWARD as i64),
             score = self.score,
             reason = "batch_connected",
@@ -250,9 +277,9 @@ enum ForkOutcome {
 /// Synchronize `node` against `peers` until every live peer is exhausted
 /// at the tip. Returns what was done, or the reason no progress is
 /// possible. See the module docs for the failure-handling policy.
-pub fn sync_multi<N: ValidatingNode>(
+pub fn sync_multi<N: ValidatingNode, T: Transport>(
     node: &mut N,
-    peers: Vec<PeerHandle>,
+    peers: Vec<T>,
     cfg: &SyncConfig,
 ) -> Result<SyncReport, SyncError<N::Error>> {
     let total = peers.len();
@@ -261,14 +288,14 @@ pub fn sync_multi<N: ValidatingNode>(
     // it are refused.
     let floor = node.tip_height();
     let mut store: Vec<N::Block> = Vec::new();
-    let mut ctls: Vec<PeerCtl> = peers.into_iter().map(PeerCtl::new).collect();
+    let mut ctls: Vec<PeerCtl<T>> = peers.into_iter().map(PeerCtl::new).collect();
     let mut report = SyncReport::default();
     let mut last_failure: Option<SyncError<N::Error>> = None;
 
     loop {
         report.rounds += 1;
         if report.rounds > cfg.max_rounds {
-            finish_all(&ctls);
+            finish_all(&mut ctls);
             return Err(SyncError::RoundLimit {
                 height: node.tip_height(),
                 rounds: report.rounds,
@@ -278,7 +305,7 @@ pub fn sync_multi<N: ValidatingNode>(
         let live: Vec<usize> = (0..ctls.len()).filter(|&i| ctls[i].usable()).collect();
         if live.is_empty() {
             let banned = ctls.iter().filter(|c| c.banned).count();
-            finish_all(&ctls);
+            finish_all(&mut ctls);
             return Err(SyncError::AllPeersFailed {
                 total,
                 banned,
@@ -291,7 +318,7 @@ pub fn sync_multi<N: ValidatingNode>(
         // height left to request, so the chain is as synced as it can get.
         // Without this guard `tip + 1` below would wrap to height 0.
         if tip == u32::MAX || live.iter().all(|&i| ctls[i].exhausted_at == Some(tip)) {
-            finish_all(&ctls);
+            finish_all(&mut ctls);
             report.peers = ctls.iter().map(|c| c.stats).collect();
             for (c, s) in ctls.iter().zip(report.peers.iter_mut()) {
                 s.score = c.score;
@@ -308,7 +335,9 @@ pub fn sync_multi<N: ValidatingNode>(
             }
             let better = match pick {
                 None => true,
-                Some(j) => (ctls[i].score, ctls[i].handle.id) < (ctls[j].score, ctls[j].handle.id),
+                Some(j) => {
+                    (ctls[i].score, ctls[i].handle.id()) < (ctls[j].score, ctls[j].handle.id())
+                }
             };
             if better {
                 pick = Some(i);
@@ -331,7 +360,7 @@ pub fn sync_multi<N: ValidatingNode>(
             continue;
         };
 
-        let peer_id = ctls[i].handle.id;
+        let peer_id = ctls[i].handle.id();
         let start = tip + 1;
         peer_counter("sync.peer.requests", peer_id);
         match ctls[i]
@@ -353,6 +382,19 @@ pub fn sync_multi<N: ValidatingNode>(
                     peer: peer_id,
                     height: start,
                     attempts,
+                });
+            }
+            RequestOutcome::Wire(err) => {
+                ctls[i].stats.wire_errors += 1;
+                peer_counter("sync.peer.wire_errors", peer_id);
+                // The wire error's slug is the score reason, so a ban
+                // trace names the byte-level violation that earned it.
+                let attempts = ctls[i].penalize(wire_penalty(&err), err.slug(), cfg);
+                last_failure = Some(SyncError::Wire {
+                    peer: peer_id,
+                    height: start,
+                    attempts,
+                    err,
                 });
             }
             RequestOutcome::Exhausted => {
@@ -429,7 +471,7 @@ pub fn sync_multi<N: ValidatingNode>(
                             });
                         }
                         ForkOutcome::Fatal(msg) => {
-                            finish_all(&ctls);
+                            finish_all(&mut ctls);
                             return Err(SyncError::Internal(msg));
                         }
                     }
@@ -477,7 +519,7 @@ fn peer_counter(name: &str, peer: usize) {
     }
 }
 
-fn finish_all(ctls: &[PeerCtl]) {
+fn finish_all<T: Transport>(ctls: &mut [PeerCtl<T>]) {
     for c in ctls {
         c.handle.finish();
     }
@@ -486,9 +528,9 @@ fn finish_all(ctls: &[PeerCtl]) {
 /// A batch from `ctl` did not attach to the tip: walk its chain back to
 /// the common ancestor, fetch its candidate branch to exhaustion, and
 /// reorg if the branch is strictly longer.
-fn resolve_fork<N: ValidatingNode>(
+fn resolve_fork<N: ValidatingNode, T: Transport>(
     node: &mut N,
-    ctl: &mut PeerCtl,
+    ctl: &mut PeerCtl<T>,
     store: &mut Vec<N::Block>,
     floor: u32,
     batch: Vec<N::Block>,
@@ -567,6 +609,13 @@ fn resolve_fork<N: ValidatingNode>(
                     reason: "peer channel closed during fork walk".to_string(),
                 };
             }
+            RequestOutcome::Wire(err) => {
+                ctl.stats.wire_errors += 1;
+                return ForkOutcome::RequestFailed {
+                    penalty: wire_penalty(&err),
+                    reason: format!("wire violation fetching height {h} during fork walk: {err}"),
+                };
+            }
         }
     };
 
@@ -624,6 +673,15 @@ fn resolve_fork<N: ValidatingNode>(
                     reason: "peer channel closed while extending candidate branch".to_string(),
                 };
             }
+            RequestOutcome::Wire(err) => {
+                ctl.stats.wire_errors += 1;
+                return ForkOutcome::RequestFailed {
+                    penalty: wire_penalty(&err),
+                    reason: format!(
+                        "wire violation extending candidate branch at height {next}: {err}"
+                    ),
+                };
+            }
         }
     }
 
@@ -633,7 +691,7 @@ fn resolve_fork<N: ValidatingNode>(
     let connected = branch.len() as u32;
     trace_event!(
         "sync.reorg_begin",
-        peer = ctl.handle.id,
+        peer = ctl.handle.id(),
         fork = fork,
         depth = disconnected,
         candidate_len = connected,
@@ -646,7 +704,7 @@ fn resolve_fork<N: ValidatingNode>(
             histogram!("sync.reorg_depth").record(u64::from(disconnected));
             trace_event!(
                 "sync.reorg_end",
-                peer = ctl.handle.id,
+                peer = ctl.handle.id(),
                 fork = fork,
                 connected = connected,
                 disconnected = disconnected,

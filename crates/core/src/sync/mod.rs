@@ -17,7 +17,18 @@
 //! * [`reorg`] — the invariant-checked unwind/rewind engine ([`reorg_to`]);
 //! * [`fault`] — the deterministic fault-injection harness
 //!   ([`FaultyPeer`], [`FaultSchedule`]) that makes every failure mode a
-//!   reproducible test case.
+//!   reproducible test case;
+//! * [`wire`] — the byte-level frame codec (length-prefixed, checksummed,
+//!   versioned; untrusted lengths never drive allocation);
+//! * [`tcp_peer`] — the localhost-TCP [`Transport`]: framed streams with
+//!   per-read deadlines, handshake, reconnect, and the [`serve_blocks`]
+//!   server for any [`BlockSource`];
+//! * [`netfault`] — byte-level adversary servers (slow-loris, oversized
+//!   frames, mid-frame disconnects, garbage, truncation, churn).
+//!
+//! The driver is generic over [`Transport`], so the same scoring, ban,
+//! backoff, and fork machinery runs over in-process channels
+//! ([`PeerHandle`]) and real TCP ([`TcpPeer`]) unchanged.
 //!
 //! The single-peer [`sync_ebv`] / [`sync_baseline`] entry points used by
 //! the experiments are thin wrappers over the same driver.
@@ -25,15 +36,23 @@
 
 pub mod driver;
 pub mod fault;
+pub mod netfault;
 pub mod node;
 pub mod peer;
 pub mod reorg;
+pub mod tcp_peer;
+pub mod wire;
 
 pub use driver::{sync_multi, PeerStats, SyncConfig, SyncReport, SYNC_BATCH};
 pub use fault::{Fault, FaultSchedule, FaultyPeer};
+pub use netfault::{serve_adversary, AdversarialServer, WireAdversary};
 pub use node::ValidatingNode;
-pub use peer::{spawn_source, BlockSource, PeerHandle, Request, RequestOutcome, Response};
+pub use peer::{
+    spawn_source, BlockSource, PeerHandle, Request, RequestOutcome, Response, Transport,
+};
 pub use reorg::{reorg_to, ReorgError};
+pub use tcp_peer::{serve_blocks, TcpPeer, TcpServer, WireConfig};
+pub use wire::{WireError, WireMessage, DEFAULT_MAX_FRAME, MAX_BLOCKS_PER_FRAME};
 
 use crate::baseline_node::{BaselineError, BaselineNode};
 use crate::ebv_node::{EbvError, EbvNode};
@@ -65,6 +84,15 @@ pub enum SyncError<E> {
         peer: usize,
         height: u32,
         attempts: u32,
+    },
+    /// The peer violated the wire protocol at the byte level (TCP
+    /// transport only): malformed frames, oversized claims, checksum
+    /// mismatches, trickled reads, failed handshakes.
+    Wire {
+        peer: usize,
+        height: u32,
+        attempts: u32,
+        err: WireError,
     },
     /// A peer served a branch that did not win: stale tip, equivocation,
     /// broken linkage, or an invalid block mid-branch.
@@ -124,6 +152,17 @@ impl<E: std::fmt::Debug> std::fmt::Display for SyncError<E> {
                 f,
                 "peer {peer}: request for height {height} timed out \
                  (failure {attempts} in a row)"
+            ),
+            SyncError::Wire {
+                peer,
+                height,
+                attempts,
+                err,
+            } => write!(
+                f,
+                "peer {peer}: wire protocol violation requesting height {height} \
+                 (failure {attempts} in a row): {err} [{}]",
+                err.slug()
             ),
             SyncError::ForkRejected {
                 peer,

@@ -12,6 +12,7 @@
 //! gave up on it, is prevented from being mistaken for the answer to a
 //! newer request.
 
+use super::wire::WireError;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use ebv_chain::Block;
 use ebv_primitives::encode::Encodable;
@@ -93,8 +94,28 @@ pub enum RequestOutcome {
     Exhausted,
     /// No matching response arrived within the timeout.
     TimedOut,
-    /// The peer's channel is gone (thread exited or crashed).
+    /// The peer's channel is gone (thread exited or crashed), or the
+    /// remote end said goodbye / became undialable.
     Closed,
+    /// The peer violated the wire protocol at the byte level — only TCP
+    /// transports produce this; in-process channels cannot.
+    Wire(WireError),
+}
+
+/// One peer the sync driver can talk to, whatever carries the bytes.
+///
+/// [`PeerHandle`] implements it over in-process channels;
+/// [`TcpPeer`](super::tcp_peer::TcpPeer) over localhost TCP with the
+/// framed wire protocol. `sync_multi` is generic over this trait, so the
+/// whole scoring/ban/backoff/fork machinery applies to both unchanged.
+pub trait Transport {
+    /// Peer id (unique per driver run; appears in errors and stats).
+    fn id(&self) -> usize;
+    /// Issue one block request and wait up to `timeout` for the matching
+    /// response (stale replies must be discarded, not surfaced).
+    fn request(&mut self, start_height: u32, count: u32, timeout: Duration) -> RequestOutcome;
+    /// Politely end the conversation (idempotent).
+    fn finish(&mut self);
 }
 
 impl PeerHandle {
@@ -178,6 +199,20 @@ impl PeerHandle {
     /// Politely tell the serving thread to exit.
     pub fn finish(&self) {
         let _ = self.req.send(Request::Done);
+    }
+}
+
+impl Transport for PeerHandle {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn request(&mut self, start_height: u32, count: u32, timeout: Duration) -> RequestOutcome {
+        PeerHandle::request(self, start_height, count, timeout)
+    }
+
+    fn finish(&mut self) {
+        PeerHandle::finish(self);
     }
 }
 

@@ -1,0 +1,552 @@
+//! The byte-level wire protocol: length-prefixed, checksummed, versioned
+//! frames.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        "EBW1" — catches cross-protocol garbage
+//! 4       2     version      little-endian; this codec speaks version 1
+//! 6       1     kind         message discriminant (see [`WireMessage`])
+//! 7       1     reserved     must be zero
+//! 8       4     length       payload bytes, little-endian, ≤ max_frame
+//! 12      4     checksum     first 4 bytes of sha256d(payload)
+//! 16      —     payload      `length` bytes, per-kind encoding
+//! ```
+//!
+//! The header is fixed-size, so a reader always knows exactly how many
+//! bytes it needs next, and the length field is validated against the
+//! configured frame cap *before* any payload byte is read — an untrusted
+//! length prefix never drives an allocation. Payload assembly itself is
+//! incremental ([`PayloadBuf`]): the buffer starts at a small constant and
+//! grows only as verified bytes actually arrive, so a peer that *claims*
+//! megabytes but trickles (or disconnects) never pins more memory than it
+//! has sent.
+//!
+//! This module is pure codec — no sockets, no clocks — so every parsing
+//! decision is unit-testable byte by byte. The socket plumbing (deadlines,
+//! handshakes, reconnection) lives in [`super::tcp_peer`].
+
+use ebv_primitives::encode::{write_var_bytes, write_varint, DecodeError, Reader};
+use ebv_primitives::hash::{sha256d, Hash256};
+
+/// Frame magic: rejects peers speaking a different protocol outright.
+pub const WIRE_MAGIC: [u8; 4] = *b"EBW1";
+/// Protocol version spoken (and required) by this codec.
+pub const WIRE_VERSION: u16 = 1;
+/// Fixed frame-header size in bytes.
+pub const FRAME_HEADER_LEN: usize = 16;
+/// Default hard cap on a frame's payload length. Far above any batch the
+/// sync driver requests, far below anything that could hurt.
+pub const DEFAULT_MAX_FRAME: u32 = 8 << 20;
+/// Hard cap on blocks per [`WireMessage::Blocks`] frame, independent of
+/// the byte cap.
+pub const MAX_BLOCKS_PER_FRAME: u64 = 4096;
+/// Payload buffers start at (and grow by) this much; a claimed length
+/// never pre-allocates more. See [`PayloadBuf`].
+pub const PAYLOAD_CHUNK: usize = 64 << 10;
+
+/// Why a frame (or a handshake) was rejected. Each variant maps to a
+/// stable reason slug — the same string appears in peer-score trace
+/// events, ban explanations, and the `net.frame.errors` counter labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first four bytes were not [`WIRE_MAGIC`].
+    BadMagic,
+    /// The peer speaks a protocol version we do not.
+    Version(u16),
+    /// Unknown message discriminant.
+    UnknownKind(u8),
+    /// The reserved header byte was non-zero.
+    ReservedBits,
+    /// The claimed payload length exceeds the configured cap.
+    FrameTooLarge { claimed: u32, max: u32 },
+    /// The payload does not hash to the header's checksum.
+    ChecksumMismatch,
+    /// The payload failed its per-kind decode (truncated, non-canonical,
+    /// trailing bytes, over-count).
+    Payload(DecodeError),
+    /// A syntactically valid message arrived where the protocol state
+    /// machine does not allow it (e.g. no `Hello` during the handshake).
+    UnexpectedMessage {
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// The peer's `Hello` names a different network (genesis mismatch).
+    WrongNetwork,
+    /// The connection ended mid-frame (or mid-exchange): EOF or reset
+    /// while bytes were still owed.
+    TruncatedFrame,
+    /// Bytes arrived, but too slowly: the frame deadline expired with the
+    /// frame still incomplete (the slow-loris signature).
+    SlowRead,
+    /// The handshake did not complete within its deadline.
+    HandshakeTimeout,
+    /// Any other socket-level failure.
+    Io(std::io::ErrorKind),
+}
+
+impl WireError {
+    /// Stable slug for scoring/telemetry/ban traces.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            WireError::BadMagic => "bad-magic",
+            WireError::Version(_) => "bad-version",
+            WireError::UnknownKind(_) => "unknown-kind",
+            WireError::ReservedBits => "reserved-bits",
+            WireError::FrameTooLarge { .. } => "frame-too-large",
+            WireError::ChecksumMismatch => "checksum-mismatch",
+            WireError::Payload(_) => "payload-decode",
+            WireError::UnexpectedMessage { .. } => "unexpected-message",
+            WireError::WrongNetwork => "wrong-network",
+            WireError::TruncatedFrame => "truncated-frame",
+            WireError::SlowRead => "slow-read",
+            WireError::HandshakeTimeout => "handshake-timeout",
+            WireError::Io(_) => "io-error",
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::Version(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown message kind {k:#04x}"),
+            WireError::ReservedBits => write!(f, "non-zero reserved header byte"),
+            WireError::FrameTooLarge { claimed, max } => {
+                write!(f, "claimed frame length {claimed} exceeds cap {max}")
+            }
+            WireError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            WireError::Payload(e) => write!(f, "payload decode failed: {e}"),
+            WireError::UnexpectedMessage { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            WireError::WrongNetwork => write!(f, "peer is on a different network"),
+            WireError::TruncatedFrame => write!(f, "connection ended mid-frame"),
+            WireError::SlowRead => write!(f, "frame deadline expired mid-frame (slow read)"),
+            WireError::HandshakeTimeout => write!(f, "handshake timed out"),
+            WireError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// First 4 bytes of sha256d over the payload.
+pub fn checksum(payload: &[u8]) -> [u8; 4] {
+    let h = sha256d(payload);
+    [h.0[0], h.0[1], h.0[2], h.0[3]]
+}
+
+/// One protocol message. The `kind` byte in the frame header selects the
+/// payload encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Handshake: each side sends exactly one `Hello` first. `network` is
+    /// the genesis header hash — peers on different chains part ways here.
+    Hello { network: Hash256, start_height: u32 },
+    /// Ask for up to `count` blocks starting at `start_height`. `id` is
+    /// echoed back so stale replies are discarded.
+    GetBlocks {
+        id: u64,
+        start_height: u32,
+        count: u32,
+    },
+    /// Serialized blocks, in height order.
+    Blocks { id: u64, blocks: Vec<Vec<u8>> },
+    /// Nothing at or above the requested height.
+    Exhausted { id: u64 },
+    /// Polite close.
+    Bye,
+}
+
+const KIND_HELLO: u8 = 0x01;
+const KIND_GET_BLOCKS: u8 = 0x02;
+const KIND_BLOCKS: u8 = 0x03;
+const KIND_EXHAUSTED: u8 = 0x04;
+const KIND_BYE: u8 = 0x05;
+
+impl WireMessage {
+    /// The frame-header discriminant for this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            WireMessage::Hello { .. } => KIND_HELLO,
+            WireMessage::GetBlocks { .. } => KIND_GET_BLOCKS,
+            WireMessage::Blocks { .. } => KIND_BLOCKS,
+            WireMessage::Exhausted { .. } => KIND_EXHAUSTED,
+            WireMessage::Bye => KIND_BYE,
+        }
+    }
+
+    /// Human name (for `UnexpectedMessage` diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WireMessage::Hello { .. } => "hello",
+            WireMessage::GetBlocks { .. } => "get-blocks",
+            WireMessage::Blocks { .. } => "blocks",
+            WireMessage::Exhausted { .. } => "exhausted",
+            WireMessage::Bye => "bye",
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            WireMessage::Hello {
+                network,
+                start_height,
+            } => {
+                out.extend_from_slice(&network.0);
+                out.extend_from_slice(&start_height.to_le_bytes());
+            }
+            WireMessage::GetBlocks {
+                id,
+                start_height,
+                count,
+            } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&start_height.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+            WireMessage::Blocks { id, blocks } => {
+                out.extend_from_slice(&id.to_le_bytes());
+                write_varint(out, blocks.len() as u64);
+                for b in blocks {
+                    write_var_bytes(out, b);
+                }
+            }
+            WireMessage::Exhausted { id } => out.extend_from_slice(&id.to_le_bytes()),
+            WireMessage::Bye => {}
+        }
+    }
+
+    /// Decode a payload for `kind`, requiring every byte to be consumed.
+    /// Preallocation is clamped to constants; counts are bounded.
+    pub fn decode_payload(kind: u8, payload: &[u8]) -> Result<WireMessage, WireError> {
+        let mut r = Reader::new(payload);
+        let msg = match kind {
+            KIND_HELLO => WireMessage::Hello {
+                network: Hash256(
+                    r.read_bytes(32)
+                        .map_err(WireError::Payload)?
+                        .try_into()
+                        .map_err(|_| WireError::Payload(DecodeError::UnexpectedEnd))?,
+                ),
+                start_height: r.read_u32().map_err(WireError::Payload)?,
+            },
+            KIND_GET_BLOCKS => WireMessage::GetBlocks {
+                id: r.read_u64().map_err(WireError::Payload)?,
+                start_height: r.read_u32().map_err(WireError::Payload)?,
+                count: r.read_u32().map_err(WireError::Payload)?,
+            },
+            KIND_BLOCKS => {
+                let id = r.read_u64().map_err(WireError::Payload)?;
+                let count = r.read_len().map_err(WireError::Payload)?;
+                if count as u64 > MAX_BLOCKS_PER_FRAME {
+                    return Err(WireError::Payload(DecodeError::OversizedLength(
+                        count as u64,
+                    )));
+                }
+                // Clamp preallocation: the claimed count is untrusted until
+                // the bytes backing each entry have actually been read.
+                let mut blocks = Vec::with_capacity(count.min(64));
+                for _ in 0..count {
+                    blocks.push(r.read_var_bytes().map_err(WireError::Payload)?);
+                }
+                WireMessage::Blocks { id, blocks }
+            }
+            KIND_EXHAUSTED => WireMessage::Exhausted {
+                id: r.read_u64().map_err(WireError::Payload)?,
+            },
+            KIND_BYE => WireMessage::Bye,
+            other => return Err(WireError::UnknownKind(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::Payload(DecodeError::TrailingBytes(
+                r.remaining(),
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+/// A parsed frame header. [`FrameHeader::parse`] enforces every header
+/// invariant — including the length cap — before a single payload byte is
+/// read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub kind: u8,
+    pub len: u32,
+    pub checksum: [u8; 4],
+}
+
+impl FrameHeader {
+    /// Validate and parse a raw header against `max_frame`.
+    pub fn parse(bytes: &[u8; FRAME_HEADER_LEN], max_frame: u32) -> Result<FrameHeader, WireError> {
+        if bytes[0..4] != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != WIRE_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let kind = bytes[6];
+        if !(KIND_HELLO..=KIND_BYE).contains(&kind) {
+            return Err(WireError::UnknownKind(kind));
+        }
+        if bytes[7] != 0 {
+            return Err(WireError::ReservedBits);
+        }
+        let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if len > max_frame {
+            return Err(WireError::FrameTooLarge {
+                claimed: len,
+                max: max_frame,
+            });
+        }
+        Ok(FrameHeader {
+            kind,
+            len,
+            checksum: [bytes[12], bytes[13], bytes[14], bytes[15]],
+        })
+    }
+}
+
+/// Serialize `msg` into one complete frame (header + payload).
+pub fn encode_frame(msg: &WireMessage) -> Vec<u8> {
+    let mut payload = Vec::new();
+    msg.encode_payload(&mut payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.push(msg.kind());
+    out.push(0); // reserved
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one complete frame from the front of `buf`; returns the message
+/// and the bytes consumed. A buffer shorter than the frame it announces is
+/// [`WireError::TruncatedFrame`] — the streaming reader would keep
+/// waiting, a buffer decode cannot.
+pub fn decode_frame(buf: &[u8], max_frame: u32) -> Result<(WireMessage, usize), WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Err(WireError::TruncatedFrame);
+    }
+    let mut hdr = [0u8; FRAME_HEADER_LEN];
+    hdr.copy_from_slice(&buf[..FRAME_HEADER_LEN]);
+    let header = FrameHeader::parse(&hdr, max_frame)?;
+    let total = FRAME_HEADER_LEN + header.len as usize;
+    if buf.len() < total {
+        return Err(WireError::TruncatedFrame);
+    }
+    let payload = &buf[FRAME_HEADER_LEN..total];
+    if checksum(payload) != header.checksum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let msg = WireMessage::decode_payload(header.kind, payload)?;
+    Ok((msg, total))
+}
+
+/// Incrementally assembled payload whose allocation tracks *received*
+/// bytes, not claimed length: capacity starts at [`PAYLOAD_CHUNK`] (or the
+/// claimed length, whichever is smaller) and grows chunk by chunk as bytes
+/// land. [`PayloadBuf::capacity`] is observable so tests can assert the
+/// bound.
+pub struct PayloadBuf {
+    buf: Vec<u8>,
+    /// Total bytes the frame header promised.
+    expected: usize,
+}
+
+impl PayloadBuf {
+    /// Start assembling a payload of `expected` bytes (already validated
+    /// against the frame cap by [`FrameHeader::parse`]).
+    pub fn new(expected: usize) -> PayloadBuf {
+        PayloadBuf {
+            buf: Vec::with_capacity(expected.min(PAYLOAD_CHUNK)),
+            expected,
+        }
+    }
+
+    /// Bytes still owed by the peer.
+    pub fn remaining(&self) -> usize {
+        self.expected - self.buf.len()
+    }
+
+    /// Whether every promised byte has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Whether any byte has arrived.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Hand out the next writable window (at most one chunk), to be filled
+    /// by a socket read; commit with [`PayloadBuf::advance`].
+    pub fn window(&mut self) -> &mut [u8] {
+        let want = self.remaining().min(PAYLOAD_CHUNK);
+        let start = self.buf.len();
+        self.buf.resize(start + want, 0);
+        &mut self.buf[start..]
+    }
+
+    /// Keep only `n` bytes of the window just filled.
+    pub fn advance(&mut self, filled_window_len: usize, n: usize) {
+        debug_assert!(n <= filled_window_len);
+        let keep = self.buf.len() - (filled_window_len - n);
+        self.buf.truncate(keep);
+    }
+
+    /// The completed payload.
+    pub fn into_inner(self) -> Vec<u8> {
+        debug_assert!(self.is_complete());
+        self.buf
+    }
+
+    /// Current buffer capacity — bounded by received bytes + one chunk.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<WireMessage> {
+        vec![
+            WireMessage::Hello {
+                network: sha256d(b"net"),
+                start_height: 9,
+            },
+            WireMessage::GetBlocks {
+                id: 7,
+                start_height: 100,
+                count: 128,
+            },
+            WireMessage::Blocks {
+                id: 8,
+                blocks: vec![vec![1, 2, 3], vec![], vec![0xff; 300]],
+            },
+            WireMessage::Exhausted { id: 9 },
+            WireMessage::Bye,
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for msg in all_messages() {
+            let frame = encode_frame(&msg);
+            let (decoded, used) = decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_detected() {
+        for msg in all_messages() {
+            let frame = encode_frame(&msg);
+            for cut in 0..frame.len() {
+                let err = decode_frame(&frame[..cut], DEFAULT_MAX_FRAME).unwrap_err();
+                // Short buffers are truncation; a cut can never panic or
+                // succeed.
+                assert!(
+                    matches!(err, WireError::TruncatedFrame),
+                    "cut at {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_claim_rejected_before_payload() {
+        let mut frame = encode_frame(&WireMessage::Bye);
+        frame[8..12].copy_from_slice(&(DEFAULT_MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+        // And the header parse alone — what the streaming reader does —
+        // needs no payload bytes at all to reject it.
+        let mut hdr = [0u8; FRAME_HEADER_LEN];
+        hdr.copy_from_slice(&frame[..FRAME_HEADER_LEN]);
+        assert!(matches!(
+            FrameHeader::parse(&hdr, DEFAULT_MAX_FRAME),
+            Err(WireError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_flip_detected() {
+        let msg = WireMessage::Exhausted { id: 3 };
+        let mut frame = encode_frame(&msg);
+        frame[13] ^= 0x40;
+        assert_eq!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap_err(),
+            WireError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn payload_bit_flip_detected_by_checksum() {
+        let msg = WireMessage::Blocks {
+            id: 1,
+            blocks: vec![vec![7; 40]],
+        };
+        let mut frame = encode_frame(&msg);
+        let n = frame.len();
+        frame[n - 1] ^= 0x01;
+        assert_eq!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap_err(),
+            WireError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn blocks_over_count_rejected() {
+        // Hand-build a Blocks payload claiming more entries than the cap.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        write_varint(&mut payload, MAX_BLOCKS_PER_FRAME + 1);
+        let err = WireMessage::decode_payload(KIND_BLOCKS, &payload).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::Payload(DecodeError::OversizedLength(_))
+        ));
+    }
+
+    #[test]
+    fn payload_buf_caps_allocation_under_huge_claims() {
+        // A peer claims the full frame cap but sends only a trickle: the
+        // buffer must never balloon to the claim.
+        let mut p = PayloadBuf::new(DEFAULT_MAX_FRAME as usize);
+        assert!(p.capacity() <= PAYLOAD_CHUNK);
+        let w = p.window().len();
+        p.advance(w, 10); // 10 bytes arrived
+        assert_eq!(p.remaining(), DEFAULT_MAX_FRAME as usize - 10);
+        assert!(p.capacity() <= 2 * PAYLOAD_CHUNK, "cap {}", p.capacity());
+    }
+
+    #[test]
+    fn payload_buf_assembles_exact_bytes() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| i as u8).collect();
+        let mut p = PayloadBuf::new(data.len());
+        let mut fed = 0;
+        while !p.is_complete() {
+            let w = p.window();
+            let n = w.len().min(1_733); // odd-sized "reads"
+            w[..n].copy_from_slice(&data[fed..fed + n]);
+            let wlen = w.len();
+            p.advance(wlen, n);
+            fed += n;
+        }
+        assert_eq!(p.into_inner(), data);
+    }
+}

@@ -19,6 +19,6 @@ pub mod validation;
 
 pub use experiment::{compare, Comparison};
 pub use sim::{GossipSim, SimParams, SimResult};
-pub use syncsim::{sync_under_faults, ModelNode, SyncSimResult};
+pub use syncsim::{sync_under_faults, sync_under_wire_faults, ModelNode, SyncSimResult};
 pub use topology::{LatencyMatrix, Topology};
 pub use validation::ValidationModel;

@@ -18,8 +18,9 @@
 use crate::validation::ValidationModel;
 use ebv_chain::{Block, BlockHeader};
 use ebv_core::sync::{
-    sync_multi, Fault, FaultSchedule, FaultyPeer, PeerHandle, SyncConfig, SyncError, SyncReport,
-    ValidatingNode,
+    serve_adversary, serve_blocks, sync_multi, AdversarialServer, Fault, FaultSchedule, FaultyPeer,
+    PeerHandle, SyncConfig, SyncError, SyncReport, TcpPeer, TcpServer, ValidatingNode,
+    WireAdversary, WireConfig,
 };
 use ebv_primitives::encode::{Decodable, DecodeError};
 use ebv_primitives::hash::Hash256;
@@ -172,6 +173,53 @@ pub fn sync_under_faults(
     })
 }
 
+/// [`sync_under_faults`], but over real localhost TCP: `honest` honest
+/// servers plus one byte-level adversary server per entry in
+/// `adversaries`, all driven by `TcpPeer` transports through the same
+/// driver. Because a `ModelNode` validates structurally (no EV/UV/SV
+/// cost), this scales to dozens-to-hundreds of peers cheaply — the
+/// netsim-scale churn/partition scenarios run through here.
+///
+/// Servers live until the run completes; the result is deterministic in
+/// everything but wall-clock (peer choice depends only on scores/ids).
+pub fn sync_under_wire_faults(
+    chain: &[Block],
+    model: ValidationModel,
+    honest: usize,
+    adversaries: &[WireAdversary],
+    seed: u64,
+) -> Result<SyncSimResult, SyncError<ModelError>> {
+    let network = chain[0].header.hash();
+    let wire = WireConfig::fast_test();
+    let mut node = ModelNode::new(&chain[0], model, seed ^ 0x5eed);
+    let mut adv_servers: Vec<AdversarialServer> = Vec::with_capacity(adversaries.len());
+    let mut servers: Vec<TcpServer> = Vec::with_capacity(honest);
+    let mut peers = Vec::with_capacity(adversaries.len() + honest);
+    for (p, adv) in adversaries.iter().enumerate() {
+        let server = serve_adversary(chain.to_vec(), network, *adv, wire)
+            .unwrap_or_else(|e| panic!("bind adversary {}: {e}", adv.label()));
+        peers.push(TcpPeer::new(p, server.addr(), network, wire));
+        adv_servers.push(server);
+    }
+    for h in 0..honest {
+        let server = serve_blocks(chain.to_vec(), network, wire)
+            .unwrap_or_else(|e| panic!("bind honest server {h}: {e}"));
+        peers.push(TcpPeer::new(
+            adversaries.len() + h,
+            server.addr(),
+            network,
+            wire,
+        ));
+        servers.push(server);
+    }
+    let report = sync_multi(&mut node, peers, &SyncConfig::fast_test())?;
+    Ok(SyncSimResult {
+        modeled_validation_us: node.modeled_us,
+        tip_height: node.tip_height(),
+        report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +260,31 @@ mod tests {
             ebv.modeled_validation_us,
             baseline.modeled_validation_us
         );
+    }
+
+    #[test]
+    fn model_node_syncs_over_tcp_against_every_wire_adversary() {
+        let blocks = chain();
+        let tip = blocks.len() as u32 - 1;
+        let advs = WireAdversary::all(std::time::Duration::from_millis(5));
+        let n_advs = advs.len();
+        let result = sync_under_wire_faults(&blocks, ValidationModel::Constant(10), 1, &advs, 3)
+            .expect("one honest TCP peer must carry the sync");
+        assert_eq!(result.tip_height, tip);
+        for (p, adv) in advs.iter().enumerate() {
+            let stats = &result.report.peers[p];
+            assert!(
+                stats.banned,
+                "adversary {} (peer {p}) not banned",
+                adv.label()
+            );
+            assert!(
+                stats.banned_at_us.is_some(),
+                "ban time missing for {}",
+                adv.label()
+            );
+        }
+        assert!(!result.report.peers[n_advs].banned, "honest peer banned");
     }
 
     #[test]

@@ -41,6 +41,13 @@ impl std::error::Error for DecodeError {}
 /// Far above anything a valid block contains; guards allocation bombs.
 pub const MAX_COLLECTION_LEN: u64 = 1 << 25;
 
+/// Maximum *elements* any decoder may pre-allocate from an untrusted
+/// length prefix. A claimed count above this still decodes (up to
+/// [`MAX_COLLECTION_LEN`]) — the vector just grows incrementally as
+/// elements are actually read, so a huge claim backed by a tiny buffer
+/// costs the attacker bytes, not us memory.
+pub const MAX_DECODE_PREALLOC: usize = 1024;
+
 /// A cursor over an input buffer.
 pub struct Reader<'a> {
     buf: &'a [u8],
@@ -303,8 +310,7 @@ impl<T: Encodable> Encodable for Vec<T> {
 impl<T: Decodable> Decodable for Vec<T> {
     fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         let n = r.read_len()?;
-        // Avoid pre-allocating attacker-controlled sizes beyond a small cap.
-        let mut out = Vec::with_capacity(n.min(1024));
+        let mut out = Vec::with_capacity(n.min(MAX_DECODE_PREALLOC));
         for _ in 0..n {
             out.push(T::decode(r)?);
         }
@@ -412,6 +418,32 @@ mod tests {
         let bytes = v.to_bytes();
         assert_eq!(bytes.len(), v.encoded_len());
         assert_eq!(Vec::<u32>::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn huge_claimed_count_in_tiny_buffer_fails_cleanly() {
+        // A length prefix claiming the full collection cap, backed by a
+        // handful of bytes. Preallocation is clamped to
+        // MAX_DECODE_PREALLOC elements, so this must fail on missing
+        // bytes — fast and small — rather than allocate for the claim.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, MAX_COLLECTION_LEN);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            Vec::<u64>::decode(&mut Reader::new(&buf)),
+            Err(DecodeError::UnexpectedEnd)
+        );
+    }
+
+    #[test]
+    fn huge_claimed_var_bytes_in_tiny_buffer_fails_cleanly() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, MAX_COLLECTION_LEN);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            Reader::new(&buf).read_var_bytes(),
+            Err(DecodeError::UnexpectedEnd)
+        );
     }
 
     #[test]

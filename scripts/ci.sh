@@ -32,6 +32,20 @@ cargo test -q
 echo "==> cargo test --test fault_sync (deterministic fault matrix)"
 cargo test -q --test fault_sync
 
+# The TCP fault matrix re-runs the content-fault differential over real
+# localhost sockets and adds the byte-level adversaries (slow-loris,
+# oversized frames, mid-frame disconnects, garbage, truncation, checksum
+# corruption, churn). A hang here is a framing-deadline bug, so the suite
+# runs under a hard wall-clock cap rather than waiting for CI's global
+# timeout to attribute it.
+echo "==> cargo test --test wire_sync (TCP fault matrix, 120s cap)"
+timeout 120 cargo test -q --test wire_sync
+
+# The wire-codec suite structurally fuzzes the frame format (every
+# truncation boundary, every header bit) alongside the §V attack tests.
+echo "==> cargo test --test security (attacks + wire codec, 120s cap)"
+timeout 120 cargo test -q --test security
+
 # Snapshot-parallel IBD must reach a final state byte-identical to the
 # sequential replay, and a corrupted checkpoint must be caught at the
 # stitch; run the suite by name so a regression is attributed directly.
@@ -44,6 +58,13 @@ cargo test -q --test parallel_ibd
 echo "==> fig17 parallel-IBD smoke"
 ./target/release/fig17 --blocks 130 --runs 1 --parallel-ibd 2 \
     --json target/BENCH_fig17_smoke.json > /dev/null
+
+# Sync-under-faults bench smoke: wall time plus time-to-ban per adversary
+# class over real TCP. Small size into target/ — the committed
+# BENCH_sync.json comes from the full-scale run (--blocks 40 --runs 3).
+echo "==> syncbench smoke (TCP sync wall time + time-to-ban, 180s cap)"
+timeout 180 ./target/release/syncbench --blocks 16 --runs 1 \
+    --json target/BENCH_sync_smoke.json > /dev/null
 
 # Telemetry guards. The overhead test proves instrumentation is cheap
 # enough to leave on; the exporter tests pin the Prometheus/JSON formats

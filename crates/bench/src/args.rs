@@ -19,6 +19,12 @@ pub struct CommonArgs {
     pub parallel_sv: bool,
     /// Worker-thread override for the parallel phases (`None` = all cores).
     pub workers: Option<usize>,
+    /// Settle SV's ECDSA checks through batched verification on both
+    /// nodes.
+    pub batch_verify: bool,
+    /// Worker counts to sweep (figures that support it; fig16 re-runs its
+    /// comparison once per count).
+    pub sweep_workers: Option<Vec<usize>>,
     /// Also run snapshot-parallel IBD with this many interval workers
     /// (figures that support it; fig17).
     pub parallel_ibd: Option<usize>,
@@ -79,6 +85,22 @@ impl CommonArgs {
                     out.workers = Some(parse_num::<u64>(value(i), flag) as usize);
                     i += 2;
                 }
+                "--batch-verify" => {
+                    out.batch_verify = true;
+                    i += 1;
+                }
+                "--sweep-workers" => {
+                    let counts: Vec<usize> = value(i)
+                        .split(',')
+                        .map(|part| parse_num::<u64>(part.trim(), flag) as usize)
+                        .collect();
+                    if counts.is_empty() || counts.contains(&0) {
+                        eprintln!("--sweep-workers wants a comma-separated list of counts ≥ 1");
+                        std::process::exit(2);
+                    }
+                    out.sweep_workers = Some(counts);
+                    i += 2;
+                }
                 "--parallel-ibd" => {
                     out.parallel_ibd = Some(parse_num::<u64>(value(i), flag) as usize);
                     i += 2;
@@ -94,8 +116,8 @@ impl CommonArgs {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
-                         --seq-ev --seq-sv --workers W --parallel-ibd N --json PATH \
-                         --metrics-out PATH\n\
+                         --seq-ev --seq-sv --workers W --batch-verify --sweep-workers W1,W2,… \
+                         --parallel-ibd N --json PATH --metrics-out PATH\n\
                          (--metrics-out writes Prometheus text to PATH and a JSON \
                          snapshot to PATH.json)\n\
                          defaults: {defaults:?}"
@@ -134,6 +156,8 @@ impl Default for CommonArgs {
             parallel_ev: true,
             parallel_sv: true,
             workers: None,
+            batch_verify: false,
+            sweep_workers: None,
             parallel_ibd: None,
             json: None,
             metrics_out: None,
@@ -148,6 +172,7 @@ impl CommonArgs {
             parallel_ev: self.parallel_ev,
             parallel_sv: self.parallel_sv,
             workers: self.workers,
+            batch_verify: self.batch_verify,
             ..EbvConfig::default()
         }
     }

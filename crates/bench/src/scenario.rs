@@ -46,7 +46,10 @@ impl Scenario {
         BaselineNode::new(
             &self.blocks[0],
             UtxoSet::new(store),
-            BaselineConfig::default(),
+            BaselineConfig {
+                batch_verify: args.batch_verify,
+                ..BaselineConfig::default()
+            },
         )
         .expect("genesis applies")
     }

@@ -5,7 +5,7 @@
 //! digest algorithm binds signatures to the transaction.
 
 use ebv_primitives::encode::{write_varint, Decodable, DecodeError, Encodable, Reader};
-use ebv_primitives::hash::{sha256d, Hash256};
+use ebv_primitives::hash::{sha256, sha256d, Hash256, Sha256};
 use ebv_script::Script;
 
 /// Reference to a previous transaction output.
@@ -215,17 +215,19 @@ pub fn spend_sighash(
 ///
 /// Everything the digest commits to except the signed input's index is
 /// identical for every input of a transaction, so the serialized prefix —
-/// version, spent coordinates, outputs, lock time — is built once here and
-/// each input only appends its 8 trailing bytes. Validators that previously
-/// called `spend_sighash` per input were re-serializing the outputs
-/// (O(outputs) work) once per input; with the midstate that cost is paid
-/// once per transaction.
-#[derive(Clone, Debug)]
+/// version, spent coordinates, outputs, lock time — is built and **hashed**
+/// once here; each input clones the SHA-256 state and absorbs only its 8
+/// trailing bytes. Validators that previously called `spend_sighash` per
+/// input were re-serializing and re-hashing the whole prefix (O(outputs)
+/// work) once per input; with the midstate that cost is paid once per
+/// transaction.
+#[derive(Clone)]
 pub struct SpendSighashMidstate {
-    /// Serialization of every committed field up to and including
-    /// `lock_time`; `input_digest` appends `input_index` and the sighash
-    /// type, leaving the prefix untouched so the midstate is reusable.
-    prefix: Vec<u8>,
+    /// SHA-256 state with every committed field up to and including
+    /// `lock_time` already absorbed; `input_digest` clones it and appends
+    /// `input_index` and the sighash type, leaving this state untouched so
+    /// the midstate is reusable.
+    hasher: Sha256,
 }
 
 impl SpendSighashMidstate {
@@ -247,17 +249,20 @@ impl SpendSighashMidstate {
             output.encode(&mut prefix);
         }
         lock_time.encode(&mut prefix);
-        SpendSighashMidstate { prefix }
+        let mut hasher = Sha256::new();
+        hasher.update(&prefix);
+        SpendSighashMidstate { hasher }
     }
 
     /// The digest signing `input_index`. Byte-identical to
     /// [`spend_sighash`] with the same fields.
     pub fn input_digest(&self, input_index: u32) -> Hash256 {
-        let mut buf = Vec::with_capacity(self.prefix.len() + 8);
-        buf.extend_from_slice(&self.prefix);
-        input_index.encode(&mut buf);
-        (SIGHASH_ALL as u32).encode(&mut buf);
-        sha256d(&buf)
+        let mut tail = Vec::with_capacity(8);
+        input_index.encode(&mut tail);
+        (SIGHASH_ALL as u32).encode(&mut tail);
+        let mut h = self.hasher.clone();
+        h.update(&tail);
+        Hash256(sha256(&h.finalize()))
     }
 }
 

@@ -1,0 +1,94 @@
+//! SV settlement decomposition: strict per-signature checking vs the
+//! batched three-pass chunk, next to the raw crypto floor of each, with
+//! all four arms interleaved per repetition so machine drift cancels.
+
+use ebv_core::{sv_chunk_batched, DigestChecker, PubkeyCache, SvJob};
+use ebv_primitives::ec::{BatchVerifier, PrivateKey};
+use ebv_primitives::hash::{hash160, sha256, Hash256};
+use ebv_script::standard::{p2pkh_lock, p2pkh_unlock};
+use ebv_script::{verify_spend, Script};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let n = 70usize;
+    let reps = 50u32;
+    let keys: Vec<PrivateKey> = (0..128u64).map(PrivateKey::from_seed).collect();
+    let jobs: Vec<(Hash256, Script, Script)> = (0..n)
+        .map(|i| {
+            let k = (i * 2654435761) % keys.len();
+            let digest = sha256(format!("job {i}").as_bytes());
+            let sig = keys[k].sign(&digest);
+            let pk = keys[k].public_key().to_compressed();
+            let mut sig_push = sig.to_compact().to_vec();
+            sig_push.push(0x01); // SIGHASH_ALL
+            (
+                Hash256(digest),
+                p2pkh_unlock(&sig_push, &pk),
+                p2pkh_lock(&hash160(&pk)),
+            )
+        })
+        .collect();
+    let cache = PubkeyCache::new();
+    for (digest, us, ls) in &jobs {
+        verify_spend(us, ls, &DigestChecker::with_context(*digest, 0, &cache)).unwrap();
+    }
+    let sv_jobs: Vec<SvJob<'_>> = jobs
+        .iter()
+        .map(|(digest, us, ls)| SvJob {
+            digest: *digest,
+            lock_time: 0,
+            unlocking: us,
+            locking: ls,
+        })
+        .collect();
+    let prepared: Vec<_> = keys.iter().map(|k| k.public_key().prepare()).collect();
+    let raw: Vec<([u8; 32], _, usize)> = (0..n)
+        .map(|i| {
+            let k = (i * 2654435761) % keys.len();
+            let z = sha256(format!("job {i}").as_bytes());
+            (z, keys[k].sign(&z), k)
+        })
+        .collect();
+
+    let mut t_strict = Duration::ZERO;
+    let mut t_batched = Duration::ZERO;
+    let mut t_indiv = Duration::ZERO;
+    let mut t_bcrypt = Duration::ZERO;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for (digest, us, ls) in &jobs {
+            verify_spend(us, ls, &DigestChecker::with_context(*digest, 0, &cache)).unwrap();
+        }
+        t_strict += t.elapsed();
+        let t = Instant::now();
+        assert!(sv_chunk_batched(&sv_jobs, &cache).iter().all(|r| r.is_ok()));
+        t_batched += t.elapsed();
+        let t = Instant::now();
+        for (z, sig, k) in &raw {
+            assert!(prepared[*k].verify(z, sig));
+        }
+        t_indiv += t.elapsed();
+        let t = Instant::now();
+        let mut b = BatchVerifier::new();
+        for (z, sig, k) in &raw {
+            b.push(*z, *sig, &prepared[*k]);
+        }
+        assert!(b.verify().all_valid);
+        t_bcrypt += t.elapsed();
+    }
+    let per = |d: Duration| d / reps;
+    println!(
+        "{n} jobs: strict {:?} batched {:?} ({:.2}x) | crypto indiv {:?} batch {:?} ({:.2}x)",
+        per(t_strict),
+        per(t_batched),
+        t_strict.as_secs_f64() / t_batched.as_secs_f64(),
+        per(t_indiv),
+        per(t_bcrypt),
+        t_indiv.as_secs_f64() / t_bcrypt.as_secs_f64(),
+    );
+    println!(
+        "script overhead: strict {:?} batched {:?}",
+        per(t_strict.saturating_sub(t_indiv)),
+        per(t_batched.saturating_sub(t_bcrypt)),
+    );
+}

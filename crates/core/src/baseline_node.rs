@@ -7,7 +7,7 @@
 //! outgrows the cache budget.
 
 use crate::metrics::BaselineBreakdown;
-use crate::sighash::{DigestChecker, PubkeyCache};
+use crate::sighash::{sv_chunk_batched, DigestChecker, PubkeyCache, SvJob, SV_BATCH_MAX};
 use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{Block, BlockHeader, BlockStructureError, OutPoint, BLOCK_SUBSIDY};
 use ebv_primitives::hash::Hash256;
@@ -67,6 +67,11 @@ pub struct BaselineConfig {
     pub parallel_sv: bool,
     /// Check header PoW.
     pub check_pow: bool,
+    /// Settle SV's ECDSA checks through batched verification (same
+    /// machinery as the EBV node; see
+    /// [`crate::sighash::sv_chunk_batched`]). Results and the reported
+    /// minimum-`(tx, input)` error are identical with the flag on or off.
+    pub batch_verify: bool,
 }
 
 impl Default for BaselineConfig {
@@ -74,6 +79,7 @@ impl Default for BaselineConfig {
         BaselineConfig {
             parallel_sv: true,
             check_pow: true,
+            batch_verify: false,
         }
     }
 }
@@ -274,11 +280,51 @@ impl BaselineNode {
                     err,
                 })
             };
-        let sv_result: Result<(), BaselineError> = if self.config.parallel_sv {
-            jobs.par_iter().map(run_one).collect()
-        } else {
-            jobs.iter().try_for_each(run_one)
+        // Batched path: same chunking and minimum-`(tx, input)` failure
+        // selection as the EBV node (jobs are already in that order).
+        type Job<'b> = (usize, usize, &'b Script, &'b Script, Hash256, u32);
+        let chunk_failure = |chunk: &[Job<'_>]| -> Option<BaselineError> {
+            let sv_jobs: Vec<SvJob<'_>> = chunk
+                .iter()
+                .map(|&(_, _, us, lock, digest, lt)| SvJob {
+                    digest,
+                    lock_time: lt,
+                    unlocking: us,
+                    locking: lock,
+                })
+                .collect();
+            sv_chunk_batched(&sv_jobs, &pubkey_cache)
+                .into_iter()
+                .zip(chunk)
+                .find_map(|(result, &(i, j, ..))| {
+                    result.err().map(|err| BaselineError::SvFailed {
+                        tx: i,
+                        input: j,
+                        err,
+                    })
+                })
         };
+        let sv_coords = |e: &BaselineError| -> (usize, usize) {
+            match e {
+                BaselineError::SvFailed { tx, input, .. } => (*tx, *input),
+                _ => unreachable!("chunk_failure only yields SvFailed"),
+            }
+        };
+        let sv_result: Result<(), BaselineError> =
+            match (self.config.batch_verify, self.config.parallel_sv) {
+                (true, true) => jobs
+                    .as_slice()
+                    .par_chunks(SV_BATCH_MAX)
+                    .filter_map(chunk_failure)
+                    .min_by_key(sv_coords)
+                    .map_or(Ok(()), Err),
+                (true, false) => jobs
+                    .chunks(SV_BATCH_MAX)
+                    .find_map(chunk_failure)
+                    .map_or(Ok(()), Err),
+                (false, true) => jobs.par_iter().map(run_one).collect(),
+                (false, false) => jobs.iter().try_for_each(run_one),
+            };
         sv_result?;
         drop(span_sv);
 

@@ -23,7 +23,7 @@
 
 use crate::bitvec::{BitVectorSet, BitVectorSetSize, UvError};
 use crate::metrics::EbvBreakdown;
-use crate::sighash::{DigestChecker, PubkeyCache};
+use crate::sighash::{sv_chunk_batched, DigestChecker, PubkeyCache, SvJob, SV_BATCH_MAX};
 use crate::tidy::{EbvBlock, EbvTransaction, InputProof, TxIntegrityError};
 use ebv_chain::transaction::SpendSighashMidstate;
 use ebv_chain::{BlockHeader, BLOCK_SUBSIDY};
@@ -110,6 +110,14 @@ pub struct EbvConfig {
     /// operation. Interval replay during snapshot-parallel IBD turns it on:
     /// there the block range is finite and wallets reuse keys heavily.
     pub persistent_pubkey_cache: bool,
+    /// Settle SV's ECDSA checks through block-wide batch verification
+    /// ([`crate::sighash::sv_chunk_batched`]): inputs are chunked, each
+    /// chunk's signatures are certified by one random-linear-combination
+    /// equation over a shared multi-scalar ladder, and any chunk the batch
+    /// cannot certify re-runs strictly. Accept/reject results and the
+    /// reported minimum-`(tx, input)` error are identical with the flag on
+    /// or off.
+    pub batch_verify: bool,
 }
 
 impl Default for EbvConfig {
@@ -120,6 +128,7 @@ impl Default for EbvConfig {
             workers: None,
             check_pow: true,
             persistent_pubkey_cache: false,
+            batch_verify: false,
         }
     }
 }
@@ -546,10 +555,53 @@ impl EbvNode {
                 err,
             })
         };
-        let sv_result: Result<(), EbvError> = if config.parallel_sv {
-            with_workers(config.workers, || jobs.par_iter().map(sv_one).collect())
-        } else {
-            jobs.iter().try_for_each(sv_one)
+        // Batched path: chunk the job list, settle each chunk's ECDSA
+        // through one batch equation, and report the chunk's first failure.
+        // Jobs are in `(tx, input)` order, so the minimum failure across
+        // chunks is the same error the sequential strict path reports.
+        let chunk_failure = |chunk: &[InputJob<'_>]| -> Option<EbvError> {
+            let sv_jobs: Vec<SvJob<'_>> = chunk
+                .iter()
+                .map(|job| SvJob {
+                    digest: per_tx[job.tx - 1].0.input_digest(job.input as u32),
+                    lock_time: block.transactions[job.tx].tidy.lock_time,
+                    unlocking: job.us,
+                    locking: &job.proof.spent_output().expect("checked").locking_script,
+                })
+                .collect();
+            sv_chunk_batched(&sv_jobs, pubkey_cache)
+                .into_iter()
+                .zip(chunk)
+                .find_map(|(result, job)| {
+                    result.err().map(|err| EbvError::SvFailed {
+                        tx: job.tx,
+                        input: job.input,
+                        err,
+                    })
+                })
+        };
+        let sv_coords = |e: &EbvError| -> (usize, usize) {
+            match e {
+                EbvError::SvFailed { tx, input, .. } => (*tx, *input),
+                _ => unreachable!("chunk_failure only yields SvFailed"),
+            }
+        };
+        let sv_result: Result<(), EbvError> = match (config.batch_verify, config.parallel_sv) {
+            (true, true) => with_workers(config.workers, || {
+                jobs.as_slice()
+                    .par_chunks(SV_BATCH_MAX)
+                    .filter_map(chunk_failure)
+                    .min_by_key(sv_coords)
+                    .map_or(Ok(()), Err)
+            }),
+            // Sequentially, the first failing chunk holds the global
+            // minimum because chunks partition the ordered job list.
+            (true, false) => jobs
+                .chunks(SV_BATCH_MAX)
+                .find_map(chunk_failure)
+                .map_or(Ok(()), Err),
+            (false, true) => with_workers(config.workers, || jobs.par_iter().map(sv_one).collect()),
+            (false, false) => jobs.iter().try_for_each(sv_one),
         };
         sv_result?;
         drop(span_sv);

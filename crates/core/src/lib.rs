@@ -48,7 +48,7 @@ pub use mempool::{Mempool, MempoolError};
 pub use metrics::{BaselineBreakdown, EbvBreakdown};
 pub use pack::{ebv_coinbase, pack_ebv_block};
 pub use proofs::ProofArchive;
-pub use sighash::{sign_input, DigestChecker, PubkeyCache};
+pub use sighash::{sign_input, sv_chunk_batched, DigestChecker, PubkeyCache, SvJob, SV_BATCH_MAX};
 pub use sync::{
     reorg_to, serve_adversary, serve_blocks, spawn_source, sync_baseline, sync_ebv, sync_multi,
     AdversarialServer, BlockSource, Fault, FaultSchedule, FaultyPeer, PeerHandle, PeerStats,

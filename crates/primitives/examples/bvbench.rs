@@ -1,0 +1,54 @@
+//! Micro-benchmark: batched vs individual ECDSA verification at the
+//! crypto layer, isolated from block validation.
+//!
+//! Measures one [`BatchVerifier`] pass over a full 64-signature chunk
+//! (the node's `SV_BATCH_MAX`) against per-signature
+//! `PreparedPublicKey::verify`, with 20 distinct keys so the key-dedup
+//! path is realistic. Useful for checking the raw speedup ceiling when
+//! tuning the multi-scalar ladder or field arithmetic:
+//!
+//! ```text
+//! cargo run --release -p ebv-primitives --example bvbench
+//! ```
+
+use ebv_primitives::ec::{BatchVerifier, PrivateKey};
+use ebv_primitives::hash::sha256;
+use std::time::Instant;
+
+fn main() {
+    let n = 64usize;
+    let reps = 20u32;
+    let keys: Vec<PrivateKey> = (0..20u64).map(PrivateKey::from_seed).collect();
+    let items: Vec<([u8; 32], _, usize)> = (0..n)
+        .map(|i| {
+            let k = i % keys.len();
+            let z = sha256(format!("item {i}").as_bytes());
+            (z, keys[k].sign(&z), k)
+        })
+        .collect();
+    let prepared: Vec<_> = keys.iter().map(|k| k.public_key().prepare()).collect();
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for (z, sig, k) in &items {
+            assert!(prepared[*k].verify(z, sig));
+        }
+    }
+    let indiv = t0.elapsed() / reps;
+
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        let mut b = BatchVerifier::new();
+        for (z, sig, k) in &items {
+            b.push(*z, *sig, &prepared[*k]);
+        }
+        assert!(b.verify().all_valid);
+    }
+    let batch = t1.elapsed() / reps;
+
+    println!(
+        "{n} sigs / {} keys: individual {indiv:?}  batch {batch:?}  speedup {:.2}x",
+        keys.len(),
+        indiv.as_secs_f64() / batch.as_secs_f64()
+    );
+}

@@ -48,6 +48,12 @@ impl Signature {
     }
 
     /// Parse a compact signature, enforcing canonical (low-S) form.
+    ///
+    /// Both components must lie in `[1, n-1]`: `from_be_bytes` rejects
+    /// values ≥ n and the zero check below rejects the rest. This range
+    /// gate is load-bearing for batch verification ([`super::batch`]),
+    /// which divides by `s` and multiplies by `r` — a parsed [`Signature`]
+    /// can never hand the batch a zero scalar.
     pub fn from_compact(bytes: &[u8]) -> Result<Signature, SigError> {
         if bytes.len() != 64 {
             return Err(SigError::BadLength);
@@ -71,13 +77,35 @@ impl Signature {
 /// The returned signature is low-S canonical. `sk` must be nonzero (enforced
 /// by [`super::keys::PrivateKey`] construction).
 pub fn sign(z: &[u8; 32], sk: &Scalar) -> Signature {
+    sign_impl(z, sk, false)
+}
+
+/// Like [`sign`], but grind the nonce until the low-S-normalized
+/// signature's effective nonce point has **even** y-parity.
+///
+/// Low-S normalization replaces `s` by `n − s` when `s` is high, which
+/// negates the nonce point the verification equation reconstructs — so
+/// the effective `R` is `k·G` when `s` stays, `−k·G` when it flips, and
+/// the signer (who sees both `k·G`'s parity and the flip) is the only
+/// party that knows the result's parity for free. Retrying until it is
+/// even (two expected attempts, each one cheap fixed-base comb
+/// multiplication — the analogue of Bitcoin Core's low-R grinding) lets
+/// the batch verifier ([`super::batch`]) lift `R` from `r` without a
+/// parity hint. Verification is completely unaffected: an even-R
+/// signature is an ordinary ECDSA signature, and odd-R signatures from
+/// other signers still verify — they just take the batch's slow path.
+pub fn sign_even_r(z: &[u8; 32], sk: &Scalar) -> Signature {
+    sign_impl(z, sk, true)
+}
+
+fn sign_impl(z: &[u8; 32], sk: &Scalar, even_r: bool) -> Signature {
     debug_assert!(!sk.is_zero());
     let z_scalar = Scalar::from_be_bytes_reduced(z);
     let mut h1 = *z;
     loop {
         let k = rfc6979::generate_k(sk, &h1);
         let point = Affine::mul_gen(&k).to_affine();
-        let (x, _) = point.coords().expect("k in [1,n) cannot give infinity");
+        let (x, y) = point.coords().expect("k in [1,n) cannot give infinity");
         let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
         if r.is_zero() {
             // Astronomically unlikely; retry with a perturbed digest as the
@@ -88,6 +116,12 @@ pub fn sign(z: &[u8; 32], sk: &Scalar) -> Signature {
         let kinv = k.invert().expect("k nonzero");
         let s = kinv.mul(&z_scalar.add(&r.mul(sk)));
         if s.is_zero() {
+            h1 = crate::hash::sha256(&h1);
+            continue;
+        }
+        // Effective-R parity after low-S normalization: `k·G`'s parity,
+        // flipped iff the normalization below negates s.
+        if even_r && (y.is_odd() ^ s.is_high()) {
             h1 = crate::hash::sha256(&h1);
             continue;
         }
@@ -259,6 +293,89 @@ mod tests {
         let mut bytes = sig.to_compact();
         bytes[32..].copy_from_slice(&sig.s.neg().to_be_bytes());
         assert_eq!(Signature::from_compact(&bytes), Err(SigError::HighS));
+    }
+
+    #[test]
+    fn compact_rejects_out_of_range_components() {
+        use super::super::scalar::N;
+        use crate::u256::U256;
+        let (sk, pk) = keypair(5);
+        let z = sha256(b"range");
+        let sig = sign(&z, &sk);
+
+        // r = n and s = n: exactly the order, one past the valid range.
+        let mut r_eq_n = sig.to_compact();
+        r_eq_n[..32].copy_from_slice(&N.to_be_bytes());
+        assert_eq!(
+            Signature::from_compact(&r_eq_n),
+            Err(SigError::ComponentOutOfRange)
+        );
+        let mut s_eq_n = sig.to_compact();
+        s_eq_n[32..].copy_from_slice(&N.to_be_bytes());
+        assert_eq!(
+            Signature::from_compact(&s_eq_n),
+            Err(SigError::ComponentOutOfRange)
+        );
+        // r all-ones (≫ n) and zero-in-one-component variants.
+        let mut r_max = sig.to_compact();
+        r_max[..32].copy_from_slice(&[0xff; 32]);
+        assert_eq!(
+            Signature::from_compact(&r_max),
+            Err(SigError::ComponentOutOfRange)
+        );
+        let mut r_zero = sig.to_compact();
+        r_zero[..32].copy_from_slice(&[0; 32]);
+        assert_eq!(
+            Signature::from_compact(&r_zero),
+            Err(SigError::ComponentOutOfRange)
+        );
+        let mut s_zero = sig.to_compact();
+        s_zero[32..].copy_from_slice(&[0; 32]);
+        assert_eq!(
+            Signature::from_compact(&s_zero),
+            Err(SigError::ComponentOutOfRange)
+        );
+        // r = n − 1 is in range: the parse must accept it (the signature
+        // is then simply invalid for this digest).
+        let n_minus_1 = Scalar(N.overflowing_sub(&U256::ONE).0);
+        let mut r_edge = sig.to_compact();
+        r_edge[..32].copy_from_slice(&n_minus_1.to_be_bytes());
+        let parsed = Signature::from_compact(&r_edge).expect("n-1 is in range");
+        assert!(!verify(&z, &parsed, &pk));
+    }
+
+    #[test]
+    fn even_r_signatures_verify_and_have_even_nonce_point() {
+        use super::super::field::Fe;
+        for i in 1..30u64 {
+            let (sk, pk) = keypair(i);
+            let z = sha256(&i.to_be_bytes());
+            let sig = sign_even_r(&z, &sk);
+            assert!(verify(&z, &sig, &pk), "key {i}");
+            assert!(!sig.s.is_high(), "key {i} produced high-S");
+            // The effective nonce point must lift from r at even parity
+            // and satisfy R = u·G + v·Q.
+            let r_point = Affine::lift_x(Fe(sig.r.0), false).expect("r lifts");
+            let w = sig.s.invert().unwrap();
+            let u = Scalar::from_be_bytes_reduced(&z).mul(&w);
+            let v = sig.r.mul(&w);
+            let rhs = Affine::mul_gen(&u)
+                .add_jacobian(&pk.to_jacobian().mul(&v))
+                .to_affine();
+            assert_eq!(r_point, rhs, "key {i}: even-parity lift is not R");
+        }
+    }
+
+    #[test]
+    fn even_r_does_not_change_plain_sign() {
+        // `sign` must stay byte-identical (the Satoshi Nakamoto vector
+        // below pins it); `sign_even_r` may differ only by nonce choice.
+        let (sk, pk) = keypair(17);
+        let z = sha256(b"two signing modes");
+        let plain = sign(&z, &sk);
+        let even = sign_even_r(&z, &sk);
+        assert!(verify(&z, &plain, &pk));
+        assert!(verify(&z, &even, &pk));
     }
 
     #[test]

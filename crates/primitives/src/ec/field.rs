@@ -229,20 +229,38 @@ impl Fe {
 
     /// Square root, if one exists. Since `p ≡ 3 (mod 4)`,
     /// `sqrt(a) = a^((p+1)/4)`; the candidate is verified before returning.
+    ///
+    /// The exponentiation uses a fixed addition chain (253 squarings plus
+    /// 13 multiplications) instead of generic square-and-multiply: the
+    /// binary expansion of `(p+1)/4` is three runs of 1s with lengths
+    /// {223, 22, 2}, so chaining `2^n - 1` powers covers it with a handful
+    /// of multiplies. Signature batch verification performs one sqrt per
+    /// signature to recover the nonce point, which makes this the hottest
+    /// field exponentiation in the codebase.
     pub fn sqrt(&self) -> Option<Fe> {
-        // (p + 1) / 4: p + 1 = 2^256 - 2^32 - 976, shifted right twice.
-        // Compute by adding one then shifting with carry handling; p+1 does
-        // not overflow into 2^256 territory... it equals 2^256 - (2^32+976),
-        // still < 2^256.
-        let p_plus_1 = P.overflowing_add(&U256::ONE).0;
-        let mut e = [0u64; 4];
-        let mut carry = 0u64;
-        for i in (0..4).rev() {
-            let v = p_plus_1.limbs[i];
-            e[i] = (v >> 2) | (carry << 62);
-            carry = v & 0b11;
-        }
-        let cand = self.pow(&U256 { limbs: e });
+        // x_n denotes self^(2^n - 1).
+        let sq_n = |x: &Fe, n: usize| -> Fe {
+            let mut acc = *x;
+            for _ in 0..n {
+                acc = acc.square();
+            }
+            acc
+        };
+        let x2 = sq_n(self, 1).mul(self);
+        let x3 = sq_n(&x2, 1).mul(self);
+        let x6 = sq_n(&x3, 3).mul(&x3);
+        let x9 = sq_n(&x6, 3).mul(&x3);
+        let x11 = sq_n(&x9, 2).mul(&x2);
+        let x22 = sq_n(&x11, 11).mul(&x11);
+        let x44 = sq_n(&x22, 22).mul(&x22);
+        let x88 = sq_n(&x44, 44).mul(&x44);
+        let x176 = sq_n(&x88, 88).mul(&x88);
+        let x220 = sq_n(&x176, 44).mul(&x44);
+        let x223 = sq_n(&x220, 3).mul(&x3);
+        // Stitch the runs together: ...1{223} 0 1{22} 000000 1{2} 00.
+        let t = sq_n(&x223, 23).mul(&x22);
+        let t = sq_n(&t, 6).mul(&x2);
+        let cand = sq_n(&t, 2);
         if cand.square() == *self {
             Some(cand)
         } else {
@@ -324,6 +342,34 @@ mod tests {
             let sq = a.square();
             let r = sq.sqrt().expect("square has a root");
             assert!(r == a || r == a.neg(), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn sqrt_chain_matches_pow_reference() {
+        // The addition chain must compute exactly a^((p+1)/4); pin it
+        // against the generic square-and-multiply over many values.
+        let p_plus_1 = P.overflowing_add(&U256::ONE).0;
+        let mut e = [0u64; 4];
+        let mut carry = 0u64;
+        for i in (0..4).rev() {
+            let v = p_plus_1.limbs[i];
+            e[i] = (v >> 2) | (carry << 62);
+            carry = v & 0b11;
+        }
+        let exp = U256 { limbs: e };
+        let mut a = fe(0xfeed_f00d);
+        for _ in 0..64 {
+            a = a.square().add(&Fe::ONE);
+            let reference = a.pow(&exp);
+            let is_root = reference.square() == a;
+            match a.sqrt() {
+                Some(root) => {
+                    assert!(is_root);
+                    assert!(root == reference || root == reference.neg());
+                }
+                None => assert!(!is_root),
+            }
         }
     }
 

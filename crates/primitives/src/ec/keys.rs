@@ -43,8 +43,12 @@ impl PrivateKey {
     }
 
     /// Sign a 32-byte digest.
+    ///
+    /// Uses the even-R convention ([`ecdsa::sign_even_r`]) so signatures
+    /// produced through the key API batch-verify on the fast path; the
+    /// result is a perfectly ordinary low-S ECDSA signature either way.
     pub fn sign(&self, digest: &[u8; 32]) -> Signature {
-        ecdsa::sign(digest, &self.0)
+        ecdsa::sign_even_r(digest, &self.0)
     }
 
     /// The underlying scalar (for tests).
@@ -154,6 +158,12 @@ impl PreparedPublicKey {
     /// The plain public key.
     pub fn public_key(&self) -> &PublicKey {
         &self.key
+    }
+
+    /// The precomputed odd-multiples table (batch verification feeds it
+    /// straight into the shared multi-scalar ladder).
+    pub(crate) fn table(&self) -> &PointTable {
+        &self.table
     }
 
     /// Verify a signature over `digest` using the cached table.

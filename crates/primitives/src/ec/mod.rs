@@ -7,6 +7,7 @@
 //! [`keys`] (the `PrivateKey`/`PublicKey` API the rest of the workspace
 //! uses).
 
+pub mod batch;
 pub mod ecdsa;
 pub mod field;
 mod glv;
@@ -15,7 +16,8 @@ pub mod point;
 pub mod rfc6979;
 pub mod scalar;
 
+pub use batch::{BatchOutcome, BatchStats, BatchVerifier};
 pub use ecdsa::{SigError, Signature};
 pub use keys::{PreparedPublicKey, PrivateKey, PubKeyError, PublicKey};
-pub use point::{lincomb_gen, Affine, Jacobian, PointTable};
+pub use point::{lincomb_gen, multi_scalar_mul, Affine, Jacobian, MsmTerm, PointTable};
 pub use scalar::Scalar;

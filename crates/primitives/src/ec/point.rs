@@ -498,6 +498,36 @@ impl PointTable {
         PointTable { entries }
     }
 
+    /// Tables for many points with **one** shared field inversion across
+    /// all of them, instead of one per [`PointTable::new`] call. The batch
+    /// verifier builds a table per recovered nonce point `Rᵢ`, so per-table
+    /// inversions would dominate its setup cost.
+    pub fn batch_new(points: &[Affine]) -> Vec<PointTable> {
+        let mut jac = Vec::with_capacity(points.len() * POINT_TABLE_ENTRIES);
+        for q in points {
+            if q.is_infinity() {
+                jac.extend([Jacobian::infinity(); POINT_TABLE_ENTRIES]);
+                continue;
+            }
+            let qj = q.to_jacobian();
+            let two_q = qj.dbl();
+            let mut acc = qj;
+            for _ in 0..POINT_TABLE_ENTRIES {
+                jac.push(acc);
+                acc = acc.add_jacobian(&two_q);
+            }
+        }
+        let affine = Jacobian::batch_to_affine(&jac);
+        affine
+            .chunks_exact(POINT_TABLE_ENTRIES)
+            .map(|chunk| {
+                let mut entries = [Affine::Infinity; POINT_TABLE_ENTRIES];
+                entries.copy_from_slice(chunk);
+                PointTable { entries }
+            })
+            .collect()
+    }
+
     /// Look up a wNAF digit: `d` must be odd with `|d| < 2^(w-1)`; negative
     /// digits return the negated table entry.
     fn get(&self, d: i32) -> Affine {
@@ -547,6 +577,99 @@ pub fn lincomb_gen(u1: &Scalar, q_table: &PointTable, u2: &Scalar) -> Jacobian {
         .into_iter()
         .map(|(half, table, w)| (half.mag.wnaf(w), table, half.neg))
         .collect();
+
+    let len = streams.iter().map(|(d, _, _)| d.len()).max().unwrap_or(0);
+    let mut acc = Jacobian::infinity();
+    for i in (0..len).rev() {
+        acc = acc.dbl();
+        for (digits, table, neg) in &streams {
+            if let Some(&d) = digits.get(i) {
+                if d != 0 {
+                    acc = acc.add_mixed(&table.get(if *neg { -d } else { d }));
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// One variable-point term of [`multi_scalar_mul`]: contributes
+/// `±scalar·Q` where `Q` is the point `table` was built from (`negate`
+/// selects the sign without touching the table).
+pub struct MsmTerm<'a> {
+    pub scalar: Scalar,
+    pub table: &'a PointTable,
+    pub negate: bool,
+}
+
+/// Scalars at or below this bit length skip the GLV split in
+/// [`multi_scalar_mul`]: a split buys nothing once the scalar is already
+/// ~half-width (the batch verifier's random coefficients are 128-bit by
+/// construction), and skipping it halves that term's stream count. The
+/// slack above 128 covers wNAF round-up.
+const MSM_SPLIT_BITS: usize = 132;
+
+/// `gen_scalar·G + Σᵢ ±scalarᵢ·Qᵢ` as one shared interleaved-wNAF Strauss
+/// ladder — the n-term generalization of [`lincomb_gen`], and the engine
+/// under batch ECDSA verification (`ec::batch`).
+///
+/// The generator term always takes the GLV split and is served from the
+/// static width-8 `G`/`λG` tables. Each variable term brings its own
+/// [`PointTable`]; full-width scalars are GLV-split (two width-5 streams,
+/// the `λ` stream from an entrywise endomorphism of the table), while
+/// short scalars ride a single unsplit stream. All streams share one
+/// doubling ladder, so doublings — the dominant cost — are paid once for
+/// the whole sum instead of once per term.
+pub fn multi_scalar_mul(gen_scalar: &Scalar, terms: &[MsmTerm<'_>]) -> Jacobian {
+    let t = gen_tables();
+    let glv = glv::params();
+    let (g_lo, g_hi) = glv.split(gen_scalar);
+
+    // Endomorphism images for the split terms, materialized before the
+    // stream list so the streams can borrow them.
+    let split: Vec<bool> = terms
+        .iter()
+        .map(|term| term.scalar.0.bits() > MSM_SPLIT_BITS)
+        .collect();
+    let endo_tables: Vec<Option<PointTable>> = terms
+        .iter()
+        .zip(&split)
+        .map(|(term, &s)| s.then(|| term.table.endo(&glv.beta)))
+        .collect();
+
+    let mut streams: Vec<(Vec<i32>, PointTableRef<'_>, bool)> =
+        Vec::with_capacity(2 + 2 * terms.len());
+    streams.push((
+        g_lo.mag.wnaf(GEN_WNAF_W),
+        PointTableRef::Gen(&t.wnaf),
+        g_lo.neg,
+    ));
+    streams.push((
+        g_hi.mag.wnaf(GEN_WNAF_W),
+        PointTableRef::Gen(&t.wnaf_lambda),
+        g_hi.neg,
+    ));
+    for ((term, &split_term), endo_table) in terms.iter().zip(&split).zip(&endo_tables) {
+        if split_term {
+            let (lo, hi) = glv.split(&term.scalar);
+            streams.push((
+                lo.mag.wnaf(POINT_TABLE_W),
+                PointTableRef::Var(term.table),
+                lo.neg ^ term.negate,
+            ));
+            streams.push((
+                hi.mag.wnaf(POINT_TABLE_W),
+                PointTableRef::Var(endo_table.as_ref().expect("built for split terms")),
+                hi.neg ^ term.negate,
+            ));
+        } else {
+            streams.push((
+                term.scalar.wnaf(POINT_TABLE_W),
+                PointTableRef::Var(term.table),
+                term.negate,
+            ));
+        }
+    }
 
     let len = streams.iter().map(|(d, _, _)| d.len()).max().unwrap_or(0);
     let mut acc = Jacobian::infinity();
@@ -800,6 +923,90 @@ mod tests {
             assert_eq!(lincomb_gen(&a, &table, &b).to_affine(), expected);
         }
         assert!(lincomb_gen(&Scalar::ZERO, &table, &Scalar::ZERO).is_infinity());
+    }
+
+    #[test]
+    fn batch_new_matches_individual_tables() {
+        let g = Affine::G.to_jacobian();
+        let points: Vec<Affine> = vec![
+            Affine::G,
+            g.mul(&scalar(7)).to_affine(),
+            Affine::Infinity,
+            g.mul(&scalar(0xdead_beef)).to_affine(),
+        ];
+        let tables = PointTable::batch_new(&points);
+        assert_eq!(tables.len(), points.len());
+        for (t, p) in tables.iter().zip(&points) {
+            assert_eq!(t.entries, PointTable::new(p).entries);
+        }
+        assert!(PointTable::batch_new(&[]).is_empty());
+    }
+
+    #[test]
+    fn multi_scalar_mul_matches_reference_sum() {
+        use super::super::scalar::N;
+        use crate::u256::U256;
+        let g = Affine::G.to_jacobian();
+        let n_minus_1 = Scalar(N.overflowing_sub(&U256::ONE).0);
+        let points: Vec<Affine> = [3u64, 77, 1_000_003]
+            .iter()
+            .map(|&v| g.mul(&scalar(v)).to_affine())
+            .collect();
+        let tables: Vec<PointTable> = points.iter().map(PointTable::new).collect();
+        // Mix short (unsplit) and full-width (GLV-split) scalars, plus
+        // negated terms, and check against the reference ladder sum.
+        let cases: Vec<(Scalar, Vec<(Scalar, bool)>)> = vec![
+            (scalar(5), vec![(scalar(7), false)]),
+            (Scalar::ZERO, vec![(n_minus_1, false), (scalar(123), true)]),
+            (
+                n_minus_1,
+                vec![
+                    (scalar(1), true),
+                    (Scalar::from_be_bytes_reduced(&[0xab; 32]), false),
+                    (Scalar::ZERO, false),
+                ],
+            ),
+        ];
+        for (gen_k, term_ks) in cases {
+            let terms: Vec<MsmTerm<'_>> = term_ks
+                .iter()
+                .zip(&tables)
+                .map(|(&(scalar, negate), table)| MsmTerm {
+                    scalar,
+                    table,
+                    negate,
+                })
+                .collect();
+            let mut expected = g.mul(&gen_k);
+            for ((k, negate), p) in term_ks.iter().zip(&points) {
+                let mut part = p.to_jacobian().mul(k).to_affine();
+                if *negate {
+                    part = part.neg();
+                }
+                expected = expected.add_jacobian(&part.to_jacobian());
+            }
+            assert_eq!(
+                multi_scalar_mul(&gen_k, &terms).to_affine(),
+                expected.to_affine()
+            );
+        }
+        // Degenerate: no terms, zero generator scalar.
+        assert!(multi_scalar_mul(&Scalar::ZERO, &[]).is_infinity());
+    }
+
+    #[test]
+    fn multi_scalar_mul_cancels_to_infinity() {
+        // k·G − k·G via a negated term must land exactly on infinity — the
+        // batch verifier's accept condition.
+        let k = Scalar::from_be_bytes_reduced(&[0x5a; 32]);
+        let p = Affine::mul_gen(&k).to_affine();
+        let table = PointTable::new(&p);
+        let terms = [MsmTerm {
+            scalar: Scalar::ONE,
+            table: &table,
+            negate: true,
+        }];
+        assert!(multi_scalar_mul(&k, &terms).is_infinity());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Differential suite for batch ECDSA verification: [`BatchVerifier`]
+//! against per-signature [`PreparedPublicKey::verify`] over edge scalars,
+//! mixed valid/invalid batches, odd-parity nonce points, and a
+//! cancellation-attack probe.
+//!
+//! The contract under test: for every pushed item, the batch verdict
+//! equals the individual verification result — the batch is a pure
+//! performance layer with no behavioral surface.
+
+use ebv_primitives::ec::field::Fe;
+use ebv_primitives::ec::{
+    ecdsa, Affine, BatchVerifier, PreparedPublicKey, PrivateKey, Scalar, Signature,
+};
+use ebv_primitives::hash::sha256;
+
+/// Assert that a batch over `items` produces exactly the per-item
+/// individual verdicts, and return those verdicts.
+fn assert_differential(items: &[([u8; 32], Signature, &PreparedPublicKey)]) -> Vec<bool> {
+    let mut batch = BatchVerifier::new();
+    for (z, sig, key) in items {
+        batch.push(*z, *sig, key);
+    }
+    let out = batch.verify();
+    let individual: Vec<bool> = items
+        .iter()
+        .map(|(z, sig, key)| key.verify(z, sig))
+        .collect();
+    assert_eq!(out.verdicts, individual, "batch diverged from individual");
+    assert_eq!(out.all_valid, individual.iter().all(|&v| v));
+    individual
+}
+
+#[test]
+fn edge_scalar_signatures_match_individual() {
+    let keys: Vec<PrivateKey> = (0..4u64).map(PrivateKey::from_seed).collect();
+    let prepared: Vec<PreparedPublicKey> = keys.iter().map(|k| k.public_key().prepare()).collect();
+    let n_minus_1 = Scalar::from_u64(1).neg(); // n − 1 via −1 mod n
+    let mut items: Vec<([u8; 32], Signature, &PreparedPublicKey)> = Vec::new();
+
+    // Valid signatures over edge digests: all-zero (z ≡ 0, so the batch's
+    // generator coefficient contribution u = 0) and all-ones (z reduced
+    // mod n).
+    for (i, digest) in [[0u8; 32], [0xffu8; 32]].into_iter().enumerate() {
+        let sk = &keys[i % keys.len()];
+        items.push((digest, sk.sign(&digest), &prepared[i % keys.len()]));
+    }
+    // Synthetic edge-component signatures: r and s pinned to 1 and n−1 in
+    // all combinations. None verifies; the batch must agree (these also
+    // exercise the unliftable-r and high-s recover paths).
+    let z = sha256(b"edge components");
+    for r in [Scalar::from_u64(1), n_minus_1] {
+        for s in [Scalar::from_u64(1), n_minus_1] {
+            items.push((z, Signature { r, s }, &prepared[0]));
+        }
+    }
+    // Zero components: rejected without touching the equation.
+    items.push((
+        z,
+        Signature {
+            r: Scalar::ZERO,
+            s: Scalar::from_u64(1),
+        },
+        &prepared[1],
+    ));
+    items.push((
+        z,
+        Signature {
+            r: Scalar::from_u64(1),
+            s: Scalar::ZERO,
+        },
+        &prepared[1],
+    ));
+    // And a couple of ordinary valid signatures so the batch is mixed.
+    for i in 0..3u64 {
+        let z = sha256(format!("ordinary {i}").as_bytes());
+        let k = (i as usize) % keys.len();
+        items.push((z, keys[k].sign(&z), &prepared[k]));
+    }
+
+    let verdicts = assert_differential(&items);
+    assert!(verdicts[0] && verdicts[1], "edge digests sign validly");
+    assert!(
+        verdicts[2..8].iter().all(|&v| !v),
+        "edge components never verify"
+    );
+    assert!(verdicts[8..].iter().all(|&v| v), "fillers are valid");
+}
+
+#[test]
+fn r_plus_n_candidate_is_considered() {
+    // When r < p − n, the nonce x-coordinate may have been r + n before
+    // reduction mod n. Those r values are a ~2⁻¹²⁸ sliver of the space, so
+    // no honest signature hits one; what matters is that such synthetic
+    // signatures resolve identically to individual verification.
+    let sk = PrivateKey::from_seed(77);
+    let prepared = sk.public_key().prepare();
+    let z = sha256(b"r plus n");
+    // r = 1 is far below p − n, so both x = 1 and x = 1 + n are candidate
+    // lifts; the signature is invalid either way.
+    let item = (
+        z,
+        Signature {
+            r: Scalar::from_u64(1),
+            s: Scalar::from_u64(3),
+        },
+        &prepared,
+    );
+    assert_differential(&[item]);
+}
+
+#[test]
+fn mixed_valid_invalid_batches_match_individual() {
+    let keys: Vec<PrivateKey> = (0..5u64).map(|i| PrivateKey::from_seed(100 + i)).collect();
+    let prepared: Vec<PreparedPublicKey> = keys.iter().map(|k| k.public_key().prepare()).collect();
+    let mut items: Vec<([u8; 32], Signature, &PreparedPublicKey)> = Vec::new();
+    for i in 0..32usize {
+        let k = i % keys.len();
+        let z = sha256(format!("mixed {i}").as_bytes());
+        let mut sig = keys[k].sign(&z);
+        let mut key = &prepared[k];
+        match i % 7 {
+            // Tampered s: stays batchable, fails the equation.
+            2 => sig.s = sig.s.add(&Scalar::from_u64(1)),
+            // Tampered r: usually unliftable, takes the non-batchable path.
+            3 => sig.r = sig.r.add(&Scalar::from_u64(1)),
+            // Signature bound to the wrong key.
+            5 => key = &prepared[(k + 1) % keys.len()],
+            _ => {}
+        }
+        items.push((z, sig, key));
+    }
+    let verdicts = assert_differential(&items);
+    for (i, &v) in verdicts.iter().enumerate() {
+        assert_eq!(v, !matches!(i % 7, 2 | 3 | 5), "item {i}");
+    }
+}
+
+#[test]
+fn odd_parity_plain_signatures_fall_back_and_still_verify() {
+    // `ecdsa::sign` does not grind for even R, so about half of its
+    // signatures have an odd-parity effective nonce point. The batch lifts
+    // the wrong candidate for those, fails the equation, and must settle
+    // them individually — with a `true` verdict, since they are valid.
+    let sk = PrivateKey::from_seed(9);
+    let prepared = sk.public_key().prepare();
+    let odd = (0..64u64)
+        .map(|i| {
+            let z = sha256(format!("parity probe {i}").as_bytes());
+            (z, ecdsa::sign(&z, sk.scalar()))
+        })
+        .find(|(z, sig)| {
+            // Effective R = u·G + v·Q; odd-parity iff it differs from the
+            // even lift of r.
+            let w = sig.s.invert().unwrap();
+            let u = Scalar::from_be_bytes_reduced(z).mul(&w);
+            let v = sig.r.mul(&w);
+            let r_point = Affine::mul_gen(&u)
+                .add_jacobian(&sk.public_key().point().to_jacobian().mul(&v))
+                .to_affine();
+            let even_lift =
+                Fe::from_be_bytes(&sig.r.to_be_bytes()).and_then(|x| Affine::lift_x(x, false));
+            even_lift != Some(r_point)
+        })
+        .expect("64 plain signatures contain an odd-parity one");
+
+    // Surround it with even-R signatures from the key API.
+    let mut items: Vec<([u8; 32], Signature, &PreparedPublicKey)> = (0..6u64)
+        .map(|i| {
+            let z = sha256(format!("even filler {i}").as_bytes());
+            (z, sk.sign(&z), &prepared)
+        })
+        .collect();
+    items.insert(3, (odd.0, odd.1, &prepared));
+
+    let mut batch = BatchVerifier::new();
+    for (z, sig, key) in &items {
+        batch.push(*z, *sig, key);
+    }
+    let out = batch.verify();
+    assert!(out.all_valid, "odd-parity signature is valid and must pass");
+    // The odd item cannot be certified by the equation (wrong lift), so
+    // bisection must have reached at least one individual check.
+    assert!(out.stats.individual_checks >= 1);
+    assert!(out.stats.equation_checks >= 2);
+}
+
+#[test]
+fn cancellation_attack_is_rejected() {
+    // Craft two invalid signatures whose defects are +t·G and −t·G: under
+    // *equal* batch coefficients they cancel and the summed equation
+    // holds, so a verifier with predictable coefficients would accept two
+    // forgeries. The per-batch PRF coefficients must defeat this.
+    //
+    // Construction: R = k·G with even y and s' = (z + r·d) / (k ± t), so
+    // u·G + v·Q = (k ± t)·G = R ± t·G.
+    let d = PrivateKey::from_seed(4242);
+    let prepared = d.public_key().prepare();
+    let t = Scalar::from_u64(12345);
+
+    // Find k whose nonce point has even y (so the batch lifts exactly R).
+    let (k, r) = (1u64..)
+        .map(|i| Scalar::from_u64(1_000_000 + i))
+        .find_map(|k| {
+            let point = Affine::mul_gen(&k).to_affine();
+            let (x, y) = point.coords().expect("finite");
+            let r = Scalar::from_be_bytes_reduced(&x.to_be_bytes());
+            // Demand x < n too, so r lifts back to exactly x.
+            (!y.is_odd() && !r.is_zero() && x.to_be_bytes() == r.to_be_bytes()).then_some((k, r))
+        })
+        .expect("even-y nonce points are half the curve");
+
+    let z1 = sha256(b"cancellation probe 1");
+    let z2 = sha256(b"cancellation probe 2");
+    let craft = |z: &[u8; 32], k_eff: &Scalar| -> Signature {
+        let z_scalar = Scalar::from_be_bytes_reduced(z);
+        let s = k_eff
+            .invert()
+            .expect("k ± t nonzero")
+            .mul(&z_scalar.add(&r.mul(d.scalar())));
+        Signature { r, s }
+    };
+    let k_minus_t = k.add(&t.neg());
+    let sig1 = craft(&z1, &k.add(&t)); // defect +t·G
+    let sig2 = craft(&z2, &k_minus_t); // defect −t·G
+
+    // Both are individually invalid…
+    assert!(!prepared.verify(&z1, &sig1));
+    assert!(!prepared.verify(&z2, &sig2));
+
+    // …and their defects really do cancel: u·G + v·Q equals (k ± t)·G, so
+    // the two sides sum to 2k·G = R + R with unit coefficients.
+    let lhs = |z: &[u8; 32], sig: &Signature| -> Affine {
+        let w = sig.s.invert().expect("s nonzero");
+        let u = Scalar::from_be_bytes_reduced(z).mul(&w);
+        let v = sig.r.mul(&w);
+        Affine::mul_gen(&u)
+            .add_jacobian(&d.public_key().point().to_jacobian().mul(&v))
+            .to_affine()
+    };
+    assert_eq!(lhs(&z1, &sig1), Affine::mul_gen(&k.add(&t)).to_affine());
+    assert_eq!(lhs(&z2, &sig2), Affine::mul_gen(&k_minus_t).to_affine());
+    let minus_2k_g = Affine::mul_gen(&k).dbl().to_affine().neg();
+    let defect_sum = lhs(&z1, &sig1)
+        .to_jacobian()
+        .add_jacobian(&lhs(&z2, &sig2).to_jacobian())
+        .add_jacobian(&minus_2k_g.to_jacobian());
+    assert!(
+        defect_sum.is_infinity(),
+        "probe construction must cancel under unit coefficients"
+    );
+
+    // The batch must reject both — alone, together, and embedded among
+    // valid signatures.
+    let honest: Vec<([u8; 32], Signature)> = (0..4u64)
+        .map(|i| {
+            let z = sha256(format!("honest {i}").as_bytes());
+            (z, d.sign(&z))
+        })
+        .collect();
+    let mut items: Vec<([u8; 32], Signature, &PreparedPublicKey)> = honest
+        .iter()
+        .map(|(z, sig)| (*z, *sig, &prepared))
+        .collect();
+    items.insert(1, (z1, sig1, &prepared));
+    items.insert(4, (z2, sig2, &prepared));
+    let verdicts = assert_differential(&items);
+    assert!(!verdicts[1] && !verdicts[4], "forged pair must be rejected");
+    assert_eq!(verdicts.iter().filter(|&&v| v).count(), 4);
+}

@@ -66,6 +66,24 @@ echo "==> syncbench smoke (TCP sync wall time + time-to-ban, 180s cap)"
 timeout 180 ./target/release/syncbench --blocks 16 --runs 1 \
     --json target/BENCH_sync_smoke.json > /dev/null
 
+# Batch ECDSA verification must be a pure performance layer: the
+# crypto-level differential suite (edge scalars, mixed batches,
+# odd-parity fallback, cancellation-attack probe) and the node-level
+# tamper differential (identical error selection with batching on and
+# off) both run by name.
+echo "==> cargo test -p ebv-primitives --test batch_verify (batch ECDSA differential)"
+cargo test -q -p ebv-primitives --test batch_verify
+
+echo "==> cargo test --test batch_pipeline (node batch-on/off tamper differential)"
+cargo test -q --test batch_pipeline
+
+# Exercise the fig16 --batch-verify path end to end. Small smoke into
+# target/ — the committed BENCH_fig16.json comes from the full-scale run
+# (--batch-verify --sweep-workers 1,2,4).
+echo "==> fig16 batch-verify smoke"
+./target/release/fig16 --blocks 120 --batch-verify \
+    --json target/BENCH_fig16_smoke.json > /dev/null
+
 # Telemetry guards. The overhead test proves instrumentation is cheap
 # enough to leave on; the exporter tests pin the Prometheus/JSON formats
 # to their golden files.

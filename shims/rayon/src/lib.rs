@@ -156,6 +156,25 @@ impl<'a, T: Sync> IndexedSource for SliceIter<'a, T> {
     }
 }
 
+/// Parallel iterator over non-overlapping chunks of `&[T]`
+/// (`.par_chunks()`).
+pub struct ChunksIter<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn item_at(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        let end = (start + self.size).min(self.slice.len());
+        &self.slice[start..end]
+    }
+}
+
 /// Parallel iterator over `Range<usize>`.
 pub struct RangeIter {
     start: usize,
@@ -193,6 +212,59 @@ where
     }
 }
 
+/// Eager `filter_map` adapter: evaluates all items (in parallel), drops the
+/// `None`s, and exposes the reductions the workspace uses. Unlike [`Map`]
+/// it cannot be a lazy [`IndexedSource`] because filtering changes the item
+/// count.
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, R> FilterMap<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> Option<R> + Sync,
+    R: Send,
+{
+    /// Execute eagerly; survivors keep index order.
+    fn drive(self) -> Vec<R> {
+        execute(&Map {
+            base: self.base,
+            f: self.f,
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_items(self.drive())
+    }
+
+    /// Minimum surviving item by `key`; deterministic (the lowest-index
+    /// item wins ties, as with `std`'s `Iterator::min_by_key`).
+    pub fn min_by_key<K, KF>(self, key: KF) -> Option<R>
+    where
+        K: Ord,
+        KF: Fn(&R) -> K,
+    {
+        self.drive().into_iter().min_by_key(|item| key(item))
+    }
+}
+
+/// `.par_chunks()` entry point, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ChunksIter<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ChunksIter { slice: self, size }
+    }
+}
+
 // ---- user-facing traits ------------------------------------------------
 
 /// The subset of `rayon::iter::ParallelIterator` the workspace uses.
@@ -214,6 +286,17 @@ pub trait ParallelIterator: IndexedSource {
 
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_items(self.drive())
+    }
+
+    /// Map-and-filter in one pass. The adapter keeps one slot per input
+    /// index internally, so downstream reductions stay index-ordered and
+    /// deterministic.
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        FilterMap { base: self, f }
     }
 
     /// Execute eagerly, preserving index order.
@@ -291,9 +374,14 @@ pub mod iter {
     };
 }
 
+pub mod slice {
+    pub use super::ParallelSlice;
+}
+
 pub mod prelude {
     pub use super::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
     };
 }
 
@@ -333,6 +421,35 @@ mod tests {
         });
         // Restored afterwards.
         assert_ne!(super::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn par_chunks_partitions_in_order() {
+        let v: Vec<usize> = (0..10).collect();
+        let chunks: Vec<Vec<usize>> = v.par_chunks(4).map(|c| c.to_vec()).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]);
+        // Exact multiple and empty slice.
+        let exact: Vec<Vec<usize>> = v[..8].par_chunks(4).map(|c| c.to_vec()).collect();
+        assert_eq!(exact.len(), 2);
+        let empty: Vec<Vec<usize>> = v[..0].par_chunks(4).map(|c| c.to_vec()).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn filter_map_min_by_key_is_deterministic() {
+        let v: Vec<usize> = (0..100).collect();
+        let min = v
+            .par_iter()
+            .filter_map(|&x| if x % 7 == 0 && x > 0 { Some(x) } else { None })
+            .min_by_key(|&x| x);
+        assert_eq!(min, Some(7));
+        let none = v
+            .par_iter()
+            .filter_map(|&x| if x > 1000 { Some(x) } else { None })
+            .min_by_key(|&x| x);
+        assert_eq!(none, None);
+        let collected: Vec<usize> = v.par_iter().filter_map(|&x| (x < 3).then_some(x)).collect();
+        assert_eq!(collected, vec![0, 1, 2]);
     }
 
     #[test]

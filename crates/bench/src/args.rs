@@ -31,6 +31,10 @@ pub struct CommonArgs {
     /// Write machine-readable results (per-phase ns, verifies/sec) to this
     /// path, for figures that support it.
     pub json: Option<String>,
+    /// Compare this run against a committed benchmark JSON and exit
+    /// nonzero on regression (figures that support it; syncbench gates
+    /// time-to-ban).
+    pub gate: Option<String>,
     /// Write a telemetry export after the run: Prometheus text to this
     /// path and a JSON snapshot to `<path>.json`.
     pub metrics_out: Option<String>,
@@ -109,6 +113,10 @@ impl CommonArgs {
                     out.json = Some(value(i).to_string());
                     i += 2;
                 }
+                "--gate" => {
+                    out.gate = Some(value(i).to_string());
+                    i += 2;
+                }
                 "--metrics-out" => {
                     out.metrics_out = Some(value(i).to_string());
                     i += 2;
@@ -117,7 +125,7 @@ impl CommonArgs {
                     eprintln!(
                         "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
                          --seq-ev --seq-sv --workers W --batch-verify --sweep-workers W1,W2,… \
-                         --parallel-ibd N --json PATH --metrics-out PATH\n\
+                         --parallel-ibd N --json PATH --gate PATH --metrics-out PATH\n\
                          (--metrics-out writes Prometheus text to PATH and a JSON \
                          snapshot to PATH.json)\n\
                          defaults: {defaults:?}"
@@ -160,6 +168,7 @@ impl Default for CommonArgs {
             sweep_workers: None,
             parallel_ibd: None,
             json: None,
+            gate: None,
             metrics_out: None,
         }
     }

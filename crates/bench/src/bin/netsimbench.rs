@@ -1,0 +1,377 @@
+//! Netsim-scale robustness benchmark: propagation at n ≥ 1000, eclipse
+//! resistance on/off, and partition-recovery convergence.
+//!
+//! Three figures in one binary, all driven by the seeded netsim stack so
+//! every number is reproducible from the JSON-embedded seed:
+//!
+//! 1. **Propagation at scale** — the Fig. 18 gossip experiment lifted
+//!    from 20 nodes to a guaranteed-connected random graph of `--prop-nodes`
+//!    (default 1000), EBV vs baseline validation models.
+//! 2. **Eclipse campaigns** — the adversary cohort of
+//!    [`ebv_netsim::eclipse`] against a naive address manager and against
+//!    the hardened [`PeerManager`] defenses, reported as eclipse-success
+//!    probability over `--seeds` campaigns.
+//! 3. **Partition-and-heal** — `--nodes` (default 500) nodes split,
+//!    extend their own branches, heal, and converge through the real
+//!    `reorg_to` engine; convergence rounds and reorg-depth distribution
+//!    per validation model.
+//!
+//! The committed full-scale file is `BENCH_netsim.json` (defaults, `--json
+//! BENCH_netsim.json`); CI runs a smoke size into `target/`.
+
+use ebv_core::sync::DefensePolicy;
+use ebv_netsim::{
+    run_eclipse_campaign, run_partition_heal, EclipseParams, GossipSim, PartitionParams, SimParams,
+    SimResult, Topology, ValidationModel,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Validation-time means for the scale experiments, fixed in the regime
+/// fig18 measures (baseline ~10× EBV; fig18's subject is calibration,
+/// this binary's is scale).
+const BASELINE_MEAN_US: u64 = 800_000;
+const EBV_MEAN_US: u64 = 80_000;
+
+struct Args {
+    prop_nodes: usize,
+    prop_degree: usize,
+    prop_runs: usize,
+    nodes: usize,
+    seeds: u64,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        prop_nodes: 1000,
+        prop_degree: 4,
+        prop_runs: 5,
+        nodes: 500,
+        seeds: 24,
+        seed: 1,
+        json: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        fn num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric value {s:?} for {flag}");
+                std::process::exit(2);
+            })
+        }
+        match flag {
+            "--prop-nodes" => {
+                out.prop_nodes = num(value(i), flag);
+                i += 2;
+            }
+            "--prop-degree" => {
+                out.prop_degree = num(value(i), flag);
+                i += 2;
+            }
+            "--prop-runs" => {
+                out.prop_runs = num(value(i), flag);
+                i += 2;
+            }
+            "--nodes" => {
+                out.nodes = num(value(i), flag);
+                i += 2;
+            }
+            "--seeds" => {
+                out.seeds = num(value(i), flag);
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = num(value(i), flag);
+                i += 2;
+            }
+            "--json" => {
+                out.json = Some(value(i).to_string());
+                i += 2;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "flags: --prop-nodes N --prop-degree K --prop-runs R --nodes N \
+                     --seeds S --seed S --json PATH\n\
+                     defaults: propagation 1000 nodes × 5 runs, partition 500 nodes, \
+                     eclipse 24 seeds"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Propagation summary over runs on the fixed large topology.
+struct PropStats {
+    p50_ms: f64,
+    p90_ms: f64,
+    last_ms: f64,
+}
+
+fn propagation(args: &Args, model: ValidationModel, label: &str) -> PropStats {
+    let sim = GossipSim::new(SimParams {
+        n_nodes: args.prop_nodes,
+        validation: model,
+        ..Default::default()
+    });
+    let mut p50 = Vec::new();
+    let mut p90 = Vec::new();
+    let mut last = Vec::new();
+    for run in 0..args.prop_runs as u64 {
+        // Fresh connected topology per run; the generator (not
+        // `Topology::random`) is what guarantees reachability at n ≥ 1000.
+        let mut rng = SmallRng::seed_from_u64(args.seed ^ (run.wrapping_mul(7919)));
+        let topo = Topology::random_connected(args.prop_nodes, args.prop_degree, &mut rng);
+        let result: SimResult = sim.run_on(&topo, 0, &mut rng);
+        assert!(
+            result.fully_propagated(),
+            "{label} run {run}: unreached nodes"
+        );
+        p50.push(result.percentile_ms(0.5));
+        p90.push(result.percentile_ms(0.9));
+        last.push(result.last_receive_ms());
+    }
+    let stats = PropStats {
+        p50_ms: mean(&p50),
+        p90_ms: mean(&p90),
+        last_ms: mean(&last),
+    };
+    println!(
+        "{label:<10} p50 {:>9.0} ms, p90 {:>9.0} ms, full {:>9.0} ms",
+        stats.p50_ms, stats.p90_ms, stats.last_ms
+    );
+    stats
+}
+
+/// Aggregate over one eclipse arm's campaigns.
+struct EclipseStats {
+    probability: f64,
+    mean_adversary_outbound: f64,
+    mean_honest_outbound: f64,
+    mean_table_poison: f64,
+}
+
+fn eclipse_arm(params: &EclipseParams, defenses: DefensePolicy, seeds: u64) -> EclipseStats {
+    let mut wins = 0u64;
+    let mut adv = Vec::new();
+    let mut honest = Vec::new();
+    let mut poison = Vec::new();
+    for seed in 0..seeds {
+        let (outcome, _) = run_eclipse_campaign(params, defenses, seed);
+        if outcome.eclipsed {
+            wins += 1;
+        }
+        adv.push(outcome.adversary_outbound as f64);
+        honest.push(outcome.honest_outbound as f64);
+        poison.push(outcome.table_poison_fraction);
+    }
+    EclipseStats {
+        probability: wins as f64 / seeds as f64,
+        mean_adversary_outbound: mean(&adv),
+        mean_honest_outbound: mean(&honest),
+        mean_table_poison: mean(&poison),
+    }
+}
+
+/// One partition-heal run's JSON-ready summary.
+struct PartitionStats {
+    converged: bool,
+    converged_nodes: usize,
+    heal_rounds: u32,
+    reorgs: usize,
+    depth_max: u32,
+    depth_mean: f64,
+    refused: usize,
+    total_modeled_us: u64,
+    heavy_tip: String,
+}
+
+fn partition_arm(params: &PartitionParams, model: ValidationModel, label: &str) -> PartitionStats {
+    let out = run_partition_heal(params, model);
+    let depth_mean = mean(
+        &out.reorg_depths
+            .iter()
+            .map(|&d| d as f64)
+            .collect::<Vec<_>>(),
+    );
+    let stats = PartitionStats {
+        converged: out.converged,
+        converged_nodes: out.converged_nodes,
+        heal_rounds: out.heal_rounds,
+        reorgs: out.reorg_depths.len(),
+        depth_max: out.reorg_depths.iter().max().copied().unwrap_or(0),
+        depth_mean,
+        refused: out.refused,
+        total_modeled_us: out.total_modeled_us,
+        heavy_tip: format!("{}", out.heavy_tip),
+    };
+    println!(
+        "{label:<10} converged {}/{} in {} rounds, {} reorgs (depth mean {:.1}, max {}), \
+         modeled {} ms",
+        stats.converged_nodes,
+        out.nodes,
+        stats.heal_rounds,
+        stats.reorgs,
+        stats.depth_mean,
+        stats.depth_max,
+        stats.total_modeled_us / 1000,
+    );
+    stats
+}
+
+fn prop_json(s: &PropStats) -> String {
+    format!(
+        "{{\"p50_ms\": {:.1}, \"p90_ms\": {:.1}, \"full_ms\": {:.1}}}",
+        s.p50_ms, s.p90_ms, s.last_ms
+    )
+}
+
+fn eclipse_json(s: &EclipseStats) -> String {
+    format!(
+        "{{\"probability\": {:.4}, \"mean_adversary_outbound\": {:.2}, \
+         \"mean_honest_outbound\": {:.2}, \"mean_table_poison_fraction\": {:.4}}}",
+        s.probability, s.mean_adversary_outbound, s.mean_honest_outbound, s.mean_table_poison
+    )
+}
+
+fn partition_json(s: &PartitionStats) -> String {
+    format!(
+        "{{\"converged\": {}, \"converged_nodes\": {}, \"heal_rounds\": {}, \
+         \"reorgs\": {}, \"reorg_depth_mean\": {:.2}, \"reorg_depth_max\": {}, \
+         \"refused\": {}, \"total_modeled_us\": {}, \"heavy_tip\": \"{}\"}}",
+        s.converged,
+        s.converged_nodes,
+        s.heal_rounds,
+        s.reorgs,
+        s.depth_mean,
+        s.depth_max,
+        s.refused,
+        s.total_modeled_us,
+        s.heavy_tip,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "# netsimbench — propagation {} nodes × {} runs, eclipse {} seeds, partition {} nodes \
+         (seed {})",
+        args.prop_nodes, args.prop_runs, args.seeds, args.nodes, args.seed
+    );
+
+    println!(
+        "\n## propagation at scale ({}-regular-ish connected graph)",
+        args.prop_degree
+    );
+    let prop_base = propagation(
+        &args,
+        ValidationModel::baseline_from_mean_us(BASELINE_MEAN_US),
+        "bitcoin",
+    );
+    let prop_ebv = propagation(&args, ValidationModel::ebv_from_mean_us(EBV_MEAN_US), "ebv");
+
+    println!("\n## eclipse-success probability over {} seeds", args.seeds);
+    let ecl_params = EclipseParams::default();
+    let naive = eclipse_arm(&ecl_params, DefensePolicy::naive(), args.seeds);
+    let hardened = eclipse_arm(&ecl_params, DefensePolicy::hardened(), args.seeds);
+    println!(
+        "naive      P(eclipse) {:.2}, outbound adv {:.1} / honest {:.1}, table poison {:.2}",
+        naive.probability,
+        naive.mean_adversary_outbound,
+        naive.mean_honest_outbound,
+        naive.mean_table_poison
+    );
+    println!(
+        "hardened   P(eclipse) {:.2}, outbound adv {:.1} / honest {:.1}, table poison {:.2}",
+        hardened.probability,
+        hardened.mean_adversary_outbound,
+        hardened.mean_honest_outbound,
+        hardened.mean_table_poison
+    );
+
+    println!("\n## partition-and-heal, {} nodes", args.nodes);
+    let part_params = PartitionParams {
+        nodes: args.nodes,
+        seed: args.seed ^ 0x9a27,
+        ..PartitionParams::default()
+    };
+    let part_ebv = partition_arm(
+        &part_params,
+        ValidationModel::ebv_from_mean_us(1_000),
+        "ebv",
+    );
+    let part_base = partition_arm(
+        &part_params,
+        ValidationModel::baseline_from_mean_us(10_000),
+        "bitcoin",
+    );
+    let tips_match = part_ebv.heavy_tip == part_base.heavy_tip
+        && part_ebv.converged_nodes == part_base.converged_nodes;
+    println!(
+        "post-heal state identical across models: {}",
+        if tips_match { "yes" } else { "NO" }
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            "{{\n  \"bench\": \"netsimbench\",\n  \"seed\": {},\n  \
+             \"propagation\": {{\n    \"nodes\": {}, \"degree\": {}, \"runs\": {},\n    \
+             \"baseline_mean_us\": {BASELINE_MEAN_US}, \"ebv_mean_us\": {EBV_MEAN_US},\n    \
+             \"bitcoin\": {},\n    \"ebv\": {}\n  }},\n  \
+             \"eclipse\": {{\n    \"seeds\": {},\n    \
+             \"params\": {{\"honest\": {}, \"adversary_groups\": {}, \"flood_per_round\": {}, \
+             \"rounds\": {}}},\n    \
+             \"naive\": {},\n    \"hardened\": {}\n  }},\n  \
+             \"partition\": {{\n    \"nodes\": {}, \"seed\": {}, \"prefix\": {}, \
+             \"branch_a\": {}, \"branch_b\": {}, \"max_reorg_depth\": {},\n    \
+             \"ebv\": {},\n    \"bitcoin\": {},\n    \"post_heal_state_identical\": {}\n  }}\n}}\n",
+            args.seed,
+            args.prop_nodes,
+            args.prop_degree,
+            args.prop_runs,
+            prop_json(&prop_base),
+            prop_json(&prop_ebv),
+            args.seeds,
+            ecl_params.honest,
+            ecl_params.adversary_groups,
+            ecl_params.flood_per_round,
+            ecl_params.rounds,
+            eclipse_json(&naive),
+            eclipse_json(&hardened),
+            part_params.nodes,
+            part_params.seed,
+            part_params.prefix,
+            part_params.branch_a,
+            part_params.branch_b,
+            part_params.max_reorg_depth,
+            partition_json(&part_ebv),
+            partition_json(&part_base),
+            tips_match,
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

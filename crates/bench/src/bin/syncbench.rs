@@ -35,6 +35,72 @@ fn mean(v: &[u64]) -> u64 {
     }
 }
 
+/// Time-to-ban regression gate against a committed `BENCH_sync.json`:
+/// every adversary class the committed run banned must still be present,
+/// still map to the same violation slug, and its mean time-to-ban in this
+/// run must stay within an order of magnitude of the committed mean. The
+/// factor is deliberately generous — CI machines are noisy and the smoke
+/// run is smaller than the committed full-scale run — so the gate catches
+/// "banning stopped working or got pathologically slow", not
+/// single-digit-percent drift.
+fn gate_against(path: &str, classes: &[ClassResult]) {
+    use ebv_telemetry::json::{self, Value};
+    const MAX_REGRESSION_FACTOR: f64 = 10.0;
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--gate {path}: {e}"));
+    let v = json::parse(&text).unwrap_or_else(|e| panic!("--gate {path}: bad JSON: {e}"));
+    let committed = match v.get("classes") {
+        Some(Value::Array(items)) => items,
+        _ => panic!("--gate {path}: no \"classes\" array"),
+    };
+    println!("\n## time-to-ban gate vs {path}");
+    let mut failed = false;
+    for item in committed {
+        let name = item
+            .get("adversary")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("--gate {path}: class without \"adversary\""));
+        let slug = item.get("expected_slug").and_then(Value::as_str);
+        let committed_ban = item
+            .get("ban_us_mean")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("--gate {path}: {name} without \"ban_us_mean\""));
+        let Some(current) = classes.iter().find(|c| c.label == name) else {
+            println!("FAIL {name:<24} class disappeared from the bench");
+            failed = true;
+            continue;
+        };
+        if slug.is_some_and(|s| s != current.expected_slug) {
+            println!(
+                "FAIL {name:<24} slug changed: committed {:?}, now {:?}",
+                slug.unwrap_or(""),
+                current.expected_slug
+            );
+            failed = true;
+            continue;
+        }
+        let current_ban = mean(&current.ban_us) as f64;
+        let bound = committed_ban * MAX_REGRESSION_FACTOR;
+        if current_ban > bound {
+            println!(
+                "FAIL {name:<24} time-to-ban {current_ban:.0} us > {MAX_REGRESSION_FACTOR}x \
+                 committed mean {committed_ban:.0} us"
+            );
+            failed = true;
+        } else {
+            println!(
+                "ok   {name:<24} time-to-ban {current_ban:.0} us (committed {committed_ban:.0} \
+                 us, bound {bound:.0} us)"
+            );
+        }
+    }
+    if failed {
+        eprintln!("time-to-ban gate FAILED against {path}");
+        std::process::exit(1);
+    }
+    println!("time-to-ban gate passed ({} classes)", committed.len());
+}
+
 fn main() {
     let args = CommonArgs::parse(CommonArgs {
         blocks: 40,
@@ -107,6 +173,10 @@ fn main() {
         classes.push(result);
     }
 
+    if let Some(gate_path) = &args.gate {
+        gate_against(gate_path, &classes);
+    }
+
     if let Some(path) = &args.json {
         let class_json: Vec<String> = classes
             .iter()
@@ -126,11 +196,13 @@ fn main() {
             .collect();
         let json = format!(
             "{{\n  \"bench\": \"syncbench\",\n  \"blocks\": {},\n  \"runs\": {},\n  \
+             \"seed\": {},\n  \
              \"peers_per_class\": {{\"adversarial\": 3, \"honest\": 1}},\n  \
              \"clean_tcp_wall_us_mean\": {},\n  \"in_process_faults_wall_us_mean\": {},\n  \
              \"classes\": [\n{}\n  ]\n}}\n",
             args.blocks,
             args.runs,
+            args.seed,
             mean(&clean_us),
             mean(&inproc_us),
             class_json.join(",\n"),

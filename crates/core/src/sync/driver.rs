@@ -228,6 +228,15 @@ impl<T: Transport> PeerCtl<T> {
             self.stats.banned_at_us = Some(banned_after_us);
             counter!("sync.peer.bans").inc();
             peer_counter("sync.peer.bans", self.handle.id());
+            // Export the time-to-ban per peer: the containment bound the
+            // fault matrix asserts on becomes scrapeable.
+            if ebv_telemetry::enabled() {
+                ebv_telemetry::registry::gauge(&format!(
+                    "sync.peer.banned_at_us{{peer={}}}",
+                    self.handle.id()
+                ))
+                .set(banned_after_us);
+            }
             trace_event!(
                 "sync.peer_banned",
                 peer = self.handle.id(),
@@ -387,6 +396,7 @@ pub fn sync_multi<N: ValidatingNode, T: Transport>(
             RequestOutcome::Wire(err) => {
                 ctls[i].stats.wire_errors += 1;
                 peer_counter("sync.peer.wire_errors", peer_id);
+                wire_class_counter(peer_id, err.slug());
                 // The wire error's slug is the score reason, so a ban
                 // trace names the byte-level violation that earned it.
                 let attempts = ctls[i].penalize(wire_penalty(&err), err.slug(), cfg);
@@ -519,6 +529,18 @@ fn peer_counter(name: &str, peer: usize) {
     }
 }
 
+/// Bump `sync.peer.wire_errors{peer=N,class=<slug>}` — the per-peer,
+/// per-violation-class breakdown the metrics snapshot exports alongside
+/// the plain per-peer total.
+fn wire_class_counter(peer: usize, class: &str) {
+    if ebv_telemetry::enabled() {
+        ebv_telemetry::registry::counter(&format!(
+            "sync.peer.wire_errors{{peer={peer},class={class}}}"
+        ))
+        .inc();
+    }
+}
+
 fn finish_all<T: Transport>(ctls: &mut [PeerCtl<T>]) {
     for c in ctls {
         c.handle.finish();
@@ -611,6 +633,7 @@ fn resolve_fork<N: ValidatingNode, T: Transport>(
             }
             RequestOutcome::Wire(err) => {
                 ctl.stats.wire_errors += 1;
+                wire_class_counter(ctl.handle.id(), err.slug());
                 return ForkOutcome::RequestFailed {
                     penalty: wire_penalty(&err),
                     reason: format!("wire violation fetching height {h} during fork walk: {err}"),
@@ -675,6 +698,7 @@ fn resolve_fork<N: ValidatingNode, T: Transport>(
             }
             RequestOutcome::Wire(err) => {
                 ctl.stats.wire_errors += 1;
+                wire_class_counter(ctl.handle.id(), err.slug());
                 return ForkOutcome::RequestFailed {
                     penalty: wire_penalty(&err),
                     reason: format!(

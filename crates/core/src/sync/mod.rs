@@ -36,19 +36,25 @@
 
 pub mod driver;
 pub mod fault;
+pub mod managed;
 pub mod netfault;
 pub mod node;
 pub mod peer;
+pub mod peer_manager;
 pub mod reorg;
 pub mod tcp_peer;
 pub mod wire;
 
 pub use driver::{sync_multi, PeerStats, SyncConfig, SyncReport, SYNC_BATCH};
 pub use fault::{Fault, FaultSchedule, FaultyPeer};
+pub use managed::{sync_managed, ManagedConfig, ManagedReport, PeerFactory};
 pub use netfault::{serve_adversary, AdversarialServer, WireAdversary};
 pub use node::ValidatingNode;
 pub use peer::{
     spawn_source, BlockSource, PeerHandle, Request, RequestOutcome, Response, Transport,
+};
+pub use peer_manager::{
+    ConnectedPeer, DefensePolicy, InboundDecision, PeerAddr, PeerManager, PeerManagerConfig,
 };
 pub use reorg::{reorg_to, ReorgError};
 pub use tcp_peer::{serve_blocks, TcpPeer, TcpServer, WireConfig};

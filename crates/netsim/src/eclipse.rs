@@ -1,0 +1,361 @@
+//! Eclipse campaigns: an adversary cohort tries to monopolize every peer
+//! slot of a victim node.
+//!
+//! The scenario reproduces the Heilman-style attack at the level the
+//! [`PeerManager`] defends: the adversary controls every address in a
+//! small number of netgroups, floods the victim's addr gossip with
+//! thousands of addresses from those groups, hammers the victim's inbound
+//! capacity with connection churn, and waits for natural outbound churn
+//! (and one victim restart) to hand it the remaining slots. The honest
+//! population is spread over many netgroups but is only intermittently
+//! dialable — the attacker is meanwhile saturating *their* inbound slots
+//! too, which is what makes the attack converge against a naive address
+//! manager.
+//!
+//! A campaign is a pure function of its seed: the same
+//! [`EclipseParams`] and seed replay the identical attack, so
+//! [`eclipse_probability`] measures the defense as a reproducible number
+//! — the fraction of seeds in which the victim ends fully eclipsed.
+//! With [`DefensePolicy::naive`] the attack should win most seeds; with
+//! [`DefensePolicy::hardened`] it should win none (asserted in
+//! `tests/eclipse.rs`, recorded in `BENCH_netsim.json`).
+
+use ebv_core::sync::{DefensePolicy, PeerAddr, PeerManager, PeerManagerConfig};
+use ebv_telemetry::{counter, histogram, trace_event};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Netgroups `1..=adversary_groups` belong to the attacker; honest nodes
+/// live at `HONEST_GROUP_BASE + i`, one per netgroup.
+pub const HONEST_GROUP_BASE: u16 = 1000;
+
+/// Campaign shape. Defaults model a serious but realistically-resourced
+/// attacker: many addresses, few netgroups.
+#[derive(Clone, Copy, Debug)]
+pub struct EclipseParams {
+    /// Honest nodes, each in its own netgroup (`HONEST_GROUP_BASE + i`).
+    pub honest: usize,
+    /// Netgroups the adversary controls (the defense's lever: keep this
+    /// below `outbound_slots` and diversity caps the attacker).
+    pub adversary_groups: u16,
+    /// Addresses the adversary floods per round.
+    pub flood_per_round: usize,
+    /// Adversary inbound connection attempts per round (slot churn).
+    pub inbound_churn: usize,
+    /// Honest addresses gossiped to the victim per round.
+    pub honest_gossip: usize,
+    /// Percent chance per round that one honest node dials the victim
+    /// (honest inbound is occasional — most honest nodes have their
+    /// outbound slots pointed elsewhere).
+    pub honest_inbound_percent: u32,
+    /// Percent chance each victim outbound link drops per round.
+    pub churn_percent: u32,
+    /// Percent chance a dial to an honest node succeeds (the attacker is
+    /// saturating honest inbound capacity too).
+    pub honest_dial_percent: u32,
+    /// Campaign length in rounds.
+    pub rounds: u32,
+    /// Round at which the victim restarts (connections drop; tables and,
+    /// if the defense is on, anchors persist).
+    pub restart_at: Option<u32>,
+    /// Bootstrap honest addresses the victim starts with ("DNS seeds").
+    pub bootstrap: usize,
+}
+
+impl Default for EclipseParams {
+    fn default() -> Self {
+        EclipseParams {
+            honest: 64,
+            adversary_groups: 4,
+            flood_per_round: 256,
+            inbound_churn: 8,
+            honest_gossip: 4,
+            honest_inbound_percent: 20,
+            churn_percent: 20,
+            honest_dial_percent: 60,
+            rounds: 48,
+            restart_at: Some(24),
+            bootstrap: 8,
+        }
+    }
+}
+
+/// How one campaign ended.
+#[derive(Clone, Copy, Debug)]
+pub struct EclipseOutcome {
+    /// Every live connection (and at least one existed) was adversarial
+    /// at campaign end.
+    pub eclipsed: bool,
+    /// First round at which the victim was fully eclipsed, if ever.
+    pub first_eclipsed_round: Option<u32>,
+    /// Adversary-held outbound slots at campaign end.
+    pub adversary_outbound: usize,
+    /// Honest outbound slots at campaign end.
+    pub honest_outbound: usize,
+    /// Fraction of occupied table slots holding adversary addresses.
+    pub table_poison_fraction: f64,
+}
+
+/// Whether `addr` belongs to the attacker cohort under `params`.
+pub fn is_adversary(addr: PeerAddr, params: &EclipseParams) -> bool {
+    (1..=params.adversary_groups).contains(&addr.netgroup())
+}
+
+/// The honest node `i`'s address.
+pub fn honest_addr(i: usize) -> PeerAddr {
+    PeerAddr::synthetic(HONEST_GROUP_BASE + i as u16, 0)
+}
+
+/// Run one seeded campaign against a victim using `defenses`. Returns the
+/// outcome plus the victim's [`PeerManager`] so callers can continue the
+/// story (e.g. drive `sync_managed` through the post-campaign tables).
+pub fn run_eclipse_campaign(
+    params: &EclipseParams,
+    defenses: DefensePolicy,
+    seed: u64,
+) -> (EclipseOutcome, PeerManager) {
+    counter!("eclipse.campaigns").inc();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xec11_95e0);
+    let cfg = PeerManagerConfig {
+        defenses,
+        seed,
+        ..PeerManagerConfig::default()
+    };
+    let mut manager = PeerManager::new(cfg);
+    for i in 0..params.bootstrap.min(params.honest) {
+        let a = honest_addr(i);
+        manager.add_addr(a, a.netgroup());
+    }
+
+    let mut flood_host = 0u16;
+    let mut inbound_host = 10_000u16;
+    let mut first_eclipsed: Option<u32> = None;
+    let mut anchors: Vec<PeerAddr> = Vec::new();
+
+    // The dial model: adversary addresses always answer (they are real
+    // attacker daemons); honest addresses answer `honest_dial_percent` of
+    // the time (their slots are under attack as well); anything else —
+    // fabricated addresses — never answers.
+    let dialable = |addr: PeerAddr, rng: &mut SmallRng, params: &EclipseParams| {
+        if is_adversary(addr, params) {
+            true
+        } else if addr.netgroup() >= HONEST_GROUP_BASE
+            && usize::from(addr.netgroup() - HONEST_GROUP_BASE) < params.honest
+            && addr.ip[2] == 0
+            && addr.ip[3] == 0
+        {
+            rng.gen_range(0..100) < params.honest_dial_percent
+        } else {
+            false
+        }
+    };
+
+    for round in 0..params.rounds {
+        let tick = u64::from(round) + 1;
+
+        // 1. Addr gossip: the adversary floods from each of its groups,
+        // rotating source groups so every (group, source) bucket it can
+        // reach fills; honest gossip trickles in from honest sources.
+        for _ in 0..params.flood_per_round {
+            let group = 1 + (flood_host % params.adversary_groups);
+            let source = 1 + ((flood_host / 7) % params.adversary_groups);
+            manager.add_addr(PeerAddr::synthetic(group, 1 + flood_host / 4), source);
+            flood_host = flood_host.wrapping_add(1);
+        }
+        for _ in 0..params.honest_gossip {
+            let i = rng.gen_range(0..params.honest);
+            let source = HONEST_GROUP_BASE + rng.gen_range(0..params.honest) as u16;
+            manager.add_addr(honest_addr(i), source);
+        }
+
+        // 2. Natural outbound churn.
+        let out_now: Vec<PeerAddr> = manager.outbound().iter().map(|c| c.addr).collect();
+        for addr in out_now {
+            if rng.gen_range(0..100) < params.churn_percent {
+                manager.disconnect(addr);
+            }
+        }
+
+        // 3. Victim restart: connections drop; the address tables (and,
+        // with the defense on, the persisted anchor file) survive.
+        if params.restart_at == Some(round) {
+            let bytes = PeerManager::encode_anchors(&anchors);
+            let restored = PeerManager::decode_anchors(&bytes).unwrap_or_default();
+            let out_now: Vec<PeerAddr> = manager.outbound().iter().map(|c| c.addr).collect();
+            for addr in out_now {
+                manager.disconnect(addr);
+            }
+            let in_now: Vec<PeerAddr> = manager.inbound().iter().map(|c| c.addr).collect();
+            for addr in in_now {
+                manager.disconnect(addr);
+            }
+            for addr in restored {
+                if dialable(addr, &mut rng, params) {
+                    manager.connect_outbound(addr, tick);
+                    manager.mark_good(addr, tick);
+                }
+            }
+            counter!("eclipse.restarts").inc();
+        }
+
+        // 4. Refill outbound slots from the tables.
+        let slots = manager.config().outbound_slots;
+        let mut stuck = 0;
+        while manager.outbound().len() < slots && stuck < 2 * slots {
+            let Some(addr) = manager.select_outbound() else {
+                break;
+            };
+            if dialable(addr, &mut rng, params) {
+                manager.connect_outbound(addr, tick);
+                manager.mark_good(addr, tick);
+            } else {
+                manager.mark_failed(addr);
+                stuck += 1;
+            }
+        }
+
+        // 5. Feeler probe.
+        if let Some(addr) = manager.feeler_candidate(tick) {
+            if dialable(addr, &mut rng, params) {
+                manager.mark_good(addr, tick);
+            } else {
+                manager.mark_failed(addr);
+            }
+        }
+
+        // 6. Inbound pressure: the adversary churns fresh connections at
+        // the victim's inbound capacity; a trickle of honest inbound
+        // arrives and keeps being useful (it relays real blocks).
+        for _ in 0..params.inbound_churn {
+            let group = 1 + rng.gen_range(0..u32::from(params.adversary_groups)) as u16;
+            let addr = PeerAddr::synthetic(group, inbound_host);
+            inbound_host = inbound_host.wrapping_add(1);
+            let _ = manager.try_accept_inbound(addr, tick);
+        }
+        if rng.gen_range(0..100) < params.honest_inbound_percent {
+            let i = rng.gen_range(0..params.honest);
+            let addr = PeerAddr::synthetic(HONEST_GROUP_BASE + i as u16, 1);
+            let _ = manager.try_accept_inbound(addr, tick);
+        }
+        let honest_in: Vec<PeerAddr> = manager
+            .inbound()
+            .iter()
+            .map(|c| c.addr)
+            .filter(|a| a.netgroup() >= HONEST_GROUP_BASE)
+            .collect();
+        for addr in honest_in {
+            manager.mark_useful(addr, tick);
+        }
+
+        // 7. Anchor bookkeeping (what the victim would persist to disk).
+        anchors = manager.anchors();
+
+        // 8. Eclipse check.
+        let total = manager.outbound().len() + manager.inbound().len();
+        let adversarial = manager
+            .outbound()
+            .iter()
+            .chain(manager.inbound().iter())
+            .filter(|c| is_adversary(c.addr, params))
+            .count();
+        if total > 0 && adversarial == total && first_eclipsed.is_none() {
+            first_eclipsed = Some(round);
+        }
+    }
+
+    let adversary_outbound = manager
+        .outbound()
+        .iter()
+        .filter(|c| is_adversary(c.addr, params))
+        .count();
+    let honest_outbound = manager.outbound().len() - adversary_outbound;
+    let total = manager.outbound().len() + manager.inbound().len();
+    let adversarial = manager
+        .outbound()
+        .iter()
+        .chain(manager.inbound().iter())
+        .filter(|c| is_adversary(c.addr, params))
+        .count();
+    let eclipsed = total > 0 && adversarial == total;
+    let table_poison_fraction =
+        manager.table_fraction(|a| (1..=params.adversary_groups).contains(&a.netgroup()));
+    if eclipsed {
+        counter!("eclipse.successes").inc();
+        if let Some(r) = first_eclipsed {
+            histogram!("eclipse.first_round").record(u64::from(r));
+        }
+    }
+    trace_event!(
+        "eclipse.campaign_end",
+        seed = seed,
+        eclipsed = eclipsed,
+        adversary_outbound = adversary_outbound,
+        honest_outbound = honest_outbound,
+    );
+    (
+        EclipseOutcome {
+            eclipsed,
+            first_eclipsed_round: first_eclipsed,
+            adversary_outbound,
+            honest_outbound,
+            table_poison_fraction,
+        },
+        manager,
+    )
+}
+
+/// Eclipse-success probability across `seeds` campaigns (seeds
+/// `0..seeds`).
+pub fn eclipse_probability(params: &EclipseParams, defenses: DefensePolicy, seeds: u64) -> f64 {
+    let mut wins = 0u64;
+    for seed in 0..seeds {
+        let (outcome, _) = run_eclipse_campaign(params, defenses, seed);
+        if outcome.eclipsed {
+            wins += 1;
+        }
+    }
+    wins as f64 / seeds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_per_seed() {
+        let p = EclipseParams::default();
+        let (a, _) = run_eclipse_campaign(&p, DefensePolicy::naive(), 5);
+        let (b, _) = run_eclipse_campaign(&p, DefensePolicy::naive(), 5);
+        assert_eq!(a.eclipsed, b.eclipsed);
+        assert_eq!(a.first_eclipsed_round, b.first_eclipsed_round);
+        assert_eq!(a.adversary_outbound, b.adversary_outbound);
+        assert!((a.table_poison_fraction - b.table_poison_fraction).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn hardened_tables_stay_mostly_clean() {
+        let p = EclipseParams::default();
+        let (hard, _) = run_eclipse_campaign(&p, DefensePolicy::hardened(), 1);
+        let (naive, _) = run_eclipse_campaign(&p, DefensePolicy::naive(), 1);
+        assert!(
+            hard.table_poison_fraction < naive.table_poison_fraction,
+            "bucketing must bound poisoning: hardened {} vs naive {}",
+            hard.table_poison_fraction,
+            naive.table_poison_fraction
+        );
+    }
+
+    #[test]
+    fn diversity_caps_adversary_outbound() {
+        let p = EclipseParams::default();
+        for seed in 0..5 {
+            let (outcome, _) = run_eclipse_campaign(&p, DefensePolicy::hardened(), seed);
+            assert!(
+                outcome.adversary_outbound <= usize::from(p.adversary_groups),
+                "seed {seed}: adversary got {} outbound from {} groups",
+                outcome.adversary_outbound,
+                p.adversary_groups
+            );
+        }
+    }
+}

@@ -11,13 +11,19 @@
 //! the deployment is simulated with an inter-region RTT matrix calibrated
 //! to typical AWS inter-region latencies (see [`topology::REGION_RTT_MS`]).
 
+pub mod eclipse;
 pub mod experiment;
+pub mod partition;
 pub mod sim;
 pub mod syncsim;
 pub mod topology;
 pub mod validation;
 
+pub use eclipse::{
+    eclipse_probability, run_eclipse_campaign, EclipseOutcome, EclipseParams, HONEST_GROUP_BASE,
+};
 pub use experiment::{compare, Comparison};
+pub use partition::{run_partition_heal, PartitionOutcome, PartitionParams};
 pub use sim::{GossipSim, SimParams, SimResult};
 pub use syncsim::{sync_under_faults, sync_under_wire_faults, ModelNode, SyncSimResult};
 pub use topology::{LatencyMatrix, Topology};

@@ -114,6 +114,70 @@ impl Topology {
         Topology { regions, neighbors }
     }
 
+    /// Build a gossip graph over `n` nodes that is connected **by
+    /// construction**, at any scale: a ring over a seeded permutation of
+    /// the nodes forms the backbone (connectivity is structural, not
+    /// checked after the fact like [`Topology::random`]'s stitch pass),
+    /// and each node then opens up to `k.saturating_sub(2)` random chords
+    /// for realistic gossip fan-out. Deterministic per `rng` seed; built
+    /// for the n ≥ 1000 campaign scenarios where `random`'s
+    /// attempt-bounded loop and O(n)-per-miss stitch get slow and had
+    /// only ever been exercised at n = 20.
+    pub fn random_connected(n: usize, k: usize, rng: &mut SmallRng) -> Topology {
+        assert!(n >= 3, "ring backbone needs at least three nodes");
+        assert!(k >= 2 && k < n, "need 2 ≤ k < n");
+        let regions = (0..n).map(|i| i % N_REGIONS).collect();
+        // Seeded Fisher–Yates permutation (the rand shim has no shuffle).
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let add_edge = |neighbors: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+            if a != b && !neighbors[a].contains(&b) {
+                neighbors[a].push(b);
+                neighbors[b].push(a);
+            }
+        };
+        for w in 0..n {
+            add_edge(&mut neighbors, perm[w], perm[(w + 1) % n]);
+        }
+        let chords = k.saturating_sub(2);
+        for i in 0..n {
+            let mut opened = 0;
+            let mut attempts = 0;
+            while opened < chords && attempts < 32 {
+                attempts += 1;
+                let cand = rng.gen_range(0..n);
+                if cand != i && !neighbors[i].contains(&cand) {
+                    add_edge(&mut neighbors, i, cand);
+                    opened += 1;
+                }
+            }
+        }
+        Topology { regions, neighbors }
+    }
+
+    /// Whether every node is reachable from node 0 (BFS).
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![0usize];
+        let mut count = 0usize;
+        while let Some(v) = stack.pop() {
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            count += 1;
+            stack.extend(self.neighbors[v].iter().copied());
+        }
+        count == self.len()
+    }
+
     pub fn len(&self) -> usize {
         self.regions.len()
     }
@@ -170,6 +234,35 @@ mod tests {
                 "seed {seed} gave disconnected topology"
             );
         }
+    }
+
+    #[test]
+    fn random_connected_holds_at_scale() {
+        for &n in &[3usize, 20, 500, 1000, 2000] {
+            let mut rng = SmallRng::seed_from_u64(n as u64);
+            let t = Topology::random_connected(n, 4.min(n - 1), &mut rng);
+            assert_eq!(t.len(), n);
+            assert!(t.is_connected(), "n={n} must be connected");
+            for (i, neigh) in t.neighbors.iter().enumerate() {
+                assert!(neigh.len() >= 2, "node {i} below ring degree");
+                assert!(!neigh.contains(&i), "no self-loop");
+                let set: std::collections::HashSet<_> = neigh.iter().collect();
+                assert_eq!(set.len(), neigh.len(), "no duplicate neighbor");
+                for &j in neigh {
+                    assert!(t.neighbors[j].contains(&i), "{i}↔{j} must be mutual");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_connected_is_seed_deterministic() {
+        let build = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Topology::random_connected(1000, 4, &mut rng).neighbors
+        };
+        assert_eq!(build(9), build(9), "same seed, same graph");
+        assert_ne!(build(9), build(10), "different seed, different graph");
     }
 
     #[test]

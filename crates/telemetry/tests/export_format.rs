@@ -20,6 +20,12 @@ fn sample_snapshot() -> Snapshot {
     r.counter("store.fetches").add(200);
     r.counter("store.cache.hits").add(150);
     r.counter("sync.peer.requests{peer=3}").add(17);
+    r.counter("sync.peer.wire_errors{peer=3}").add(5);
+    r.counter("sync.peer.wire_errors{peer=3,class=bad_magic}")
+        .add(3);
+    r.counter("sync.peer.wire_errors{peer=3,class=oversized_frame}")
+        .add(2);
+    r.gauge("sync.peer.banned_at_us{peer=3}").set(8_214);
     r.gauge("ebv.bitvec.resident_bytes").set(4096);
     let h = r.histogram("ebv.sv");
     for v in [5u64, 100, 100, 250_000] {
@@ -120,6 +126,26 @@ fn json_snapshot_round_trips_through_own_parser() {
             .get("sync.peer.requests{peer=3}")
             .and_then(json::Value::as_f64),
         Some(17.0)
+    );
+    // Per-peer wire violations: the plain total and the class breakdown
+    // must both survive export.
+    assert_eq!(
+        counters
+            .get("sync.peer.wire_errors{peer=3}")
+            .and_then(json::Value::as_f64),
+        Some(5.0)
+    );
+    assert_eq!(
+        counters
+            .get("sync.peer.wire_errors{peer=3,class=bad_magic}")
+            .and_then(json::Value::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(
+        v.get("gauges")
+            .and_then(|g| g.get("sync.peer.banned_at_us{peer=3}"))
+            .and_then(json::Value::as_f64),
+        Some(8_214.0)
     );
     assert_eq!(
         v.get("gauges")

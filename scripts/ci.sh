@@ -62,9 +62,38 @@ echo "==> fig17 parallel-IBD smoke"
 # Sync-under-faults bench smoke: wall time plus time-to-ban per adversary
 # class over real TCP. Small size into target/ — the committed
 # BENCH_sync.json comes from the full-scale run (--blocks 40 --runs 3).
-echo "==> syncbench smoke (TCP sync wall time + time-to-ban, 180s cap)"
+# --gate regresses the current time-to-ban against the committed figures:
+# every committed adversary class must still ban, with the same slug, no
+# slower than 10x the committed mean.
+echo "==> syncbench smoke + time-to-ban gate (180s cap)"
 timeout 180 ./target/release/syncbench --blocks 16 --runs 1 \
+    --gate BENCH_sync.json \
     --json target/BENCH_sync_smoke.json > /dev/null
+
+# Eclipse resistance: the adversary must win a majority of seeds against
+# a naive address manager and none against the hardened PeerManager, and
+# a hardened victim must still reach the honest tip through its
+# post-campaign tables. Campaigns are seeded and deterministic; the cap
+# catches a campaign that stops terminating.
+echo "==> cargo test --test eclipse (eclipse campaigns, 120s cap)"
+timeout 120 cargo test -q --release --test eclipse
+
+# Partition recovery: 500 netsim nodes must converge onto the heavier
+# branch after the heal through the real reorg engine, EBV and baseline
+# models must reach identical post-heal state, and a fork deeper than
+# max_reorg_depth must fail closed on both node types.
+echo "==> cargo test --test partition_heal (partition recovery, 120s cap)"
+timeout 120 cargo test -q --release --test partition_heal
+
+# Netsim bench smoke: propagation percentiles, eclipse probability per
+# defense arm, and the partition-heal differential at reduced scale.
+# Writes under target/ — the committed BENCH_netsim.json comes from the
+# full-scale run (defaults: 1000-node propagation, 24 eclipse seeds,
+# 500-node partition).
+echo "==> netsimbench smoke (eclipse + partition + propagation, 180s cap)"
+timeout 180 ./target/release/netsimbench --prop-nodes 200 --prop-runs 1 \
+    --nodes 60 --seeds 4 \
+    --json target/BENCH_netsim_smoke.json > /dev/null
 
 # Batch ECDSA verification must be a pure performance layer: the
 # crypto-level differential suite (edge scalars, mixed batches,

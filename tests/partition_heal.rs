@@ -1,0 +1,216 @@
+//! Partition-recovery acceptance suite: after a gossip partition heals,
+//! all 500 netsim nodes must converge onto the heavier branch through the
+//! real `reorg_to` engine, the EBV and baseline validation models must
+//! reach bit-identical post-heal state, and — satellite to the netsim
+//! scenario — a fork deeper than `max_reorg_depth` must fail *closed*
+//! through the real sync driver, on both node types, with a scored,
+//! slug-attributed outcome rather than a stall or a wrapped reorg.
+
+use ebv::chain::{build_block, coinbase_tx, Block};
+use ebv::core::{
+    sync_multi, BaselineConfig, BaselineNode, EbvConfig, EbvNode, Intermediary, PeerHandle,
+    SyncConfig,
+};
+use ebv::netsim::{run_partition_heal, PartitionParams, ValidationModel};
+use ebv::script::Script;
+use ebv::store::{KvStore, StoreConfig, UtxoSet};
+use ebv::workload::{ChainGenerator, GeneratorParams};
+
+#[test]
+fn all_500_nodes_converge_to_the_heavy_tip() {
+    let params = PartitionParams::default();
+    assert!(params.nodes >= 500, "acceptance scale is >= 500 nodes");
+    let out = run_partition_heal(&params, ValidationModel::ebv_from_mean_us(1_000));
+    assert!(
+        out.converged,
+        "only {}/{} nodes converged after {} heal rounds",
+        out.converged_nodes, out.nodes, out.heal_rounds
+    );
+    assert_eq!(out.converged_nodes, params.nodes);
+    assert!(
+        out.heal_rounds < params.max_heal_rounds,
+        "convergence must not hit the round backstop"
+    );
+    assert_eq!(out.refused, 0, "no reorg is deeper than the default bound");
+    assert!(!out.reorg_depths.is_empty(), "the minority must reorg");
+    assert!(
+        out.reorg_depths.iter().all(|&d| d <= params.branch_a),
+        "no reorg can be deeper than branch A: {:?}",
+        out.reorg_depths
+    );
+}
+
+#[test]
+fn ebv_and_baseline_models_reach_identical_post_heal_state() {
+    // Differential: the validation model changes only the modeled cost,
+    // never the consensus outcome. Same seed, same topology, same
+    // reorg schedule — different total modeled time.
+    let params = PartitionParams::default();
+    let ebv = run_partition_heal(&params, ValidationModel::ebv_from_mean_us(1_000));
+    let baseline = run_partition_heal(&params, ValidationModel::baseline_from_mean_us(10_000));
+    assert!(ebv.converged && baseline.converged);
+    assert_eq!(ebv.heavy_tip, baseline.heavy_tip, "post-heal tips differ");
+    assert_eq!(ebv.converged_nodes, baseline.converged_nodes);
+    assert_eq!(ebv.heal_rounds, baseline.heal_rounds);
+    assert_eq!(
+        ebv.reorg_depths, baseline.reorg_depths,
+        "the reorg schedule must be model-independent"
+    );
+    assert!(
+        ebv.total_modeled_us < baseline.total_modeled_us,
+        "EBV recovery must be modeled cheaper: {} vs {}",
+        ebv.total_modeled_us,
+        baseline.total_modeled_us
+    );
+}
+
+#[test]
+fn too_deep_partition_fails_closed_at_netsim_scale() {
+    // The netsim-level fail-closed story at the acceptance node count: a
+    // minority branch deeper than the bound leaves its nodes visibly
+    // unconverged (refusals counted), never wrapped or stalled.
+    let params = PartitionParams {
+        branch_a: 10,
+        branch_b: 12,
+        max_reorg_depth: 4,
+        ..PartitionParams::default()
+    };
+    let out = run_partition_heal(&params, ValidationModel::ebv_from_mean_us(1_000));
+    assert!(!out.converged, "deep minority nodes must refuse the reorg");
+    assert!(out.refused > 0, "refusals must be counted, not silent");
+    assert!(
+        out.reorg_depths.iter().all(|&d| d <= 4),
+        "every performed reorg stays within the bound: {:?}",
+        out.reorg_depths
+    );
+}
+
+/// `base[..=fork]` plus `ext` fresh empty blocks (distinct `time` keeps
+/// the branch's hashes off the main chain).
+fn fork_chain(base: &[Block], fork: u32, ext: usize, time: u32) -> Vec<Block> {
+    let mut chain: Vec<Block> = base[..=fork as usize].to_vec();
+    for k in 0..ext {
+        let h = fork + 1 + k as u32;
+        let prev = chain.last().expect("prefix nonempty").header.hash();
+        chain.push(build_block(
+            prev,
+            coinbase_tx(h, Script::new(), Vec::new()),
+            Vec::new(),
+            time,
+            0,
+        ));
+    }
+    chain
+}
+
+/// The fail-closed verdict shared by both node types: the deep-fork peer
+/// was banned on scored `fork_rejected` penalties (slug-attributed in the
+/// process-global trace), the honest peer was not, and no blocks were
+/// unwound — the fork was refused, not wrapped into a partial reorg.
+fn assert_depth_refusal(report: &ebv::core::SyncReport, honest_id: usize, fork_id: usize) {
+    let stat = |id: usize| {
+        report
+            .peers
+            .iter()
+            .find(|p| p.id == id)
+            .unwrap_or_else(|| panic!("no stats for peer {id}"))
+    };
+    let fork = stat(fork_id);
+    assert!(fork.banned, "the deep-fork peer must be banned");
+    assert!(
+        fork.banned_at_us.is_some(),
+        "the ban must carry a time-to-ban"
+    );
+    assert!(
+        fork.fork_rejects >= 4,
+        "a 100-point ban from 25-point fork penalties needs >= 4 rejects, saw {}",
+        fork.fork_rejects
+    );
+    assert!(!stat(honest_id).banned, "the honest peer must survive");
+    assert_eq!(report.reorgs, 0, "the deep reorg must not happen");
+    assert_eq!(report.blocks_disconnected, 0, "no block may be unwound");
+
+    let trace = ebv::telemetry::trace_snapshot();
+    assert!(
+        trace.iter().any(|l| {
+            l.contains("\"event\":\"sync.peer_banned\"")
+                && l.contains(&format!("\"peer\":{fork_id}"))
+                && l.contains("\"last_reason\":\"fork_rejected\"")
+        }),
+        "the ban event must attribute the fork_rejected slug"
+    );
+    assert!(
+        trace.iter().any(|l| {
+            l.contains("\"event\":\"sync.peer_score\"")
+                && l.contains(&format!("\"peer\":{fork_id}"))
+                && l.contains("\"reason\":\"fork_rejected\"")
+        }),
+        "the score trail must carry fork_rejected penalties"
+    );
+}
+
+#[test]
+fn deep_fork_fails_closed_on_ebv_node() {
+    // The node holds the 2-block prefix both branches share, then syncs
+    // chain A (16 blocks) from the honest peer. The second peer serves
+    // branch B: forked at height 1 — far deeper than the configured
+    // max_reorg_depth of 4 — and longer than A, so it would win by length
+    // were the depth bound not enforced. The driver must refuse the
+    // reorg with scored fork_rejected penalties until the peer is banned,
+    // and the node must end the session on chain A.
+    ebv::telemetry::set_enabled(true);
+    let blocks_a = ChainGenerator::new(GeneratorParams::tiny(16, 6101)).generate();
+    let ebv_a = Intermediary::new(0)
+        .convert_chain(&blocks_a)
+        .expect("conversion");
+    let tip_a = ebv_a.len() as u32 - 1;
+    let blocks_b = fork_chain(&blocks_a, 1, blocks_a.len() + 4, 6_600_000);
+    let ebv_b = Intermediary::new(0)
+        .convert_chain(&blocks_b)
+        .expect("fork conversion");
+    assert!(blocks_b.len() > blocks_a.len(), "branch B must be longer");
+
+    let mut node = EbvNode::new(&ebv_a[0], EbvConfig::default());
+    node.process_block(&ebv_a[1]).expect("shared prefix");
+    let cfg = SyncConfig {
+        max_reorg_depth: 4,
+        ..SyncConfig::fast_test()
+    };
+    // Ties in the scheduler go to the lowest peer id, so the honest peer
+    // reaches the tip first and the fork peer attacks an established chain.
+    let peers = vec![
+        PeerHandle::spawn(9301, ebv_a.clone()),
+        PeerHandle::spawn(9360, ebv_b),
+    ];
+    let report = sync_multi(&mut node, peers, &cfg).expect("honest peer carries the session");
+    assert_eq!(node.tip_height(), tip_a, "node must stay on chain A");
+    assert_eq!(node.tip_hash(), ebv_a[tip_a as usize].header.hash());
+    assert_depth_refusal(&report, 9301, 9360);
+    node.check_invariants().expect("invariants after refusal");
+}
+
+#[test]
+fn deep_fork_fails_closed_on_baseline_node() {
+    ebv::telemetry::set_enabled(true);
+    let blocks_a = ChainGenerator::new(GeneratorParams::tiny(16, 6201)).generate();
+    let tip_a = blocks_a.len() as u32 - 1;
+    let blocks_b = fork_chain(&blocks_a, 1, blocks_a.len() + 4, 6_700_000);
+    assert!(blocks_b.len() > blocks_a.len(), "branch B must be longer");
+
+    let utxos = UtxoSet::new(KvStore::open(StoreConfig::with_budget(8 << 20)).expect("store"));
+    let mut node = BaselineNode::new(&blocks_a[0], utxos, BaselineConfig::default()).expect("boot");
+    node.process_block(&blocks_a[1]).expect("shared prefix");
+    let cfg = SyncConfig {
+        max_reorg_depth: 4,
+        ..SyncConfig::fast_test()
+    };
+    let peers = vec![
+        PeerHandle::spawn(9401, blocks_a.clone()),
+        PeerHandle::spawn(9460, blocks_b),
+    ];
+    let report = sync_multi(&mut node, peers, &cfg).expect("honest peer carries the session");
+    assert_eq!(node.tip_height(), tip_a, "node must stay on chain A");
+    assert_eq!(node.tip_hash(), blocks_a[tip_a as usize].header.hash());
+    assert_depth_refusal(&report, 9401, 9460);
+    node.check_invariants().expect("invariants after refusal");
+}

@@ -38,6 +38,9 @@ pub struct CommonArgs {
     /// Write a telemetry export after the run: Prometheus text to this
     /// path and a JSON snapshot to `<path>.json`.
     pub metrics_out: Option<String>,
+    /// Record a JSONL time series of interval metric deltas to this path
+    /// (one line per phase the figure ticks). Implies telemetry on.
+    pub timeseries_out: Option<String>,
 }
 
 impl CommonArgs {
@@ -121,13 +124,19 @@ impl CommonArgs {
                     out.metrics_out = Some(value(i).to_string());
                     i += 2;
                 }
+                "--timeseries-out" => {
+                    out.timeseries_out = Some(value(i).to_string());
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --blocks N --seed S --budget BYTES --latency-us US --runs R \
                          --seq-ev --seq-sv --workers W --batch-verify --sweep-workers W1,W2,… \
-                         --parallel-ibd N --json PATH --gate PATH --metrics-out PATH\n\
+                         --parallel-ibd N --json PATH --gate PATH --metrics-out PATH \
+                         --timeseries-out JSONL\n\
                          (--metrics-out writes Prometheus text to PATH and a JSON \
-                         snapshot to PATH.json)\n\
+                         snapshot to PATH.json; --timeseries-out records per-phase \
+                         metric deltas as JSONL)\n\
                          defaults: {defaults:?}"
                     );
                     std::process::exit(0);
@@ -170,6 +179,7 @@ impl Default for CommonArgs {
             json: None,
             gate: None,
             metrics_out: None,
+            timeseries_out: None,
         }
     }
 }
@@ -186,11 +196,26 @@ impl CommonArgs {
         }
     }
 
-    /// Enable telemetry collection when `--metrics-out` was given. Call at
-    /// the top of a figure binary's `main`, before validation starts.
+    /// Enable telemetry collection when `--metrics-out` or
+    /// `--timeseries-out` was given. Call at the top of a figure binary's
+    /// `main`, before validation starts.
     pub fn enable_telemetry(&self) {
-        if self.metrics_out.is_some() {
+        if self.metrics_out.is_some() || self.timeseries_out.is_some() {
             ebv_telemetry::set_enabled(true);
+        }
+    }
+
+    /// Open the time-series recorder requested by `--timeseries-out`
+    /// (`None` when the flag is absent). Call `tick(label)` on it at each
+    /// phase boundary; it writes one delta line per tick.
+    pub fn timeseries(&self) -> Option<ebv_telemetry::TimeseriesRecorder> {
+        let path = self.timeseries_out.as_deref()?;
+        match ebv_telemetry::TimeseriesRecorder::create(std::path::Path::new(path)) {
+            Ok(rec) => Some(rec),
+            Err(e) => {
+                eprintln!("error opening timeseries output {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

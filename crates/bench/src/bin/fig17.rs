@@ -34,6 +34,7 @@ fn main() {
     // (sequential, parallel) wall seconds and the chosen interval length.
     let mut par_runs: Vec<(f64, f64)> = Vec::new();
     let mut par_setup: Option<(usize, usize)> = None;
+    let mut timeseries = args.timeseries();
 
     for run in 0..args.runs {
         let run_args = CommonArgs {
@@ -45,6 +46,9 @@ fn main() {
         let mut baseline = scenario.baseline_node(&run_args);
         let periods = baseline_ibd(&mut baseline, &scenario.blocks[1..], period_len).expect("ibd");
         base_cum.push(cumulative(periods.iter().map(|p| p.wall)));
+        if let Some(ts) = &mut timeseries {
+            ts.tick(&format!("run{run}.baseline"));
+        }
 
         let mut ebv = scenario.ebv_node_with(run_args.ebv_config());
         inputs_total += scenario.ebv_blocks[1..]
@@ -60,6 +64,9 @@ fn main() {
             *acc += p.breakdown;
         }
         ebv_break += ebv.cumulative_breakdown();
+        if let Some(ts) = &mut timeseries {
+            ts.tick(&format!("run{run}.ebv"));
+        }
 
         if let Some(workers) = args.parallel_ibd {
             // Two intervals per worker keeps the claim queue busy when
@@ -95,7 +102,14 @@ fn main() {
                 .expect("at least one period");
             par_runs.push((seq_s, par.wall.as_secs_f64()));
             par_setup = Some((workers, every));
+            if let Some(ts) = &mut timeseries {
+                ts.tick(&format!("run{run}.parallel"));
+            }
         }
+    }
+    if let Some(ts) = timeseries.take() {
+        ts.finish().expect("timeseries");
+        println!("wrote {}", args.timeseries_out.as_deref().unwrap_or(""));
     }
 
     println!(

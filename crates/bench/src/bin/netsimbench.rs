@@ -41,6 +41,7 @@ struct Args {
     seeds: u64,
     seed: u64,
     json: Option<String>,
+    timeseries_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +53,7 @@ fn parse_args() -> Args {
         seeds: 24,
         seed: 1,
         json: None,
+        timeseries_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -98,10 +100,14 @@ fn parse_args() -> Args {
                 out.json = Some(value(i).to_string());
                 i += 2;
             }
+            "--timeseries-out" => {
+                out.timeseries_out = Some(value(i).to_string());
+                i += 2;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --prop-nodes N --prop-degree K --prop-runs R --nodes N \
-                     --seeds S --seed S --json PATH\n\
+                     --seeds S --seed S --json PATH --timeseries-out JSONL\n\
                      defaults: propagation 1000 nodes × 5 runs, partition 500 nodes, \
                      eclipse 24 seeds"
                 );
@@ -276,6 +282,13 @@ fn partition_json(s: &PartitionStats) -> String {
 
 fn main() {
     let args = parse_args();
+    let mut timeseries = args.timeseries_out.as_deref().map(|path| {
+        ebv_telemetry::set_enabled(true);
+        ebv_telemetry::TimeseriesRecorder::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("error opening timeseries output {path}: {e}");
+            std::process::exit(1);
+        })
+    });
     println!(
         "# netsimbench — propagation {} nodes × {} runs, eclipse {} seeds, partition {} nodes \
          (seed {})",
@@ -292,6 +305,9 @@ fn main() {
         "bitcoin",
     );
     let prop_ebv = propagation(&args, ValidationModel::ebv_from_mean_us(EBV_MEAN_US), "ebv");
+    if let Some(ts) = &mut timeseries {
+        ts.tick("propagation");
+    }
 
     println!("\n## eclipse-success probability over {} seeds", args.seeds);
     let ecl_params = EclipseParams::default();
@@ -311,6 +327,9 @@ fn main() {
         hardened.mean_honest_outbound,
         hardened.mean_table_poison
     );
+    if let Some(ts) = &mut timeseries {
+        ts.tick("eclipse");
+    }
 
     println!("\n## partition-and-heal, {} nodes", args.nodes);
     let part_params = PartitionParams {
@@ -334,6 +353,12 @@ fn main() {
         "post-heal state identical across models: {}",
         if tips_match { "yes" } else { "NO" }
     );
+    if let Some(mut ts) = timeseries.take() {
+        // Final tick covers the partition phase, then close out the file.
+        ts.tick("partition");
+        ts.finish().expect("timeseries");
+        println!("wrote {}", args.timeseries_out.as_deref().unwrap_or(""));
+    }
 
     if let Some(path) = &args.json {
         let json = format!(

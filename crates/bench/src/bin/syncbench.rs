@@ -107,6 +107,8 @@ fn main() {
         runs: 3,
         ..Default::default()
     });
+    args.enable_telemetry();
+    let mut timeseries = args.timeseries();
     let blocks = ChainGenerator::new(GeneratorParams::tiny(args.blocks, args.seed)).generate();
     let tip = blocks.len() as u32 - 1;
     println!(
@@ -139,6 +141,9 @@ fn main() {
         "in-process content faults: {:>8} us mean wall",
         mean(&inproc_us)
     );
+    if let Some(ts) = &mut timeseries {
+        ts.tick("anchors");
+    }
 
     let mut classes: Vec<ClassResult> = Vec::new();
     for adversary in WireAdversary::all(Duration::from_millis(5)) {
@@ -170,7 +175,14 @@ fn main() {
             result.ban_us.iter().max().copied().unwrap_or(0),
             mean(&result.ban_us),
         );
+        if let Some(ts) = &mut timeseries {
+            ts.tick(result.label);
+        }
         classes.push(result);
+    }
+    if let Some(ts) = timeseries.take() {
+        ts.finish().expect("timeseries");
+        println!("wrote {}", args.timeseries_out.as_deref().unwrap_or(""));
     }
 
     if let Some(gate_path) = &args.gate {

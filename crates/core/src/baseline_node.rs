@@ -175,6 +175,9 @@ impl BaselineNode {
     pub fn process_block(&mut self, block: &Block) -> Result<BaselineBreakdown, BaselineError> {
         let mut breakdown = BaselineBreakdown::default();
         let new_height = self.headers.len() as u32;
+        // Per-block trace span, keyed by height: inert (one thread-local
+        // peek) unless a caller entered a trace context.
+        let _block_span = ebv_telemetry::child_span!("baseline.block", new_height);
 
         // ---- others: structure ----------------------------------------
         let span_structure = span!("baseline.structure", &mut breakdown.others);

@@ -201,6 +201,29 @@ impl std::fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Record a snapshot rejection before returning it: the event goes into
+/// the trace (carrying the caller's trace context — e.g. the parallel-IBD
+/// interval that tried to boot) and the flight recorder bundles the
+/// causal chain. A refused checkpoint is a trust decision worth evidence.
+fn reject_snapshot(snapshot_height: u32, err: SnapshotError) -> SnapshotError {
+    if ebv_telemetry::enabled() {
+        trace_event!(
+            "ebv.snapshot_rejected",
+            snapshot_height = snapshot_height,
+            reason = format!("{err:?}"),
+        );
+        ebv_telemetry::flight::dump(
+            "ebv.snapshot_rejected",
+            ebv_telemetry::context::current_trace(),
+            &[(
+                "snapshot",
+                format!("{{\"height\":{snapshot_height},\"reason\":\"{err:?}\"}}"),
+            )],
+        );
+    }
+    err
+}
+
 /// The EBV node: headers + bit-vector set, nothing else.
 pub struct EbvNode {
     headers: Vec<BlockHeader>,
@@ -252,25 +275,37 @@ impl EbvNode {
     ) -> Result<EbvNode, SnapshotError> {
         let expected = snapshot.height() as usize + 1;
         if headers.len() != expected {
-            return Err(SnapshotError::HeaderCount {
-                expected,
-                got: headers.len(),
-            });
+            return Err(reject_snapshot(
+                snapshot.height(),
+                SnapshotError::HeaderCount {
+                    expected,
+                    got: headers.len(),
+                },
+            ));
         }
         let mut prev_hash = None;
         for (h, header) in headers.iter().enumerate() {
             if let Some(prev) = prev_hash {
                 if header.prev_block_hash != prev {
-                    return Err(SnapshotError::BrokenHeaderLink { height: h as u32 });
+                    return Err(reject_snapshot(
+                        snapshot.height(),
+                        SnapshotError::BrokenHeaderLink { height: h as u32 },
+                    ));
                 }
             }
             if config.check_pow && !header.meets_target() {
-                return Err(SnapshotError::InsufficientWork { height: h as u32 });
+                return Err(reject_snapshot(
+                    snapshot.height(),
+                    SnapshotError::InsufficientWork { height: h as u32 },
+                ));
             }
             prev_hash = Some(header.hash());
         }
         if prev_hash != Some(snapshot.tip_hash()) {
-            return Err(SnapshotError::TipHashMismatch);
+            return Err(reject_snapshot(
+                snapshot.height(),
+                SnapshotError::TipHashMismatch,
+            ));
         }
         Ok(EbvNode {
             headers,
@@ -348,6 +383,9 @@ impl EbvNode {
         let mut breakdown = EbvBreakdown::default();
         let new_height = self.headers.len() as u32;
         let config = self.config;
+        // Per-block trace span, keyed by height: inert (one thread-local
+        // peek) unless a caller entered a trace context.
+        let _block_span = ebv_telemetry::child_span!("ebv.block", new_height);
 
         // ---- "others": structural checks ------------------------------
         let span_structure = span!("ebv.structure", &mut breakdown.others);

@@ -16,7 +16,7 @@ use crate::sync::{sync_multi, PeerHandle, SyncConfig, SyncError, SyncReport, Val
 use crate::tidy::EbvBlock;
 use ebv_chain::Block;
 use ebv_primitives::encode::Encodable;
-use ebv_telemetry::{counter, histogram, Stopwatch};
+use ebv_telemetry::{counter, histogram, trace_event, Stopwatch};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -122,6 +122,7 @@ pub fn baseline_ibd(
             breakdown,
             wall: wall_start.elapsed(),
         });
+        ebv_telemetry::health::heartbeat("ibd.period.progress");
     }
     Ok(periods)
 }
@@ -167,6 +168,7 @@ pub fn ebv_ibd(
             breakdown,
             wall: wall_start.elapsed(),
         });
+        ebv_telemetry::health::heartbeat("ibd.period.progress");
     }
     Ok(periods)
 }
@@ -355,6 +357,13 @@ pub fn parallel_ibd(
 ) -> Result<ParallelIbd, ParallelIbdError> {
     let total_wall = Stopwatch::start();
     let tip = blocks.len() as u32;
+    // Causal root for the run, seeded by the workload shape so same-input
+    // runs produce identical trace trees; interval spans nest under it
+    // via an explicit parent handoff (worker threads don't inherit the
+    // spawning thread's context stack).
+    let _ibd_span =
+        ebv_telemetry::context::SpanGuard::enter_root("ibd.parallel", 0x1bd ^ u64::from(tip));
+    let parent_ctx = ebv_telemetry::context::current();
 
     // Interval boundaries: genesis, each checkpoint height, the tip.
     // Interval i replays blocks (bounds[i], bounds[i+1]].
@@ -389,6 +398,12 @@ pub fn parallel_ibd(
 
     type IntervalOutcome = Result<(EbvNode, IntervalStat), ParallelIbdError>;
     let run_interval = |i: usize| -> IntervalOutcome {
+        let _interval_span = match parent_ctx {
+            Some(ctx) => {
+                ebv_telemetry::context::SpanGuard::enter_under(ctx, "ibd.interval", i as u64)
+            }
+            None => ebv_telemetry::context::SpanGuard::inert(),
+        };
         let wall = Stopwatch::start();
         let mut node = if i == 0 {
             EbvNode::new(genesis, worker_config)
@@ -412,6 +427,9 @@ pub fn parallel_ibd(
             wall: wall.elapsed(),
         };
         histogram!("ibd.interval.wall").record(stat.wall.as_nanos() as u64);
+        // Liveness heartbeat: each finished interval proves the fan-out is
+        // making progress; the stall watchdog flags a hung worker pool.
+        ebv_telemetry::health::heartbeat("ibd.interval.progress");
         Ok((node, stat))
     };
 
@@ -457,6 +475,24 @@ pub fn parallel_ibd(
             // verified truth; everything booted from checkpoint i on is
             // void. Degrade to sequential replay from here.
             counter!("ibd.interval.stitch_mismatch").inc();
+            trace_event!(
+                "ibd.interval.stitch_mismatch",
+                interval = i,
+                boundary_height = bounds[i + 1],
+            );
+            // A lying checkpoint is exactly what the flight recorder
+            // exists for: capture the run's causal chain and the mismatch
+            // coordinates before degrading to sequential replay.
+            if ebv_telemetry::enabled() {
+                ebv_telemetry::flight::dump(
+                    "ibd.interval.stitch_mismatch",
+                    ebv_telemetry::context::current_trace(),
+                    &[(
+                        "stitch",
+                        format!("{{\"interval\":{i},\"boundary_height\":{}}}", bounds[i + 1]),
+                    )],
+                );
+            }
             stitch_mismatch = Some(i);
             let wall = Stopwatch::start();
             let mut node = node;

@@ -153,6 +153,11 @@ struct PeerCtl<T: Transport> {
     score: u32,
     /// Consecutive failures — drives the exponential backoff.
     failures: u32,
+    /// Lifetime request count against this peer — the trace-span key for
+    /// `sync.request` spans. Deterministic per peer where driver *rounds*
+    /// are not (the all-backing-off sleep path consumes rounds at a
+    /// timing-dependent rate).
+    requests: u64,
     banned: bool,
     closed: bool,
     ready_at: Instant,
@@ -170,6 +175,7 @@ impl<T: Transport> PeerCtl<T> {
             started: Instant::now(),
             score: 0,
             failures: 0,
+            requests: 0,
             banned: false,
             closed: false,
             ready_at: Instant::now(),
@@ -249,6 +255,16 @@ impl<T: Transport> PeerCtl<T> {
                 fork_rejects = self.stats.fork_rejects,
                 wire_errors = self.stats.wire_errors,
             );
+            // Failure-time evidence: the ban's causal chain (every scored
+            // event under this session's trace id) plus the banned peer's
+            // final stats, bundled while the ring still holds them.
+            if ebv_telemetry::enabled() {
+                ebv_telemetry::flight::dump(
+                    "sync.peer_banned",
+                    ebv_telemetry::context::current_trace(),
+                    &[("peer", peer_stats_json(&self.stats, self.score))],
+                );
+            }
             self.handle.finish();
         }
         self.failures
@@ -292,6 +308,10 @@ pub fn sync_multi<N: ValidatingNode, T: Transport>(
     cfg: &SyncConfig,
 ) -> Result<SyncReport, SyncError<N::Error>> {
     let total = peers.len();
+    // The session's causal root: a new trace when the caller has none, a
+    // child span under `sync_managed`'s trace when it does. Seeded, so
+    // same-seed runs produce identical trace trees.
+    let _session_span = ebv_telemetry::context::SpanGuard::enter_root("sync.session", cfg.seed);
     // Session floor: reorgs deeper than the driver's starting tip cannot
     // be restored on failure (we never saw those blocks), so forks below
     // it are refused.
@@ -303,7 +323,11 @@ pub fn sync_multi<N: ValidatingNode, T: Transport>(
 
     loop {
         report.rounds += 1;
+        // Liveness heartbeat: the stall watchdog distinguishes a slow
+        // session (beating every round) from a hung one (silent).
+        ebv_telemetry::health::heartbeat("sync.session.progress");
         if report.rounds > cfg.max_rounds {
+            sync_failure_dump("round_limit", &ctls);
             finish_all(&mut ctls);
             return Err(SyncError::RoundLimit {
                 height: node.tip_height(),
@@ -314,6 +338,7 @@ pub fn sync_multi<N: ValidatingNode, T: Transport>(
         let live: Vec<usize> = (0..ctls.len()).filter(|&i| ctls[i].usable()).collect();
         if live.is_empty() {
             let banned = ctls.iter().filter(|c| c.banned).count();
+            sync_failure_dump("all_peers_failed", &ctls);
             finish_all(&mut ctls);
             return Err(SyncError::AllPeersFailed {
                 total,
@@ -371,6 +396,12 @@ pub fn sync_multi<N: ValidatingNode, T: Transport>(
 
         let peer_id = ctls[i].handle.id();
         let start = tip + 1;
+        // One span per request, keyed (peer, per-peer request number) so
+        // ids are reproducible even though peer interleaving is
+        // timing-dependent.
+        ctls[i].requests += 1;
+        let _req_span =
+            ebv_telemetry::child_span!("sync.request", ((peer_id as u64) << 32) | ctls[i].requests);
         peer_counter("sync.peer.requests", peer_id);
         match ctls[i]
             .handle
@@ -481,6 +512,7 @@ pub fn sync_multi<N: ValidatingNode, T: Transport>(
                             });
                         }
                         ForkOutcome::Fatal(msg) => {
+                            sync_failure_dump("internal", &ctls);
                             finish_all(&mut ctls);
                             return Err(SyncError::Internal(msg));
                         }
@@ -545,6 +577,61 @@ fn finish_all<T: Transport>(ctls: &mut [PeerCtl<T>]) {
     for c in ctls {
         c.handle.finish();
     }
+}
+
+/// One peer's stats as a raw JSON object — the flight recorder embeds
+/// these verbatim in post-mortem bundles. Hand-formatted like the rest
+/// of the telemetry crate (no serde under the shims constraint).
+fn peer_stats_json(stats: &PeerStats, score: u32) -> String {
+    format!(
+        "{{\"id\":{},\"batches\":{},\"blocks_accepted\":{},\"decode_failures\":{},\
+         \"validation_failures\":{},\"stalls\":{},\"fork_rejects\":{},\"wire_errors\":{},\
+         \"reorgs\":{},\"score\":{},\"banned\":{},\"banned_at_us\":{}}}",
+        stats.id,
+        stats.batches,
+        stats.blocks_accepted,
+        stats.decode_failures,
+        stats.validation_failures,
+        stats.stalls,
+        stats.fork_rejects,
+        stats.wire_errors,
+        stats.reorgs,
+        score,
+        stats.banned,
+        stats
+            .banned_at_us
+            .map_or_else(|| "null".to_string(), |v| v.to_string()),
+    )
+}
+
+fn peers_stats_json<T: Transport>(ctls: &[PeerCtl<T>]) -> String {
+    let mut out = String::from("[");
+    for (i, c) in ctls.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&peer_stats_json(&c.stats, c.score));
+    }
+    out.push(']');
+    out
+}
+
+/// Capture a post-mortem bundle as a sync session dies: the session's
+/// causal chain (filtered by its trace id) plus every peer's final
+/// stats. `kind` names the `SyncError` variant about to be returned.
+fn sync_failure_dump<T: Transport>(kind: &str, ctls: &[PeerCtl<T>]) {
+    if !ebv_telemetry::enabled() {
+        return;
+    }
+    trace_event!("sync.session_failed", kind = kind);
+    ebv_telemetry::flight::dump(
+        "sync.session_failed",
+        ebv_telemetry::context::current_trace(),
+        &[
+            ("kind", format!("\"{kind}\"")),
+            ("peers", peers_stats_json(ctls)),
+        ],
+    );
 }
 
 /// A batch from `ctl` did not attach to the tip: walk its chain back to
@@ -733,6 +820,22 @@ fn resolve_fork<N: ValidatingNode, T: Transport>(
                 connected = connected,
                 disconnected = disconnected,
             );
+            // A reorg rewrites history — rare enough to always keep the
+            // full evidence trail that led to it.
+            if ebv_telemetry::enabled() {
+                ebv_telemetry::flight::dump(
+                    "sync.reorg_end",
+                    ebv_telemetry::context::current_trace(),
+                    &[(
+                        "reorg",
+                        format!(
+                            "{{\"peer\":{},\"fork\":{fork},\"connected\":{connected},\
+                             \"disconnected\":{disconnected}}}",
+                            ctl.handle.id()
+                        ),
+                    )],
+                );
+            }
             ForkOutcome::Reorged {
                 connected,
                 disconnected,

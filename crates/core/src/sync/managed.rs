@@ -95,9 +95,14 @@ where
     N: ValidatingNode,
     F: PeerFactory,
 {
+    // Root of the managed-sync trace: each session (and the sync.session
+    // span inside it) nests under this, so a whole multi-session run
+    // reads as one tree in `ebv-cli trace-tree`.
+    let _root_span = ebv_telemetry::context::SpanGuard::enter_root("sync.managed", cfg.sync.seed);
     let mut last_failure: Option<SyncError<N::Error>> = None;
     for session in 1..=cfg.max_sessions {
         tick += 1;
+        let _session_span = ebv_telemetry::child_span!("sync.managed_session", session);
         // Feeler probe: test one gossiped address per session so `tried`
         // keeps filling with addresses that actually answer.
         if let Some(addr) = manager.feeler_candidate(tick) {

@@ -115,6 +115,10 @@ pub fn run_eclipse_campaign(
     seed: u64,
 ) -> (EclipseOutcome, PeerManager) {
     counter!("eclipse.campaigns").inc();
+    // One trace per campaign, keyed by the campaign seed so replays of the
+    // same seed produce byte-identical span trees.
+    let _campaign_span =
+        ebv_telemetry::context::SpanGuard::enter_root("eclipse.campaign", seed ^ 0xec11_95e0);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xec11_95e0);
     let cfg = PeerManagerConfig {
         defenses,

@@ -159,6 +159,8 @@ pub fn run_partition_heal(params: &PartitionParams, model: ValidationModel) -> P
         "branch B must be the heavier branch"
     );
     counter!("partition.heal.runs").inc();
+    // One trace per heal run, keyed by the scenario seed.
+    let _heal_span = ebv_telemetry::context::SpanGuard::enter_root("partition.heal", params.seed);
 
     // The shared prefix and the two branches. Heights are absolute:
     // chain_a[h] and chain_b[h] agree for h ≤ prefix.
@@ -301,6 +303,19 @@ pub fn run_partition_heal(params: &PartitionParams, model: ValidationModel) -> P
                             max_depth = params.max_reorg_depth,
                             reason = "reorg_depth_exceeded",
                         );
+                        if ebv_telemetry::enabled() {
+                            ebv_telemetry::flight::dump(
+                                "partition.heal.reorg_refused",
+                                ebv_telemetry::context::current_trace(),
+                                &[(
+                                    "refusal",
+                                    format!(
+                                        "{{\"node\":{i},\"depth\":{depth},\"max_depth\":{}}}",
+                                        params.max_reorg_depth
+                                    ),
+                                )],
+                            );
+                        }
                     }
                     continue;
                 }

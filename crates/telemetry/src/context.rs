@@ -1,0 +1,256 @@
+//! Causal trace contexts: seeded 64-bit trace/span identifiers with
+//! parent links.
+//!
+//! A [`TraceCtx`] names one span of work inside one *trace* (a sync
+//! session, a parallel-IBD run, an eclipse campaign). Contexts form a
+//! tree: [`TraceCtx::root`] starts a trace from a seed, and
+//! [`TraceCtx::child`] derives a child span from a name and a caller
+//! key. Derivation is a pure function — *no wall clock, no global
+//! counter* — so the same seed and the same call structure produce the
+//! same identifiers on every run, and spans created concurrently (the
+//! parallel-IBD interval workers) get identical ids regardless of
+//! scheduling order. That is what lets the determinism suite compare
+//! trace trees byte for byte across same-seed runs.
+//!
+//! The current context rides a thread-local stack: entering a span (via
+//! [`child_span!`](crate::child_span!) or [`SpanGuard`]) pushes, dropping
+//! the guard pops, and [`crate::trace::trace_event`] reads the top to
+//! stamp `{trace, span, parent}` onto every event line. Worker threads
+//! don't inherit the stack — hand them the parent's `TraceCtx` value and
+//! use [`SpanGuard::enter_under`].
+
+use std::cell::RefCell;
+
+/// One span of work within a trace. `trace` identifies the whole tree,
+/// `span` this node, `parent` the enclosing span (0 at the root).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    pub trace: u64,
+    pub span: u64,
+    pub parent: u64,
+}
+
+/// splitmix64 finalizer — the same mixer the fault harness seeds with.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the span name, so distinct names at the same tree
+/// position get distinct ids.
+fn fnv(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl TraceCtx {
+    /// Start a new trace from a seed. The same seed always yields the
+    /// same trace id (ids are identity, not entropy).
+    pub fn root(seed: u64) -> TraceCtx {
+        let trace = mix(seed ^ 0x7ace_1d5e_ed00_0000) | 1; // never 0
+        TraceCtx {
+            trace,
+            span: trace,
+            parent: 0,
+        }
+    }
+
+    /// Derive a child span. `name` is the span's kind ("sync.request"),
+    /// `key` disambiguates siblings (request number, interval index).
+    /// Pure in (self, name, key): concurrent derivation is
+    /// order-independent.
+    pub fn child(&self, name: &str, key: u64) -> TraceCtx {
+        let span = mix(self.trace ^ self.span.rotate_left(17) ^ fnv(name) ^ mix(key)) | 1;
+        TraceCtx {
+            trace: self.trace,
+            span,
+            parent: self.span,
+        }
+    }
+}
+
+/// Render an id the way trace lines carry it: 16 lowercase hex digits.
+pub fn hex_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<TraceCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost entered context on this thread, if any.
+pub fn current() -> Option<TraceCtx> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// The current trace id on this thread, if any — what flight-recorder
+/// dumps filter causally-related events by.
+pub fn current_trace() -> Option<u64> {
+    current().map(|c| c.trace)
+}
+
+/// RAII guard for an entered span: emits `span.begin` on entry and
+/// `span.end` (with the span's wall time) on drop, and keeps the
+/// context current on this thread in between. Inert when telemetry is
+/// disabled — no clock read, no stack push.
+#[must_use = "a span ends on drop; binding it to `_` ends it immediately"]
+pub struct SpanGuard {
+    entered: Option<(&'static str, crate::Stopwatch)>,
+}
+
+impl SpanGuard {
+    fn push(ctx: TraceCtx, name: &'static str) -> SpanGuard {
+        STACK.with(|s| s.borrow_mut().push(ctx));
+        crate::trace::trace_event(
+            "span.begin",
+            &[("name", crate::TraceValue::Str(name.to_string()))],
+        );
+        SpanGuard {
+            entered: Some((name, crate::Stopwatch::start())),
+        }
+    }
+
+    /// A guard that does nothing (no context, telemetry off).
+    pub fn inert() -> SpanGuard {
+        SpanGuard { entered: None }
+    }
+
+    /// Enter a child of the current context. Inert when telemetry is
+    /// disabled or no trace is in progress on this thread.
+    pub fn enter(name: &'static str, key: u64) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard::inert();
+        }
+        match current() {
+            Some(ctx) => SpanGuard::push(ctx.child(name, key), name),
+            None => SpanGuard::inert(),
+        }
+    }
+
+    /// Enter a span that roots a new trace from `seed` when no trace is
+    /// in progress, or nests as a child (keyed by `seed`) when one is —
+    /// how subsystem entry points (sync sessions, parallel IBD) both
+    /// stand alone and compose under a caller's trace.
+    pub fn enter_root(name: &'static str, seed: u64) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard::inert();
+        }
+        let ctx = match current() {
+            Some(parent) => parent.child(name, seed),
+            None => TraceCtx::root(seed),
+        };
+        SpanGuard::push(ctx, name)
+    }
+
+    /// Enter a child of an explicit parent context — for worker threads,
+    /// which do not inherit the spawning thread's stack.
+    pub fn enter_under(parent: TraceCtx, name: &'static str, key: u64) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard::inert();
+        }
+        SpanGuard::push(parent.child(name, key), name)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((name, sw)) = self.entered.take() else {
+            return;
+        };
+        crate::trace::trace_event(
+            "span.end",
+            &[
+                ("name", crate::TraceValue::Str(name.to_string())),
+                (
+                    "wall_us",
+                    crate::TraceValue::U64(sw.elapsed().as_micros() as u64),
+                ),
+            ],
+        );
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Enter a child span of the current trace context:
+///
+/// ```ignore
+/// let _req = child_span!("sync.request", request_no);
+/// ```
+///
+/// Every `trace_event!` emitted while the guard lives carries the child's
+/// `{trace, span, parent}`. Inert (no events, no ids) when telemetry is
+/// disabled or no trace is in progress on the calling thread.
+#[macro_export]
+macro_rules! child_span {
+    ($name:expr) => {
+        $crate::context::SpanGuard::enter($name, 0)
+    };
+    ($name:expr, $key:expr) => {
+        $crate::context::SpanGuard::enter($name, $key as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_deterministic_per_seed() {
+        let a = TraceCtx::root(42);
+        let b = TraceCtx::root(42);
+        assert_eq!(a, b, "same seed, same root");
+        assert_ne!(TraceCtx::root(43).trace, a.trace);
+        let c1 = a.child("sync.request", 7);
+        let c2 = b.child("sync.request", 7);
+        assert_eq!(c1, c2, "same (parent, name, key), same child");
+        assert_ne!(c1.span, a.child("sync.request", 8).span);
+        assert_ne!(c1.span, a.child("ibd.interval", 7).span);
+        assert_eq!(c1.trace, a.trace, "children stay in the trace");
+        assert_eq!(c1.parent, a.span);
+    }
+
+    #[test]
+    fn sibling_derivation_is_order_independent() {
+        let root = TraceCtx::root(9);
+        let forward: Vec<u64> = (0..8).map(|k| root.child("ibd.interval", k).span).collect();
+        let mut reverse: Vec<u64> = (0..8)
+            .rev()
+            .map(|k| root.child("ibd.interval", k).span)
+            .collect();
+        reverse.reverse();
+        assert_eq!(forward, reverse);
+    }
+
+    #[test]
+    fn guard_stacks_and_unwinds() {
+        crate::set_enabled(true);
+        assert_eq!(current(), None);
+        {
+            let _outer = SpanGuard::enter_root("test.ctx.outer", 5);
+            let outer = current().expect("outer current");
+            {
+                let _inner = SpanGuard::enter("test.ctx.inner", 1);
+                let inner = current().expect("inner current");
+                assert_eq!(inner.parent, outer.span);
+                assert_eq!(inner.trace, outer.trace);
+            }
+            assert_eq!(current(), Some(outer), "inner popped");
+        }
+        assert_eq!(current(), None, "outer popped");
+    }
+
+    #[test]
+    fn enter_without_context_is_inert() {
+        crate::set_enabled(true);
+        let _g = SpanGuard::enter("test.ctx.orphan", 0);
+        assert_eq!(current(), None, "no orphan contexts");
+    }
+}

@@ -97,11 +97,17 @@ fn prom_labels(out: &mut String, labels: &[(&str, &str)]) {
         if i > 0 {
             out.push(',');
         }
+        // Exposition-format label escaping: backslash first (so the
+        // escapes it introduces are not re-escaped), then newline and
+        // quote. Peer slugs and error classes flow through here
+        // unsanitized.
         let _ = write!(
             out,
             "{}=\"{}\"",
             prom_name(k),
-            v.replace('\\', "\\\\").replace('"', "\\\"")
+            v.replace('\\', "\\\\")
+                .replace('\n', "\\n")
+                .replace('"', "\\\"")
         );
     }
     out.push('}');
@@ -200,8 +206,8 @@ fn json_f64(out: &mut String, v: f64) {
 ///
 /// ```json
 /// {"counters":{...},"gauges":{...},
-///  "histograms":{"ebv.sv":{"count":..,"sum":..,"max":..,"mean":..,
-///                          "p50":..,"p90":..,"p99":..}},
+///  "histograms":{"ebv.sv":{"count":..,"sum":..,"min":..,"max":..,
+///                          "mean":..,"p50":..,"p90":..,"p99":..}},
 ///  "derived":{"store.cache.hit_ratio":null}}
 /// ```
 ///
@@ -231,8 +237,8 @@ pub fn json_snapshot(snap: &Snapshot) -> String {
         crate::json::escape_into(&mut out, name);
         let _ = write!(
             out,
-            ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
-            h.count, h.sum, h.max
+            ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+            h.count, h.sum, h.min, h.max
         );
         json_f64(&mut out, h.mean());
         let _ = write!(

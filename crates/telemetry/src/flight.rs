@@ -1,0 +1,335 @@
+//! Flight recorder: per-subsystem bounded event rings plus post-mortem
+//! bundles captured at failure time.
+//!
+//! Every trace line is also fed here (see [`crate::trace`]), keyed by the
+//! event's subsystem — the name segment before the first `.`, so
+//! `sync.peer_banned` lands in the `sync` ring and `ibd.interval.wall`
+//! in `ibd`. Each ring holds the most recent [`RING_CAP`] lines; older
+//! lines are dropped *and counted*, so a bundle can say how much
+//! evidence it is missing.
+//!
+//! [`dump`] snapshots the situation into one self-contained JSON bundle
+//! (schema [`BUNDLE_SCHEMA`]): the triggering event, the last-N
+//! causally-related lines (filtered by trace id across all subsystem
+//! rings when the trigger had one, otherwise the trigger's own ring),
+//! per-subsystem drop counts, the `trace.dropped` ring-overflow counter,
+//! a full registry snapshot, and any caller extras (per-peer
+//! `PeerStats`, reorg shape, interval index). Bundles always land in an
+//! in-process ring readable via [`recent_bundles`]; when a post-mortem
+//! directory is configured they are also written to disk as
+//! `postmortem-<seq>-<trigger>.json` for `ebv-cli postmortem`.
+//!
+//! The bundle *renderer* is a pure function ([`render_bundle`]) so the
+//! schema is pinned by a golden-file test with fixed inputs.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::escape_into;
+
+/// Schema tag stamped on every bundle.
+pub const BUNDLE_SCHEMA: &str = "ebv.postmortem.v1";
+/// Per-subsystem ring capacity, in events.
+pub const RING_CAP: usize = 2048;
+/// Most events a single bundle will carry.
+pub const BUNDLE_EVENTS_MAX: usize = 256;
+/// In-process bundle ring capacity.
+const RECENT_CAP: usize = 64;
+
+struct FlightState {
+    rings: BTreeMap<String, VecDeque<String>>,
+    dropped: BTreeMap<String, u64>,
+    dir: Option<PathBuf>,
+    seq: u64,
+    recent: VecDeque<String>,
+}
+
+fn state() -> &'static Mutex<FlightState> {
+    static STATE: OnceLock<Mutex<FlightState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(FlightState {
+            rings: BTreeMap::new(),
+            dropped: BTreeMap::new(),
+            dir: None,
+            seq: 0,
+            recent: VecDeque::new(),
+        })
+    })
+}
+
+fn subsystem(event: &str) -> &str {
+    event.split('.').next().unwrap_or(event)
+}
+
+/// Record one already-rendered trace line into its subsystem's ring.
+/// Called by [`crate::trace::trace_event`]; not meant for direct use.
+pub(crate) fn observe(event: &str, line: &str) {
+    let sub = subsystem(event);
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    if !st.rings.contains_key(sub) {
+        st.rings.insert(sub.to_string(), VecDeque::new());
+        st.dropped.insert(sub.to_string(), 0);
+    }
+    let ring = st.rings.get_mut(sub).expect("ring just inserted");
+    if ring.len() == RING_CAP {
+        ring.pop_front();
+        *st.dropped.get_mut(sub).expect("drop slot") += 1;
+    }
+    st.rings
+        .get_mut(sub)
+        .expect("ring present")
+        .push_back(line.to_string());
+}
+
+/// Direct subsequent bundles to `dir` (created on first dump). `None`
+/// keeps bundles in-process only.
+pub fn set_postmortem_dir(dir: Option<PathBuf>) {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.dir = dir;
+}
+
+/// The most recent bundles, oldest first.
+pub fn recent_bundles() -> Vec<String> {
+    let st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.recent.iter().cloned().collect()
+}
+
+/// Empty the rings, drop counts, and bundle cache. Test isolation only.
+pub fn clear() {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.rings.clear();
+    st.dropped.clear();
+    st.recent.clear();
+}
+
+/// Extract the `"seq":N` prefix a trace line always starts with, for
+/// cross-ring ordering of filtered events.
+fn line_seq(line: &str) -> u64 {
+    line.strip_prefix("{\"seq\":")
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Render a bundle from explicit inputs. Pure: the golden-file schema
+/// test drives this directly with fixed data.
+///
+/// * `events` — raw trace lines (each a complete JSON object), in order;
+/// * `dropped` — per-subsystem ring-overflow counts;
+/// * `extra` — caller context as (key, raw JSON value) pairs appended
+///   verbatim as top-level fields.
+///
+/// Every bundle field is an explicit parameter on purpose: the golden
+/// test names each one, so the arity mirrors the schema.
+#[allow(clippy::too_many_arguments)]
+pub fn render_bundle(
+    trigger: &str,
+    trace_hex: Option<&str>,
+    seq: u64,
+    events: &[String],
+    dropped: &[(String, u64)],
+    trace_dropped: u64,
+    metrics_json: &str,
+    extra: &[(&str, String)],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"");
+    out.push_str(BUNDLE_SCHEMA);
+    out.push_str("\",\"seq\":");
+    out.push_str(&seq.to_string());
+    out.push_str(",\"trigger\":");
+    escape_into(&mut out, trigger);
+    out.push_str(",\"trace\":");
+    match trace_hex {
+        Some(h) => escape_into(&mut out, h),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"events\":[");
+    for (i, line) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(line);
+    }
+    out.push_str("],\"dropped\":{");
+    for (i, (sub, n)) in dropped.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(&mut out, sub);
+        out.push(':');
+        out.push_str(&n.to_string());
+    }
+    out.push_str("},\"trace_dropped\":");
+    out.push_str(&trace_dropped.to_string());
+    out.push_str(",\"metrics\":");
+    out.push_str(metrics_json);
+    for (key, value) in extra {
+        out.push(',');
+        escape_into(&mut out, key);
+        out.push(':');
+        out.push_str(value);
+    }
+    out.push('}');
+    out
+}
+
+/// Capture a post-mortem bundle for `trigger`. When `trace` is given the
+/// bundle's events are the causally-related lines — every ring line
+/// stamped with that trace id, in global `seq` order; otherwise the
+/// trigger's own subsystem ring stands in. Returns the on-disk path when
+/// a post-mortem directory is configured. No-op while telemetry is
+/// disabled.
+pub fn dump(trigger: &str, trace: Option<u64>, extra: &[(&str, String)]) -> Option<PathBuf> {
+    if !crate::enabled() {
+        return None;
+    }
+    let trace_hex = trace.map(crate::context::hex_id);
+    let metrics = crate::export::json_snapshot(&crate::registry::global().snapshot());
+    let trace_dropped = crate::registry::counter("trace.dropped").get();
+
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    let mut events: Vec<String> = match &trace_hex {
+        Some(h) => {
+            let needle = format!("\"trace\":\"{h}\"");
+            let mut hits: Vec<&String> = st
+                .rings
+                .values()
+                .flatten()
+                .filter(|l| l.contains(&needle))
+                .collect();
+            hits.sort_by_key(|l| line_seq(l));
+            hits.into_iter().cloned().collect()
+        }
+        None => st
+            .rings
+            .get(subsystem(trigger))
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default(),
+    };
+    if events.len() > BUNDLE_EVENTS_MAX {
+        events.drain(..events.len() - BUNDLE_EVENTS_MAX);
+    }
+    let dropped: Vec<(String, u64)> = st.dropped.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    st.seq += 1;
+    let seq = st.seq;
+    let bundle = render_bundle(
+        trigger,
+        trace_hex.as_deref(),
+        seq,
+        &events,
+        &dropped,
+        trace_dropped,
+        &metrics,
+        extra,
+    );
+    if st.recent.len() == RECENT_CAP {
+        st.recent.pop_front();
+    }
+    st.recent.push_back(bundle.clone());
+    let dir = st.dir.clone();
+    drop(st);
+
+    let dir = dir?;
+    write_bundle(&dir, seq, trigger, &bundle).ok()
+}
+
+fn write_bundle(dir: &Path, seq: u64, trigger: &str, bundle: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let slug: String = trigger
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("postmortem-{seq:04}-{slug}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(bundle.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both tests reset the process-global flight state; serialize them.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn rings_are_per_subsystem_and_count_drops() {
+        let _t = test_lock();
+        crate::set_enabled(true);
+        clear();
+        for i in 0..(RING_CAP + 5) {
+            observe(
+                "flighttest.tick",
+                &format!("{{\"seq\":{i},\"event\":\"flighttest.tick\"}}"),
+            );
+        }
+        observe(
+            "flightother.one",
+            "{\"seq\":9,\"event\":\"flightother.one\"}",
+        );
+        let st = state().lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(st.rings["flighttest"].len(), RING_CAP);
+        assert_eq!(st.dropped["flighttest"], 5);
+        assert_eq!(st.rings["flightother"].len(), 1);
+        assert_eq!(st.dropped["flightother"], 0);
+    }
+
+    #[test]
+    fn dump_filters_by_trace_id_across_rings() {
+        let _t = test_lock();
+        crate::set_enabled(true);
+        clear();
+        let keep = "00000000deadbeef";
+        observe(
+            "flta.step",
+            &format!("{{\"seq\":2,\"event\":\"flta.step\",\"trace\":\"{keep}\"}}"),
+        );
+        observe(
+            "fltb.step",
+            &format!("{{\"seq\":1,\"event\":\"fltb.step\",\"trace\":\"{keep}\"}}"),
+        );
+        observe(
+            "flta.step",
+            "{\"seq\":3,\"event\":\"flta.step\",\"trace\":\"0000000000000bad\"}",
+        );
+        dump(
+            "flta.failure",
+            Some(0xdead_beef),
+            &[("note", "\"x\"".into())],
+        );
+        let bundles = recent_bundles();
+        let bundle = bundles.last().expect("bundle recorded");
+        let v = crate::json::parse(bundle).expect("bundle is valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(crate::json::Value::as_str),
+            Some(BUNDLE_SCHEMA)
+        );
+        assert_eq!(
+            v.get("trace").and_then(crate::json::Value::as_str),
+            Some(keep)
+        );
+        let events = match v.get("events") {
+            Some(crate::json::Value::Array(a)) => a,
+            other => panic!("events array missing: {other:?}"),
+        };
+        assert_eq!(events.len(), 2, "only same-trace lines kept");
+        // seq order across rings, not ring order.
+        assert_eq!(
+            events[0].get("seq").and_then(crate::json::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            v.get("note").and_then(crate::json::Value::as_str),
+            Some("x")
+        );
+        assert!(v.get("metrics").is_some(), "registry snapshot embedded");
+        assert!(v.get("trace_dropped").is_some());
+    }
+}

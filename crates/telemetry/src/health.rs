@@ -1,0 +1,338 @@
+//! Liveness and SLO health: progress heartbeats, a stall watchdog, and
+//! a metrics-snapshot SLO evaluator.
+//!
+//! Long-running subsystems beat ([`heartbeat`]) at natural progress
+//! points — `sync.session.progress` once per driver round,
+//! `ibd.interval.progress` as each interval lands. A beat bumps a
+//! same-named counter (so exports show progress rates) and refreshes the
+//! task's last-seen time. [`stalled`] reports tasks whose last beat is
+//! older than a deadline; [`Watchdog`] polls that from a background
+//! thread and flags each stall once per silent period (`health.stalls`
+//! counter plus a `health.stall` trace event), so a stalled 500-node
+//! heal is distinguishable from a merely slow one.
+//!
+//! [`evaluate_slo`] turns the JSON metrics snapshot
+//! ([`crate::json_snapshot`]) plus a declarative SLO document into a
+//! list of violations — `ebv-cli health --slo slo.json --gate` exits
+//! nonzero on any, making it a CI gate. An SLO document is
+//! `{"slos":[<rule>...]}` where each rule names exactly one subject:
+//!
+//! ```json
+//! {"name":"no-bans","counter":"sync.peer.bans","max":0}
+//! {"name":"sv-tail","histogram":"ebv.sv","p99_max":250000,"max_max":1000000}
+//! {"name":"wire-errors","error_rate":{"errors":"sync.peer.wire_errors","total":"sync.batches"},"max":0.05}
+//! {"name":"resident","gauge":"ebv.bitvec.resident_bytes","max":8388608,"min":0}
+//! ```
+//!
+//! Histogram bounds accept `p50_max`/`p90_max`/`p99_max` (bucketed,
+//! ≤12.5% error), `max_max` and `min_min` (exact — see
+//! [`crate::metrics::Histogram`]'s min/max tracking), and `mean_max`.
+//! A metric missing from the snapshot reads as 0; an error-rate rule
+//! with a zero denominator passes (no traffic, no error budget spent).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::Value;
+use crate::Stopwatch;
+
+struct HealthState {
+    /// Task name → last beat, µs since the health epoch.
+    beats: HashMap<String, u64>,
+    epoch: Stopwatch,
+}
+
+fn state() -> &'static Mutex<HealthState> {
+    static STATE: OnceLock<Mutex<HealthState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(HealthState {
+            beats: HashMap::new(),
+            epoch: Stopwatch::start(),
+        })
+    })
+}
+
+/// Record progress for `name`: refresh its last-seen time and bump the
+/// counter of the same name. No-op while telemetry is disabled.
+pub fn heartbeat(name: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::registry::counter(name).inc();
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    let now = st.epoch.elapsed().as_micros() as u64;
+    match st.beats.get_mut(name) {
+        Some(t) => *t = now,
+        None => {
+            st.beats.insert(name.to_string(), now);
+        }
+    }
+}
+
+/// Tasks whose last beat is older than `deadline`, as
+/// `(name, age in µs)`, sorted by name. A task that never beat is not
+/// listed — it has made no progress claim to break.
+pub fn stalled(deadline: Duration) -> Vec<(String, u64)> {
+    let st = state().lock().unwrap_or_else(|e| e.into_inner());
+    let now = st.epoch.elapsed().as_micros() as u64;
+    let cutoff = deadline.as_micros() as u64;
+    let mut out: Vec<(String, u64)> = st
+        .beats
+        .iter()
+        .filter_map(|(name, &last)| {
+            let age = now.saturating_sub(last);
+            (age > cutoff).then(|| (name.clone(), age))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Forget all heartbeats. Test isolation only.
+pub fn reset() {
+    let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
+    st.beats.clear();
+}
+
+/// Background stall detector. Polls [`stalled`] every `poll` and, for
+/// each task silent past `deadline`, emits one `health.stall` trace
+/// event and one `health.stalls` count *per silent period* — a task
+/// that resumes and stalls again is flagged again, a task that stays
+/// silent is not re-flagged every poll. The thread stops when the
+/// watchdog is dropped.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    pub fn spawn(deadline: Duration, poll: Duration) -> Watchdog {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ebv-watchdog".into())
+            .spawn(move || {
+                // Task name → beat-age at which it was last flagged; a
+                // fresh beat resets the age below the deadline, arming
+                // the task again.
+                let mut flagged: HashMap<String, u64> = HashMap::new();
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(poll);
+                    let stalls = stalled(deadline);
+                    for (name, age_us) in &stalls {
+                        let rearmed = match flagged.get(name) {
+                            Some(&last_age) => *age_us < last_age,
+                            None => true,
+                        };
+                        if rearmed {
+                            crate::registry::counter("health.stalls").inc();
+                            crate::trace_event!(
+                                "health.stall",
+                                task = name.as_str(),
+                                age_us = *age_us,
+                                deadline_us = deadline.as_micros() as u64,
+                            );
+                        }
+                        flagged.insert(name.clone(), *age_us);
+                    }
+                    // Tasks that beat again fall off the stall list; drop
+                    // them from the flagged set so a future stall fires.
+                    flagged.retain(|name, _| stalls.iter().any(|(n, _)| n == name));
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One broken SLO rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloViolation {
+    /// The rule's `name` (or its subject metric when unnamed).
+    pub rule: String,
+    /// Human-readable `observed vs bound` sentence.
+    pub detail: String,
+}
+
+fn num(v: Option<&Value>) -> Option<f64> {
+    v.and_then(Value::as_f64)
+}
+
+fn lookup(metrics: &Value, section: &str, name: &str) -> f64 {
+    num(metrics.get(section).and_then(|s| s.get(name))).unwrap_or(0.0)
+}
+
+/// Evaluate `slo` (the parsed SLO document) against `metrics` (a parsed
+/// [`crate::json_snapshot`] document). Returns the violations — empty
+/// means every rule holds — or an error when the SLO document itself is
+/// malformed.
+pub fn evaluate_slo(metrics: &Value, slo: &Value) -> Result<Vec<SloViolation>, String> {
+    let rules = match slo.get("slos") {
+        Some(Value::Array(rules)) => rules,
+        _ => return Err("SLO document has no \"slos\" array".into()),
+    };
+    let mut violations = Vec::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let subject_count = ["counter", "gauge", "histogram", "error_rate"]
+            .iter()
+            .filter(|k| rule.get(k).is_some())
+            .count();
+        if subject_count != 1 {
+            return Err(format!(
+                "rule {i}: need exactly one of counter/gauge/histogram/error_rate"
+            ));
+        }
+        let fallback;
+        let name = match rule.get("name").and_then(Value::as_str) {
+            Some(n) => n,
+            None => {
+                fallback = format!("rule-{i}");
+                &fallback
+            }
+        };
+        let mut check = |observed: f64, bound_key: &str, what: &str| {
+            if let Some(bound) = num(rule.get(bound_key)) {
+                let breached = if bound_key.ends_with("_min") || bound_key == "min" {
+                    observed < bound
+                } else {
+                    observed > bound
+                };
+                if breached {
+                    violations.push(SloViolation {
+                        rule: name.to_string(),
+                        detail: format!("{what} = {observed} breaches {bound_key} = {bound}"),
+                    });
+                }
+            }
+        };
+
+        if let Some(metric) = rule.get("counter").and_then(Value::as_str) {
+            let v = lookup(metrics, "counters", metric);
+            check(v, "max", &format!("counter {metric}"));
+            check(v, "min", &format!("counter {metric}"));
+        } else if let Some(metric) = rule.get("gauge").and_then(Value::as_str) {
+            let v = lookup(metrics, "gauges", metric);
+            check(v, "max", &format!("gauge {metric}"));
+            check(v, "min", &format!("gauge {metric}"));
+        } else if let Some(metric) = rule.get("histogram").and_then(Value::as_str) {
+            let hist = metrics.get("histograms").and_then(|h| h.get(metric));
+            for (field, bound_key) in [
+                ("p50", "p50_max"),
+                ("p90", "p90_max"),
+                ("p99", "p99_max"),
+                ("max", "max_max"),
+                ("mean", "mean_max"),
+            ] {
+                let v = num(hist.and_then(|h| h.get(field))).unwrap_or(0.0);
+                check(v, bound_key, &format!("histogram {metric} {field}"));
+            }
+            let v = num(hist.and_then(|h| h.get("min"))).unwrap_or(0.0);
+            check(v, "min_min", &format!("histogram {metric} min"));
+        } else if let Some(pair) = rule.get("error_rate") {
+            let errors = pair
+                .get("errors")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("rule {i}: error_rate needs \"errors\""))?;
+            let total = pair
+                .get("total")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("rule {i}: error_rate needs \"total\""))?;
+            let denom = lookup(metrics, "counters", total);
+            if denom > 0.0 {
+                let rate = lookup(metrics, "counters", errors) / denom;
+                check(rate, "max", &format!("error_rate {errors}/{total}"));
+            }
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn metrics() -> Value {
+        json::parse(
+            r#"{"counters":{"sync.peer.bans":2,"sync.batches":100,"sync.peer.wire_errors":3},
+                "gauges":{"resident":4096},
+                "histograms":{"ebv.sv":{"count":10,"sum":100,"min":2,"max":60,
+                                         "mean":10,"p50":8,"p90":30,"p99":60}},
+                "derived":{}}"#,
+        )
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn slo_rules_pass_and_breach() {
+        let m = metrics();
+        let slo = json::parse(
+            r#"{"slos":[
+                {"name":"bans","counter":"sync.peer.bans","max":0},
+                {"name":"tail","histogram":"ebv.sv","p99_max":50,"min_min":1},
+                {"name":"rate","error_rate":{"errors":"sync.peer.wire_errors","total":"sync.batches"},"max":0.5},
+                {"name":"resident","gauge":"resident","max":8192}
+            ]}"#,
+        )
+        .expect("slo parses");
+        let violations = evaluate_slo(&m, &slo).expect("well-formed");
+        let rules: Vec<&str> = violations.iter().map(|v| v.rule.as_str()).collect();
+        assert_eq!(rules, ["bans", "tail"], "{violations:?}");
+    }
+
+    #[test]
+    fn missing_metric_reads_as_zero_and_idle_rate_passes() {
+        let m = metrics();
+        let slo = json::parse(
+            r#"{"slos":[
+                {"name":"ghost","counter":"no.such.counter","max":0},
+                {"name":"idle","error_rate":{"errors":"x","total":"never.counted"},"max":0.0}
+            ]}"#,
+        )
+        .expect("slo parses");
+        assert!(evaluate_slo(&m, &slo).expect("well-formed").is_empty());
+    }
+
+    #[test]
+    fn malformed_rules_are_rejected() {
+        let m = metrics();
+        for bad in [
+            r#"{"slos":[{"name":"two","counter":"a","gauge":"b","max":0}]}"#,
+            r#"{"slos":[{"name":"none","max":0}]}"#,
+            r#"{"not_slos":true}"#,
+        ] {
+            let slo = json::parse(bad).expect("fixture parses");
+            assert!(evaluate_slo(&m, &slo).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn heartbeats_age_into_stalls() {
+        crate::set_enabled(true);
+        heartbeat("test.health.task");
+        let fresh = stalled(Duration::from_secs(3600));
+        assert!(
+            !fresh.iter().any(|(n, _)| n == "test.health.task"),
+            "fresh beat listed as stalled"
+        );
+        let aged = stalled(Duration::ZERO);
+        assert!(
+            aged.iter().any(|(n, _)| n == "test.health.task"),
+            "zero deadline must flag every beat"
+        );
+    }
+}

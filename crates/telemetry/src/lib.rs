@@ -14,6 +14,15 @@
 //!   into a histogram;
 //! * a structured event trace ([`trace_event!`]): a bounded ring buffer of
 //!   timestamped JSONL lines that can tee to a file ([`trace_tee_to_file`]);
+//! * causal identity ([`context`]): seeded, deterministic 64-bit
+//!   trace/span ids with parent links that every trace line carries while
+//!   a [`child_span!`] guard is live;
+//! * a flight recorder ([`flight`]): per-subsystem evidence rings dumped
+//!   as self-contained post-mortem bundles at failure time;
+//! * health ([`health`]): progress heartbeats, a stall [`Watchdog`], and
+//!   an SLO evaluator for CI gating;
+//! * a time-series recorder ([`timeseries`]): periodic delta snapshots to
+//!   JSONL for long-run trajectories;
 //! * exporters: Prometheus text format ([`export::prometheus_text`]) and a
 //!   JSON snapshot ([`export::json_snapshot`]).
 //!
@@ -28,17 +37,24 @@
 //! driver, `netsim.*` for the gossip simulator. Labels ride in the name as
 //! `name{key=value,...}`; exporters split them back out.
 
+pub mod context;
 pub mod export;
+pub mod flight;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
+pub use context::{SpanGuard, TraceCtx};
 pub use export::{json_snapshot, prometheus_text, write_metrics_files, Snapshot};
+pub use health::{evaluate_slo, heartbeat, SloViolation, Watchdog};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{counter, gauge, global, histogram, Registry};
 pub use span::Span;
+pub use timeseries::TimeseriesRecorder;
 pub use trace::{
     trace_clear, trace_event, trace_snapshot, trace_tee_to_file, trace_untee, TraceValue,
 };

@@ -91,6 +91,10 @@ pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS; // 496
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
+    /// Exact observed extrema, so tail quantiles (p0/p99/p100) in SLO
+    /// gating are not subject to the 12.5% bucket error at the edges.
+    /// `min` idles at `u64::MAX` until the first sample.
+    min: AtomicU64,
     max: AtomicU64,
     buckets: [AtomicU64; NUM_BUCKETS],
 }
@@ -106,6 +110,7 @@ impl Histogram {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -149,6 +154,7 @@ impl Histogram {
         self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -159,6 +165,7 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
     }
 
@@ -171,9 +178,15 @@ impl Histogram {
                 (c > 0).then(|| (Self::bucket_upper_bound(i), c))
             })
             .collect();
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            min: if count > 0 {
+                self.min.load(Ordering::Relaxed)
+            } else {
+                0
+            },
             max: self.max.load(Ordering::Relaxed),
             buckets,
         }
@@ -185,6 +198,7 @@ impl std::fmt::Debug for Histogram {
         f.debug_struct("Histogram")
             .field("count", &self.count.load(Ordering::Relaxed))
             .field("sum", &self.sum.load(Ordering::Relaxed))
+            .field("min", &self.min.load(Ordering::Relaxed))
             .field("max", &self.max.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -196,24 +210,30 @@ impl std::fmt::Debug for Histogram {
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
+    /// Exact smallest recorded sample (0 when empty).
+    pub min: u64,
     pub max: u64,
     pub buckets: Vec<(u64, u64)>,
 }
 
 impl HistogramSnapshot {
     /// Value at quantile `q` in [0, 1]: the upper bound of the bucket
-    /// holding the ceil(q·count)-th sample, clamped to the observed max.
-    /// Relative error is bounded by the 12.5% bucket width.
+    /// holding the ceil(q·count)-th sample, clamped to the exact observed
+    /// [min, max]. Relative error is bounded by the 12.5% bucket width in
+    /// the interior; q=0 and q=1 are exact (the recorded min and max).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
         }
         let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for &(upper, c) in &self.buckets {
             seen += c;
             if seen >= target {
-                return upper.min(self.max);
+                return upper.min(self.max).max(self.min);
             }
         }
         self.max

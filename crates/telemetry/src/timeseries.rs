@@ -1,0 +1,188 @@
+//! Time-series recorder: periodic *delta* snapshots of the global
+//! registry to JSONL.
+//!
+//! Lifetime totals hide trajectory — a counter at 10 000 looks the same
+//! whether the last minute contributed 9 000 or 0. Each [`tick`] emits
+//! the change since the previous tick: counter deltas, histogram
+//! count/sum deltas (interval rates), and gauge *levels* (gauges are
+//! instantaneous, deltas would be meaningless). Zero-delta counters and
+//! histograms are omitted, so quiet subsystems cost nothing per line.
+//!
+//! One JSONL line per tick:
+//!
+//! ```json
+//! {"tick":3,"label":"run1.ebv","elapsed_us":812345,
+//!  "counters":{"ebv.blocks_connected":1040},
+//!  "gauges":{"ebv.bitvec.resident_bytes":4096},
+//!  "histograms":{"ebv.sv":{"count":5200,"sum":9812345}}}
+//! ```
+//!
+//! The figure binaries expose this as `--timeseries-out <path>`; the
+//! committed `BENCH_trace.json` aggregates full-scale runs.
+//!
+//! [`tick`]: TimeseriesRecorder::tick
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+
+use crate::Stopwatch;
+
+/// Writes one JSONL line per [`tick`](Self::tick); flushes on drop.
+pub struct TimeseriesRecorder {
+    out: BufWriter<File>,
+    prev_counters: HashMap<String, u64>,
+    prev_hists: HashMap<String, (u64, u64)>,
+    ticks: u64,
+    epoch: Stopwatch,
+}
+
+impl TimeseriesRecorder {
+    /// Create (truncate) the JSONL file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<TimeseriesRecorder> {
+        Ok(TimeseriesRecorder {
+            out: BufWriter::new(File::create(path)?),
+            prev_counters: HashMap::new(),
+            prev_hists: HashMap::new(),
+            ticks: 0,
+            epoch: Stopwatch::start(),
+        })
+    }
+
+    /// Snapshot the global registry and append the delta line for this
+    /// interval, labelled `label` (a run/phase name for readers).
+    pub fn tick(&mut self, label: &str) {
+        let snap = crate::registry::global().snapshot();
+        let mut line = String::with_capacity(256);
+        line.push_str("{\"tick\":");
+        line.push_str(&self.ticks.to_string());
+        self.ticks += 1;
+        line.push_str(",\"label\":");
+        crate::json::escape_into(&mut line, label);
+        let _ = write!(
+            line,
+            ",\"elapsed_us\":{}",
+            self.epoch.elapsed().as_micros() as u64
+        );
+
+        line.push_str(",\"counters\":{");
+        let mut first = true;
+        for (name, value) in &snap.counters {
+            let prev = self.prev_counters.insert(name.clone(), *value).unwrap_or(0);
+            let delta = value.saturating_sub(prev);
+            if delta == 0 {
+                continue;
+            }
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            crate::json::escape_into(&mut line, name);
+            let _ = write!(line, ":{delta}");
+        }
+
+        line.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, value) in &snap.gauges {
+            if *value == 0 {
+                continue;
+            }
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            crate::json::escape_into(&mut line, name);
+            let _ = write!(line, ":{value}");
+        }
+
+        line.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &snap.histograms {
+            let (pc, ps) = self
+                .prev_hists
+                .insert(name.clone(), (h.count, h.sum))
+                .unwrap_or((0, 0));
+            let (dc, ds) = (h.count.saturating_sub(pc), h.sum.saturating_sub(ps));
+            if dc == 0 {
+                continue;
+            }
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            crate::json::escape_into(&mut line, name);
+            let _ = write!(line, ":{{\"count\":{dc},\"sum\":{ds}}}");
+        }
+        line.push_str("}}");
+
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    /// Flush explicitly (also happens on drop).
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Drop for TimeseriesRecorder {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_carry_deltas_not_totals() {
+        crate::set_enabled(true);
+        let dir = std::env::temp_dir().join("ebv-timeseries-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ticks.jsonl");
+        let c = crate::registry::counter("test.timeseries.steps");
+        let h = crate::registry::histogram("test.timeseries.lat");
+
+        let mut rec = TimeseriesRecorder::create(&path).expect("create");
+        c.add(5);
+        h.record(10);
+        rec.tick("first");
+        c.add(3);
+        rec.tick("second");
+        rec.finish().expect("flush");
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = crate::json::parse(lines[0]).expect("line 0 parses");
+        let second = crate::json::parse(lines[1]).expect("line 1 parses");
+        let delta = |v: &crate::json::Value| {
+            v.get("counters")
+                .and_then(|c| c.get("test.timeseries.steps"))
+                .and_then(crate::json::Value::as_f64)
+        };
+        assert_eq!(delta(&first), Some(5.0));
+        assert_eq!(delta(&second), Some(3.0), "second tick is the delta");
+        assert_eq!(
+            first
+                .get("histograms")
+                .and_then(|h| h.get("test.timeseries.lat"))
+                .and_then(|h| h.get("sum"))
+                .and_then(crate::json::Value::as_f64),
+            Some(10.0)
+        );
+        assert!(
+            second
+                .get("histograms")
+                .and_then(|h| h.get("test.timeseries.lat"))
+                .is_none(),
+            "quiet histogram omitted"
+        );
+        assert_eq!(
+            second.get("label").and_then(crate::json::Value::as_str),
+            Some("second")
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! evaluates its field expressions only when telemetry is on.
 
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
@@ -34,6 +35,9 @@ struct TraceState {
 fn state() -> &'static Mutex<TraceState> {
     static STATE: OnceLock<Mutex<TraceState>> = OnceLock::new();
     STATE.get_or_init(|| {
+        // Register the overflow counter up front so both exporters show
+        // it (at zero) from the first snapshot, not only after a drop.
+        crate::registry::counter("trace.dropped");
         Mutex::new(TraceState {
             ring: VecDeque::with_capacity(CAPACITY),
             tee: None,
@@ -114,6 +118,21 @@ pub fn trace_event(event: &str, fields: &[(&str, TraceValue)]) {
     line.push_str(&ts_us.to_string());
     line.push_str(",\"event\":");
     crate::json::escape_into(&mut line, event);
+    if let Some(ctx) = crate::context::current() {
+        // Causal identity: ids render as 16-digit hex strings because
+        // the crate's JSON parser models numbers as f64 and would lose
+        // the top bits of a u64.
+        line.push_str(",\"trace\":\"");
+        let _ = write!(line, "{:016x}", ctx.trace);
+        line.push_str("\",\"span\":\"");
+        let _ = write!(line, "{:016x}", ctx.span);
+        line.push('"');
+        if ctx.parent != 0 {
+            line.push_str(",\"parent\":\"");
+            let _ = write!(line, "{:016x}", ctx.parent);
+            line.push('"');
+        }
+    }
     for (k, v) in fields {
         line.push(',');
         crate::json::escape_into(&mut line, k);
@@ -122,12 +141,21 @@ pub fn trace_event(event: &str, fields: &[(&str, TraceValue)]) {
     }
     line.push('}');
 
+    // Feed the flight recorder's per-subsystem ring before the shared
+    // ring (separate locks; never held together).
+    crate::flight::observe(event, &line);
+
     let mut st = state().lock().unwrap_or_else(|e| e.into_inner());
     if let Some(tee) = st.tee.as_mut() {
         let _ = writeln!(tee, "{line}");
     }
     if st.ring.len() == CAPACITY {
         st.ring.pop_front();
+        // Overwritten evidence is counted, not silent: flight-recorder
+        // bundles embed this so truncation is visible. (The registry
+        // shard lock nests inside the trace lock and never the reverse,
+        // so there is no cycle.)
+        crate::registry::counter("trace.dropped").inc();
     }
     st.ring.push_back(line);
 }

@@ -159,6 +159,11 @@ fn json_snapshot_round_trips_through_own_parser() {
         .expect("ebv.sv histogram");
     assert_eq!(sv.get("count").and_then(json::Value::as_f64), Some(4.0));
     assert_eq!(sv.get("sum").and_then(json::Value::as_f64), Some(250_205.0));
+    assert_eq!(
+        sv.get("min").and_then(json::Value::as_f64),
+        Some(5.0),
+        "exact observed minimum survives export"
+    );
     assert_eq!(sv.get("max").and_then(json::Value::as_f64), Some(250_000.0));
     // 150 hits over 200 fetches.
     assert_eq!(
@@ -184,6 +189,7 @@ fn quantiles_stay_inside_the_bucketing_error_bound() {
     let s = h.snapshot();
     assert_eq!(s.count, 1000);
     assert_eq!(s.sum, 500_500);
+    assert_eq!(s.min, 1, "min is tracked exactly, not bucketed");
     assert_eq!(s.max, 1000);
 
     // Log-linear buckets with 8 sub-buckets per octave bound the relative
@@ -198,4 +204,34 @@ fn quantiles_stay_inside_the_bucketing_error_bound() {
         );
     }
     assert_eq!(s.quantile(1.0), 1000, "p100 is the observed max");
+    assert_eq!(s.quantile(0.0), 1, "p0 is the exact observed min");
+
+    // A single-sample histogram has no bucket slack at the extremes:
+    // every quantile is the sample, exactly.
+    let one = r.histogram("q.single");
+    one.record(777);
+    let s = one.snapshot();
+    assert_eq!((s.min, s.max), (777, 777));
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(s.quantile(q), 777, "q={q} must clamp to [min, max]");
+    }
+}
+
+#[test]
+fn hostile_label_values_are_escaped_in_prometheus_output() {
+    // A peer slug / error class carrying every character the exposition
+    // format treats specially: backslash, double quote, newline.
+    let snap = Snapshot {
+        counters: vec![("sync.peer.wire_errors{peer=3,class=a\\b\"c\nd}".into(), 1)],
+        ..Default::default()
+    };
+    let text = prometheus_text(&snap);
+    // The raw newline must not split the sample line.
+    let samples: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(samples.len(), 1, "hostile label split the line: {text:?}");
+    assert!(
+        samples[0].contains("class=\"a\\\\b\\\"c\\nd\""),
+        "bad escaping in {:?}",
+        samples[0]
+    );
 }

@@ -1,0 +1,135 @@
+//! Post-mortem bundle schema guarantees:
+//!
+//! * a bundle rendered from fixed inputs matches a committed golden file
+//!   byte for byte (the schema is an interface — `ebv-cli postmortem`
+//!   and external tooling parse it);
+//! * the bundle parses with this crate's own JSON parser and exposes the
+//!   documented fields.
+
+use ebv_telemetry::flight::{render_bundle, BUNDLE_SCHEMA};
+use ebv_telemetry::json;
+
+/// Fixed inputs exercising every bundle field: a trace-filtered causal
+/// chain, per-subsystem drop counts, ring-overflow count, an embedded
+/// metrics snapshot, and caller extras (per-peer stats).
+fn sample_bundle() -> String {
+    let events = vec![
+        r#"{"seq":40,"ts_us":100,"event":"sync.peer_score","trace":"00000000deadbeef","span":"0000000000000a01","parent":"00000000deadbeef","peer":9,"score":40,"reason":"decode"}"#.to_string(),
+        r#"{"seq":41,"ts_us":180,"event":"sync.backoff","trace":"00000000deadbeef","span":"0000000000000a01","parent":"00000000deadbeef","peer":9,"delay_us":500}"#.to_string(),
+        r#"{"seq":57,"ts_us":420,"event":"sync.peer_banned","trace":"00000000deadbeef","span":"0000000000000a02","parent":"00000000deadbeef","peer":9,"score":120,"last_reason":"decode"}"#.to_string(),
+    ];
+    let dropped = vec![("ebv".to_string(), 0u64), ("sync".to_string(), 12u64)];
+    let metrics = r#"{"counters":{"sync.peer.bans":1},"gauges":{},"histograms":{},"derived":{}}"#;
+    let extra = vec![(
+        "peers",
+        r#"[{"id":9,"batches":3,"decode_failures":3,"score":120,"banned":true}]"#.to_string(),
+    )];
+    render_bundle(
+        "sync.peer_banned",
+        Some("00000000deadbeef"),
+        7,
+        &events,
+        &dropped,
+        12,
+        metrics,
+        &extra,
+    )
+}
+
+/// Regenerate the golden file after an intentional schema change:
+///
+/// ```text
+/// cargo test -p ebv-telemetry --test postmortem_schema -- --ignored regenerate
+/// ```
+#[test]
+#[ignore = "writes the golden file; run explicitly after intentional schema changes"]
+fn regenerate_golden_file() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/postmortem.json");
+    let mut text = sample_bundle();
+    text.push('\n');
+    std::fs::write(path, text).expect("write golden");
+}
+
+#[test]
+fn bundle_matches_golden_file() {
+    let got = sample_bundle();
+    let want = include_str!("golden/postmortem.json");
+    assert_eq!(got, want.trim_end(), "bundle schema drifted from golden");
+}
+
+#[test]
+fn bundle_parses_and_exposes_documented_fields() {
+    let v = json::parse(&sample_bundle()).expect("bundle is valid JSON");
+    assert_eq!(
+        v.get("schema").and_then(json::Value::as_str),
+        Some(BUNDLE_SCHEMA)
+    );
+    assert_eq!(v.get("seq").and_then(json::Value::as_f64), Some(7.0));
+    assert_eq!(
+        v.get("trigger").and_then(json::Value::as_str),
+        Some("sync.peer_banned")
+    );
+    assert_eq!(
+        v.get("trace").and_then(json::Value::as_str),
+        Some("00000000deadbeef")
+    );
+    let events = match v.get("events") {
+        Some(json::Value::Array(a)) => a,
+        other => panic!("events array missing: {other:?}"),
+    };
+    assert_eq!(events.len(), 3);
+    // Every event in the causal chain carries the bundle's trace id —
+    // the chain is reconstructible from ids alone.
+    for e in events {
+        assert_eq!(
+            e.get("trace").and_then(json::Value::as_str),
+            Some("00000000deadbeef")
+        );
+    }
+    assert_eq!(
+        v.get("dropped")
+            .and_then(|d| d.get("sync"))
+            .and_then(json::Value::as_f64),
+        Some(12.0),
+        "per-subsystem drop counts label truncated evidence"
+    );
+    assert_eq!(
+        v.get("trace_dropped").and_then(json::Value::as_f64),
+        Some(12.0)
+    );
+    assert_eq!(
+        v.get("metrics")
+            .and_then(|m| m.get("counters"))
+            .and_then(|c| c.get("sync.peer.bans"))
+            .and_then(json::Value::as_f64),
+        Some(1.0)
+    );
+    let peers = match v.get("peers") {
+        Some(json::Value::Array(a)) => a,
+        other => panic!("peers extra missing: {other:?}"),
+    };
+    assert_eq!(peers[0].get("id").and_then(json::Value::as_f64), Some(9.0));
+}
+
+#[test]
+fn bundle_without_trace_renders_null_not_missing() {
+    let bundle = render_bundle(
+        "ibd.stitch_mismatch",
+        None,
+        1,
+        &[],
+        &[],
+        0,
+        r#"{"counters":{},"gauges":{},"histograms":{},"derived":{}}"#,
+        &[],
+    );
+    let v = json::parse(&bundle).expect("valid JSON");
+    assert!(
+        v.get("trace").is_some_and(json::Value::is_null),
+        "trace field present and null"
+    );
+    assert!(matches!(
+        v.get("events"),
+        Some(json::Value::Array(a)) if a.is_empty()
+    ));
+}

@@ -52,12 +52,31 @@ timeout 120 cargo test -q --test security
 echo "==> cargo test --test parallel_ibd (differential + stitch tamper)"
 cargo test -q --test parallel_ibd
 
-# Exercise the fig17 --parallel-ibd path end to end. Writes under target/
-# so a small smoke run never clobbers the committed BENCH_fig17.json
-# (which comes from a full-scale run).
+# Causal tracing, flight-recorder post-mortems, and the health watchdog:
+# same-seed determinism, a bundle at every failure class, bundles written
+# to disk. The suite clears process-global telemetry state between tests,
+# so a hang is a lock bug — cap it.
+echo "==> cargo test --test observability (trace trees + post-mortems, 120s cap)"
+timeout 120 cargo test -q --test observability
+
+# Exercise the fig17 --parallel-ibd path end to end, with the time-series
+# recorder on. Writes under target/ so a small smoke run never clobbers
+# the committed BENCH_fig17.json / BENCH_trace.json (which come from
+# full-scale runs).
 echo "==> fig17 parallel-IBD smoke"
 ./target/release/fig17 --blocks 130 --runs 1 --parallel-ibd 2 \
+    --timeseries-out target/trace_smoke.jsonl \
     --json target/BENCH_fig17_smoke.json > /dev/null
+
+# Health gate smoke: validate a generated chain with telemetry on and
+# evaluate the committed SLO document against the resulting snapshot.
+# Proves `ebv-cli health --gate` is usable as a CI quality gate.
+echo "==> ebv-cli health gate smoke (committed slo.json)"
+./target/release/ebv-cli generate --blocks 60 --seed 7 \
+    --out target/slo_smoke.bin > /dev/null
+./target/release/ebv-cli convert --in target/slo_smoke.bin \
+    --out target/slo_smoke.ebv > /dev/null
+./target/release/ebv-cli health --slo slo.json --in target/slo_smoke.ebv --gate
 
 # Sync-under-faults bench smoke: wall time plus time-to-ban per adversary
 # class over real TCP. Small size into target/ — the committed
@@ -121,6 +140,9 @@ cargo test -q --test telemetry_overhead
 
 echo "==> cargo test -p ebv-telemetry --test export_format (exporter golden files)"
 cargo test -q -p ebv-telemetry --test export_format
+
+echo "==> cargo test -p ebv-telemetry --test postmortem_schema (bundle golden file)"
+cargo test -q -p ebv-telemetry --test postmortem_schema
 
 # Bare Instant::now() is reserved for crates/telemetry (span!/Stopwatch)
 # and crates/bench; scheduling/simulation call sites are allowlisted in

@@ -176,7 +176,13 @@ fn banned_peer_trace_explains_the_ban() {
     // this test's lines distinguishable from other tests in this binary.
     ebv::telemetry::set_enabled(true);
     let (_, ebv_blocks) = chain_pair(12, 1101);
-    let cfg = SyncConfig::fast_test();
+    // A unique driver seed gives this session a trace root no other test
+    // in the binary shares, so the flight-recorder bundle below can be
+    // found by trace id alone.
+    let cfg = SyncConfig {
+        seed: 0x9100,
+        ..SyncConfig::fast_test()
+    };
 
     // The only peer corrupts every batch: each failure costs 40 points
     // (the corrupted blocks decode but do not link, so the driver walks
@@ -227,6 +233,54 @@ fn banned_peer_trace_explains_the_ban() {
         matching_penalties >= 3,
         "a 100-point ban from 40-point {reason:?} penalties needs at least 3 \
          score events, saw {matching_penalties}"
+    );
+
+    // The ban also dumps a flight-recorder bundle, and that bundle must be
+    // reconstructible from the ban's trace id alone: every captured event
+    // carries the same trace, and the causal chain contains both the
+    // corroborating score penalties and the ban itself.
+    let ban_trace = bans[0]
+        .split("\"trace\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("ban event lacks a trace id: {}", bans[0]))
+        .to_string();
+    let bundle = ebv::telemetry::flight::recent_bundles()
+        .into_iter()
+        .find(|b| {
+            b.contains("\"trigger\":\"sync.peer_banned\"")
+                && b.contains(&format!("\"trace\":\"{ban_trace}\""))
+        })
+        .expect("the ban must dump a post-mortem bundle under its trace id");
+    let bundle_json = ebv::telemetry::json::parse(&bundle).expect("bundle is valid JSON");
+    let events = match bundle_json.get("events") {
+        Some(ebv::telemetry::json::Value::Array(events)) => events,
+        other => panic!("bundle events missing: {other:?}"),
+    };
+    use ebv::telemetry::json::Value;
+    let mut scores = 0usize;
+    let mut saw_ban = false;
+    for ev in events {
+        assert_eq!(
+            ev.get("trace").and_then(Value::as_str),
+            Some(ban_trace.as_str()),
+            "bundle event outside the ban's trace: {ev:?}"
+        );
+        match ev.get("event").and_then(Value::as_str) {
+            Some("sync.peer_score") => scores += 1,
+            Some("sync.peer_banned") => saw_ban = true,
+            _ => {}
+        }
+    }
+    assert!(saw_ban, "bundle must contain the triggering ban event");
+    assert!(
+        scores >= 3,
+        "bundle must carry the causal chain (≥3 score penalties), saw {scores}"
+    );
+    // The bundle embeds the banned peer's stats as trigger context.
+    assert!(
+        bundle.contains("\"peer\":") && bundle.contains("\"banned\":true"),
+        "bundle must embed the banned peer's stats"
     );
 }
 

@@ -18,6 +18,10 @@ use std::time::Duration;
 /// per-input instrumentation.
 fn validate_run(chain: &[EbvBlock]) -> Duration {
     let sw = Stopwatch::start();
+    // With telemetry on, this roots a trace so every per-block span carries
+    // ids and feeds the flight-recorder rings — the full causal-tracing
+    // cost is inside the guarded window. Inert when disabled.
+    let _root = ebv::telemetry::SpanGuard::enter_root("overhead.run", 0xd1ff);
     let mut node = EbvNode::new(&chain[0], EbvConfig::sequential());
     for block in &chain[1..] {
         node.process_block(block).expect("chain is valid");
